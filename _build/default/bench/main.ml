@@ -1,0 +1,577 @@
+(* Experiment harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md §5 for the experiment index) and runs
+   bechamel micro-benchmarks of the hot paths.
+
+   Usage: dune exec bench/main.exe [-- options]
+     --quick       run everything on a ~1/3-size world
+     --scale F     world scale factor (default 1.0)
+     --seed N      world seed (default 42)
+     --sweep       add the accuracy-vs-vantage-points sweep (slow)
+     --no-micro    skip the bechamel micro-benchmarks
+     --micro-only  only run the micro-benchmarks *)
+
+open Bgp
+
+let std = Format.std_formatter
+
+let section = Evaluation.Report.section std
+
+let time label f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Format.printf "[%s: %.1fs]@." label (Unix.gettimeofday () -. t0);
+  r
+
+let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
+
+(* ------------------------------------------------------------------ *)
+(* Experiments                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let experiment_f2_t1 data =
+  section "F2" "distinct AS-paths per (origin AS, observation AS) pair (Figure 2)";
+  let hist = Topology.Diversity.pair_path_histogram data in
+  Evaluation.Report.int_series std ~x:"#distinct-paths" ~y:"#AS-pairs" hist;
+  Format.printf "pairs with >1 distinct path: %.1f%%  (paper: >30%%)@."
+    (100.0 *. Topology.Diversity.fraction_pairs_with_diversity data);
+  Format.printf
+    "prefixes-per-path histogram (log-binned; paper: linear on log-log):@.";
+  Evaluation.Report.table std ~header:[ "prefixes/path"; "#paths" ]
+    (List.map
+       (fun (lo, hi, n) ->
+         [
+           (if lo = hi then string_of_int lo else Printf.sprintf "%d-%d" lo hi);
+           string_of_int n;
+         ])
+       (Evaluation.Quantiles.log_binned
+          (Topology.Diversity.prefixes_per_path_histogram data)));
+  section "T1" "max #unique AS-paths an AS receives for any prefix (Table 1)";
+  Evaluation.Report.table std
+    ~header:[ "percentile"; "measured"; "paper" ]
+    (List.map2
+       (fun (p, v) paper ->
+         [ Printf.sprintf "%.0f%%" p; string_of_int v; string_of_int paper ])
+       (Topology.Diversity.table1_quantiles data)
+       [ 2; 5; 7; 10; 13 ])
+
+let experiment_inflation prepared =
+  section "INF" "path inflation of observed routes vs graph distance ([12])";
+  let report =
+    Topology.Inflation.analyze prepared.Core.full_graph
+      (Rib.all_paths prepared.Core.data)
+  in
+  Format.printf "%a@." Topology.Inflation.pp report
+
+let pp_breakdown_rows label (b : Evaluation.Agreement.breakdown) =
+  [
+    [
+      label;
+      "agree";
+      Printf.sprintf "%.1f%%"
+        (pct b.Evaluation.Agreement.agree b.Evaluation.Agreement.cases);
+    ];
+    [
+      "";
+      "not available";
+      Printf.sprintf "%.1f%%"
+        (pct b.Evaluation.Agreement.not_available b.Evaluation.Agreement.cases);
+    ];
+  ]
+  @ List.map
+      (fun (step, n) ->
+        [
+          "";
+          Simulator.Decision.step_to_string step;
+          Printf.sprintf "%.1f%%" (pct n b.Evaluation.Agreement.cases);
+        ])
+      b.Evaluation.Agreement.by_step
+
+let experiment_t2 prepared =
+  section "T2" "single-router-per-AS baselines (Table 2)";
+  let shortest =
+    time "T2a simulate" (fun () -> Core.baseline_shortest_path prepared)
+  in
+  let rels = Core.infer_relationships prepared in
+  Format.printf "inferred relationships: %a@." Topology.Relationships.pp_counts
+    (Topology.Relationships.counts rels);
+  let policies =
+    time "T2b simulate" (fun () -> Core.baseline_policies prepared)
+  in
+  Evaluation.Report.table std
+    ~header:[ "model"; "criterion"; "measured" ]
+    (pp_breakdown_rows "shortest path" shortest
+    @ pp_breakdown_rows "inferred policies" policies);
+  Format.printf
+    "paper: shortest-path agrees 23.5%% (49.4%% not available, 4.7%% shorter \
+     path,@.22.2%% tie-break); policies agree 12.5%% (54.5%% not available) — \
+     policies@.perform WORSE than shortest path, which this world should \
+     reproduce in shape.@.";
+  (shortest, policies)
+
+let experiment_train_predict prepared ~seed =
+  let splits = Core.split ~seed prepared in
+  section "T3" "training-set convergence of the iterative refinement (§5)";
+  Format.printf "%a@." Evaluation.Split.pp splits;
+  let result =
+    time "refinement" (fun () ->
+        Core.build prepared ~training:splits.Evaluation.Split.training)
+  in
+  let r = result in
+  let filters, meds =
+    Simulator.Net.count_policies r.Refine.Refiner.model.Asmodel.Qrmodel.net
+  in
+  Evaluation.Report.kv std
+    [
+      ("iterations", string_of_int r.Refine.Refiner.iterations);
+      ( "training RIB-Out matched",
+        Printf.sprintf "%d/%d (%.1f%%)" r.Refine.Refiner.matched
+          r.Refine.Refiner.total
+          (pct r.Refine.Refiner.matched r.Refine.Refiner.total) );
+      ("converged (paper: exact match)", string_of_bool r.Refine.Refiner.converged);
+      ( "quasi-routers",
+        Printf.sprintf "%d (for %d ASes)"
+          (Asmodel.Qrmodel.total_quasi_routers r.Refine.Refiner.model)
+          (Topology.Asgraph.num_nodes prepared.Core.graph) );
+      ("filter rules", string_of_int filters);
+      ("MED ranking rules", string_of_int meds);
+    ];
+  section "F9" "training match rate per iteration (§5 convergence series)";
+  Evaluation.Report.table std
+    ~header:
+      [ "iteration"; "matched"; "%"; "+filters"; "+med"; "+quasi-routers"; "deletions" ]
+    (List.map
+       (fun (h : Refine.Refiner.iter_stat) ->
+         [
+           string_of_int h.Refine.Refiner.iteration;
+           string_of_int h.Refine.Refiner.matched;
+           Printf.sprintf "%.1f" (pct h.Refine.Refiner.matched h.Refine.Refiner.total);
+           string_of_int h.Refine.Refiner.filters_added;
+           string_of_int h.Refine.Refiner.med_rules_added;
+           string_of_int h.Refine.Refiner.duplications;
+           string_of_int h.Refine.Refiner.filter_deletions;
+         ])
+       r.Refine.Refiner.history);
+  section "F8" "quasi-routers per AS after refinement (§5)";
+  let hist = Asmodel.Qrmodel.quasi_router_histogram r.Refine.Refiner.model in
+  Evaluation.Report.int_series std ~x:"quasi-routers" ~y:"#ASes" hist;
+  let sample =
+    List.concat_map (fun (k, n) -> List.init n (fun _ -> k)) hist
+    |> Array.of_list
+  in
+  Evaluation.Report.table std ~header:[ "percentile"; "quasi-routers" ]
+    (List.map
+       (fun (p, v) -> [ Printf.sprintf "%.0f%%" p; string_of_int v ])
+       (Evaluation.Quantiles.percentiles sample [ 50.0; 75.0; 90.0; 99.0; 100.0 ]));
+  section "T4" "prediction of held-out observation points (§5 headline)";
+  let prediction =
+    time "prediction" (fun () ->
+        Core.evaluate result ~validation:splits.Evaluation.Split.validation)
+  in
+  Format.printf "%a@." Evaluation.Predict.pp prediction;
+  Format.printf
+    "paper headline: >80%% of test cases match down to the final tie-break@.\
+     (1,300 vantage points; accuracy grows with vantage-point density).@.";
+  section "G1" "policy granularity of the refined model (follow-up work)";
+  Format.printf "%a@." Evaluation.Granularity.pp
+    (Evaluation.Granularity.analyze result.Refine.Refiner.model);
+  section "C1" "model compression (merge behaviourally-identical quasi-routers)";
+  (match
+     time "compact+verify" (fun () ->
+         Refine.Compress.compact_verified result.Refine.Refiner.model
+           ~against:splits.Evaluation.Split.training)
+   with
+  | Some (_compacted, stats) ->
+      Evaluation.Report.kv std
+        [
+          ( "quasi-routers",
+            Printf.sprintf "%d -> %d" stats.Refine.Compress.nodes_before
+              stats.Refine.Compress.nodes_after );
+          ( "sessions",
+            Printf.sprintf "%d -> %d" stats.Refine.Compress.sessions_before
+              stats.Refine.Compress.sessions_after );
+          ("training exactness preserved", "yes");
+        ]
+  | None ->
+      Format.printf
+        "compaction would lose training matches on this model; kept original@.");
+  section "I1" "incremental extension with newly observed paths (4.7)";
+  (* New observations arrive for one prefix (its held-out validation
+     paths); fit them into the already-refined model without touching
+     the rest. *)
+  (let validation = splits.Evaluation.Split.validation in
+   let by_prefix = Rib.by_prefix validation in
+   let best =
+     Prefix.Map.fold
+       (fun p entries acc ->
+         match acc with
+         | Some (_, n) when n >= List.length entries -> acc
+         | _ -> Some (p, List.length entries))
+       by_prefix None
+   in
+   match best with
+   | None -> Format.printf "validation set empty@."
+   | Some (p, _) ->
+       (* Fit the union of everything known about p: training paths
+          must stay satisfied while the new ones are added. *)
+       let one_prefix =
+         Rib.of_entries
+           (Prefix.Map.find p by_prefix
+           @ Rib.paths_for_prefix splits.Evaluation.Split.training p)
+       in
+       let outcome =
+         time "fit new observations" (fun () ->
+             Refine.Incremental.add_observations result.Refine.Refiner.model
+               one_prefix)
+       in
+       (* Spot-check that the rest of the training data kept its exact
+          matches (full verification would re-simulate every prefix). *)
+       let sample =
+         Rib.entries splits.Evaluation.Split.training
+         |> List.filteri (fun i _ -> i mod 977 = 0)
+         |> Rib.of_entries
+       in
+       let check =
+         Refine.Verify.verify result.Refine.Refiner.model
+           ~states:(Hashtbl.create 64) sample
+       in
+       Evaluation.Report.kv std
+         [
+           ("prefix", Prefix.to_string p);
+           ("new observed paths fitted", string_of_int (Rib.size one_prefix));
+           ( "fit exact",
+             string_of_bool outcome.Refine.Incremental.result.Refine.Refiner.converged );
+           ("new quasi-routers", string_of_int outcome.Refine.Incremental.new_quasi_routers);
+           ("new filters", string_of_int outcome.Refine.Incremental.new_filters);
+           ("new MED rules", string_of_int outcome.Refine.Incremental.new_med_rules);
+           ( "training sample still exact",
+             Printf.sprintf "%d/%d" check.Refine.Verify.exact
+               check.Refine.Verify.checked );
+         ]);
+  (result, prediction)
+
+let experiment_t5 prepared ~seed =
+  section "T5" "prediction for previously unconsidered prefixes (§4.7: origin split)";
+  let splits = Core.split ~by_origin:true ~seed prepared in
+  Format.printf "%a@." Evaluation.Split.pp splits;
+  let result =
+    time "refinement (origin split)" (fun () ->
+        Core.build prepared ~training:splits.Evaluation.Split.training)
+  in
+  Format.printf "training converged: %b (%d/%d)@." result.Refine.Refiner.converged
+    result.Refine.Refiner.matched result.Refine.Refiner.total;
+  let prediction =
+    Core.evaluate result ~validation:splits.Evaluation.Split.validation
+  in
+  Format.printf "%a@." Evaluation.Predict.pp prediction
+
+let experiment_t6 prepared ~seed =
+  section "T6" "combined split: unseen vantage points AND unseen origins (4.2)";
+  let splits = Evaluation.Split.combined ~seed prepared.Core.data in
+  Format.printf "%a@." Evaluation.Split.pp splits;
+  let result =
+    time "refinement (combined split)" (fun () ->
+        Core.build prepared ~training:splits.Evaluation.Split.training)
+  in
+  Format.printf "training converged: %b (%d/%d)@." result.Refine.Refiner.converged
+    result.Refine.Refiner.matched result.Refine.Refiner.total;
+  let prediction =
+    Core.evaluate result ~validation:splits.Evaluation.Split.validation
+  in
+  Format.printf "%a@." Evaluation.Predict.pp prediction
+
+let experiment_ablations conf =
+  (* Ablations run on their own (smaller) world so that the runtime
+     stays reasonable even in full mode. *)
+  let world = Netgen.Groundtruth.build conf in
+  let data = Netgen.Groundtruth.observe world in
+  let prepared = Core.prepare data in
+  let splits = Core.split ~seed:7 prepared in
+  let training = splits.Evaluation.Split.training in
+  let validation = splits.Evaluation.Split.validation in
+  let grade label options =
+    let result =
+      time label (fun () -> Core.build ~options prepared ~training)
+    in
+    let prediction = Core.evaluate result ~validation in
+    ( label,
+      result.Refine.Refiner.matched,
+      result.Refine.Refiner.total,
+      Asmodel.Qrmodel.total_quasi_routers result.Refine.Refiner.model,
+      result.Refine.Refiner.unstable_prefixes,
+      prediction )
+  in
+  let full =
+    grade "A0 full heuristic"
+      { Refine.Refiner.default_options with max_iterations = Some 14 }
+  in
+  let single =
+    grade "A1 single quasi-router"
+      {
+        Refine.Refiner.default_options with
+        max_iterations = Some 14;
+        max_quasi_routers = 1;
+      }
+  in
+  let nomed =
+    grade "A2 filters only (no MED)"
+      {
+        Refine.Refiner.default_options with
+        max_iterations = Some 14;
+        use_med = false;
+      }
+  in
+  let lpref =
+    (* The paper's abandoned first attempt (§4.6): per-prefix LOCAL_PREF
+       ranking.  Expect divergence ("unstable" > 0) on policy-rich
+       worlds — the negative result that drove the MED design. *)
+    grade "A3 local-pref ranking (abandoned by paper)"
+      {
+        Refine.Refiner.default_options with
+        max_iterations = Some 14;
+        ranking = Refine.Refiner.Lpref_ranking;
+      }
+  in
+  section "A1-A3" "ablations: what the design choices buy (§3.2, §4.6)";
+  Evaluation.Report.table std
+    ~header:
+      [
+        "variant"; "train matched"; "quasi-routers"; "unstable";
+        "valid exact"; "valid tie-break";
+      ]
+    (List.map
+       (fun (label, matched, total, qrs, unstable, pred) ->
+         [
+           label;
+           Printf.sprintf "%.1f%%" (pct matched total);
+           string_of_int qrs;
+           string_of_int unstable;
+           Printf.sprintf "%.1f%%" (100.0 *. Evaluation.Predict.exact_fraction pred);
+           Printf.sprintf "%.1f%%"
+             (100.0 *. Evaluation.Predict.down_to_tie_break_fraction pred);
+         ])
+       [ full; single; nomed; lpref ])
+
+let experiment_robustness base_conf =
+  (* The headline metrics across several world seeds: the shape claims
+     should not depend on one lucky seed. *)
+  section "R1" "seed robustness of the headline metrics";
+  let rows =
+    List.map
+      (fun seed ->
+        let conf = { base_conf with Netgen.Conf.seed } in
+        let world = Netgen.Groundtruth.build conf in
+        let data = Netgen.Groundtruth.observe world in
+        let prepared = Core.prepare data in
+        let splits = Core.split ~seed:7 prepared in
+        let result =
+          time
+            (Printf.sprintf "seed %d" seed)
+            (fun () ->
+              Core.build
+                ~options:
+                  { Refine.Refiner.default_options with max_iterations = Some 16 }
+                prepared ~training:splits.Evaluation.Split.training)
+        in
+        let prediction =
+          Core.evaluate result ~validation:splits.Evaluation.Split.validation
+        in
+        [
+          string_of_int seed;
+          Printf.sprintf "%.1f%%"
+            (pct result.Refine.Refiner.matched result.Refine.Refiner.total);
+          string_of_int result.Refine.Refiner.iterations;
+          Printf.sprintf "%.1f%%"
+            (100.0 *. Evaluation.Predict.exact_fraction prediction);
+          Printf.sprintf "%.1f%%"
+            (100.0 *. Evaluation.Predict.down_to_tie_break_fraction prediction);
+          Printf.sprintf "%.1f%%"
+            (100.0 *. Evaluation.Predict.rib_in_fraction prediction);
+        ])
+      [ 42; 1001; 31337 ]
+  in
+  Evaluation.Report.table std
+    ~header:[ "seed"; "train"; "iters"; "exact"; "tie-break"; "rib-in" ]
+    rows
+
+let experiment_sweep base_conf =
+  (* How prediction accuracy scales with vantage points: train on a
+     growing subset of the training observation points. *)
+  section "SWEEP" "prediction accuracy vs number of training vantage points";
+  let world = Netgen.Groundtruth.build base_conf in
+  let data = Netgen.Groundtruth.observe world in
+  let prepared = Core.prepare data in
+  let splits = Core.split ~seed:7 prepared in
+  let train_points = Rib.observation_points splits.Evaluation.Split.training in
+  let validation = splits.Evaluation.Split.validation in
+  let total = List.length train_points in
+  let rows =
+    List.filter_map
+      (fun fraction ->
+        let k = max 1 (int_of_float (float_of_int total *. fraction)) in
+        let subset = List.filteri (fun i _ -> i < k) train_points in
+        let training =
+          Rib.restrict_points splits.Evaluation.Split.training subset
+        in
+        if Rib.size training = 0 then None
+        else begin
+          let result =
+            time
+              (Printf.sprintf "sweep %d points" k)
+              (fun () ->
+                Core.build
+                  ~options:
+                    { Refine.Refiner.default_options with max_iterations = Some 14 }
+                  prepared ~training)
+          in
+          let prediction = Core.evaluate result ~validation in
+          Some
+            [
+              string_of_int k;
+              Printf.sprintf "%.1f%%"
+                (100.0 *. Evaluation.Predict.exact_fraction prediction);
+              Printf.sprintf "%.1f%%"
+                (100.0 *. Evaluation.Predict.down_to_tie_break_fraction prediction);
+              Printf.sprintf "%.1f%%"
+                (100.0 *. Evaluation.Predict.rib_in_fraction prediction);
+            ]
+        end)
+      [ 0.25; 0.5; 0.75; 1.0 ]
+  in
+  Evaluation.Report.table std
+    ~header:[ "train points"; "exact"; "tie-break"; "rib-in bound" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  section "MICRO" "bechamel micro-benchmarks of the hot paths";
+  (* Fixtures. *)
+  let tiny_world =
+    Netgen.Groundtruth.build { Netgen.Conf.tiny with Netgen.Conf.seed = 3 }
+  in
+  let tiny_data = Netgen.Groundtruth.observe tiny_world in
+  let prepared = Core.prepare tiny_data in
+  let model = Asmodel.Qrmodel.initial prepared.Core.graph in
+  let some_prefix = fst (List.hd model.Asmodel.Qrmodel.prefixes) in
+  let line =
+    "TABLE_DUMP2|1131867000|B|12.0.1.63|7018|3.0.0.0/8|7018 701 703|IGP|12.0.1.63|100|0|7018:5000|NAG||"
+  in
+  let routes =
+    List.init 8 (fun i ->
+        {
+          Simulator.Rattr.path = Array.make ((i mod 4) + 1) (i + 2);
+          lpref = 100;
+          med = 100 - i;
+          igp = i;
+          from_node = i;
+          from_ip = 1000 - i;
+          from_session = i;
+          learned = Simulator.Rattr.From_ebgp;
+          learned_class = -1;
+        })
+  in
+  let paths = Rib.all_paths tiny_data in
+  let tests =
+    [
+      Test.make ~name:"decision: select over 8 candidates"
+        (Staged.stage (fun () ->
+             ignore (Simulator.Decision.select Simulator.Decision.full_steps routes)));
+      Test.make ~name:"mrt: parse one dump line"
+        (Staged.stage (fun () -> ignore (Mrt.record_of_line line)));
+      Test.make ~name:"engine: per-prefix convergence (router-level world)"
+        (Staged.stage (fun () ->
+             ignore (Netgen.Groundtruth.simulate tiny_world some_prefix)));
+      Test.make ~name:"engine: per-prefix convergence (quasi-router net)"
+        (Staged.stage (fun () ->
+             ignore (Asmodel.Qrmodel.simulate model some_prefix)));
+      Test.make ~name:"topology: graph extraction from paths"
+        (Staged.stage (fun () -> ignore (Topology.Extract.graph_of_paths paths)));
+      Test.make ~name:"refine: full refinement (tiny training set)"
+        (Staged.stage (fun () ->
+             let m = Asmodel.Qrmodel.initial prepared.Core.graph in
+             ignore (Refine.Refiner.refine m ~training:prepared.Core.data)));
+    ]
+  in
+  let benchmark test =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instance = Toolkit.Instance.monotonic_clock in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+    in
+    let raw = Benchmark.all cfg [ instance ] test in
+    Analyze.all ols instance raw
+  in
+  let results = benchmark (Test.make_grouped ~name:"micro" tests) in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let value =
+        match Analyze.OLS.estimates ols with
+        | Some [ est ] -> est
+        | Some _ | None -> nan
+      in
+      rows := (name, value) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Evaluation.Report.table std ~header:[ "benchmark"; "time/run" ]
+    (List.map
+       (fun (name, ns) ->
+         let human =
+           if Float.is_nan ns then "n/a"
+           else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+           else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+           else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+           else Printf.sprintf "%.0f ns" ns
+         in
+         [ name; human ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let has flag = List.mem flag args in
+  let value flag default =
+    let rec go = function
+      | f :: v :: _ when f = flag -> v
+      | _ :: rest -> go rest
+      | [] -> default
+    in
+    go args
+  in
+  let quick = has "--quick" in
+  let scale = float_of_string (value "--scale" (if quick then "0.35" else "1.0")) in
+  let seed = int_of_string (value "--seed" "42") in
+  let t_start = Unix.gettimeofday () in
+  if not (has "--micro-only") then begin
+    let conf = { (Netgen.Conf.scaled scale) with Netgen.Conf.seed = seed } in
+    section "WORLD" "synthetic ground truth (DESIGN.md 2)";
+    Format.printf "%a@." Netgen.Conf.pp conf;
+    let world = time "build" (fun () -> Netgen.Groundtruth.build conf) in
+    Format.printf "%a@." Netgen.Groundtruth.pp_summary world;
+    let data = time "observe" (fun () -> Netgen.Groundtruth.observe world) in
+    Format.printf "observed entries: %d@." (Rib.size data);
+    let prepared = Core.prepare data in
+    Format.printf "prepared: %a@.core graph: %a@."
+      Topology.Extract.pp_classification prepared.Core.classification
+      Topology.Asgraph.pp_stats prepared.Core.graph;
+    experiment_f2_t1 data;
+    experiment_inflation prepared;
+    ignore (experiment_t2 prepared);
+    ignore (experiment_train_predict prepared ~seed:7);
+    experiment_t5 prepared ~seed:7;
+    experiment_t6 prepared ~seed:7;
+    let ablation_conf =
+      { (Netgen.Conf.scaled (scale *. 0.35)) with Netgen.Conf.seed = seed }
+    in
+    experiment_ablations ablation_conf;
+    experiment_robustness ablation_conf;
+    if has "--sweep" then experiment_sweep ablation_conf
+  end;
+  if not (has "--no-micro") then micro ();
+  Format.printf "@.[total: %.1fs]@." (Unix.gettimeofday () -. t_start)

@@ -1,0 +1,481 @@
+(* asmodel — command-line front end for the AS-routing-model pipeline.
+
+   Subcommands mirror the methodology stages: generate a synthetic
+   world's dumps, inspect a data set, run the single-router baselines,
+   build (refine) a model, evaluate predictions, and run link-removal
+   what-if studies. *)
+
+open Cmdliner
+open Bgp
+
+let progress label =
+  let last = ref (-1) in
+  fun d t ->
+    let pct = if t = 0 then 100 else 100 * d / t in
+    if pct / 10 <> !last / 10 then begin
+      last := pct;
+      Printf.eprintf "\r%s: %d%% (%d/%d)%!" label pct d t;
+      if d = t then prerr_newline ()
+    end
+
+let load_dataset path =
+  (* Text (`bgpdump -m`) and binary (RFC 6396) dumps are both accepted;
+     the flavour is auto-detected. *)
+  let raw = In_channel.with_open_bin path In_channel.input_all in
+  let records =
+    if Mrt_binary.looks_binary raw then begin
+      let records, diags = Mrt_binary.read_bytes raw in
+      List.iter (fun d -> Printf.eprintf "%s: %s\n" path d) diags;
+      records
+    end
+    else
+      let records, errors = Mrt.parse_lines (String.split_on_char '\n' raw) in
+      List.iter
+        (fun (line, msg) -> Printf.eprintf "%s:%d: %s\n" path line msg)
+        errors;
+      records
+  in
+  let data, stats = Rib.of_records records in
+  Printf.eprintf
+    "loaded %s: %d records, %d kept (%d loops, %d empty, %d duplicates dropped)\n%!"
+    path stats.Rib.raw (Rib.size data) stats.Rib.dropped_loops
+    stats.Rib.dropped_empty stats.Rib.deduplicated;
+  data
+
+let std = Format.std_formatter
+
+(* generate *)
+
+let generate seed scale binary out =
+  let conf = { (Netgen.Conf.scaled scale) with Netgen.Conf.seed } in
+  Printf.eprintf "generating world: %s\n%!"
+    (Format.asprintf "%a" Netgen.Conf.pp conf);
+  let world = Netgen.Groundtruth.build conf in
+  Format.eprintf "%a@." Netgen.Groundtruth.pp_summary world;
+  let data =
+    Netgen.Groundtruth.observe ~on_prefix:(progress "observing") world
+  in
+  if binary then Mrt_binary.write_file out (Rib.to_records data)
+  else Rib.save out data;
+  Printf.printf "wrote %d RIB entries from %d observation points to %s (%s)\n"
+    (Rib.size data)
+    (List.length (Rib.observation_points data))
+    out
+    (if binary then "binary MRT" else "text");
+  0
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+
+let scale_arg =
+  Arg.(
+    value & opt float 1.0
+    & info [ "scale" ] ~docv:"F" ~doc:"Scale factor on the AS counts.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "dumps.mrt"
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output dump file.")
+
+let binary_arg =
+  Arg.(
+    value & flag
+    & info [ "binary" ] ~doc:"Write binary MRT (RFC 6396) instead of text.")
+
+let generate_cmd =
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:"Generate a synthetic world and write its observed table dumps.")
+    Term.(const generate $ seed_arg $ scale_arg $ binary_arg $ out_arg)
+
+(* stats *)
+
+let in_arg =
+  Arg.(
+    non_empty
+    & opt_all string []
+    & info [ "i"; "in" ] ~docv:"FILE"
+        ~doc:"Input table-dump file (repeatable: several collectors' dumps \
+              are merged).")
+
+let load_datasets inputs =
+  match List.map load_dataset inputs with
+  | [] -> Rib.of_entries []
+  | first :: rest -> List.fold_left Rib.union first rest
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE" ~doc:"Also write a Graphviz rendering.")
+
+let stats input dot_out =
+  let data = load_datasets input in
+  let prepared = Core.prepare data in
+  Evaluation.Report.section std "DATASET" "inventory (paper 3.1)";
+  Format.printf "%a@." Topology.Extract.pp_classification
+    prepared.Core.classification;
+  Format.printf "levels: %a@." Topology.Hierarchy.pp_levels prepared.Core.levels;
+  Format.printf "core graph after stub removal: %a@." Topology.Asgraph.pp_stats
+    prepared.Core.graph;
+  Evaluation.Report.section std "F2" "distinct AS-paths per AS pair (paper Figure 2)";
+  Evaluation.Report.int_series std ~x:"paths" ~y:"pairs"
+    (Topology.Diversity.pair_path_histogram data);
+  Format.printf "pairs with more than one path: %.1f%%@."
+    (100.0 *. Topology.Diversity.fraction_pairs_with_diversity data);
+  Evaluation.Report.section std "T1" "max received route diversity (paper Table 1)";
+  Evaluation.Report.table std ~header:[ "percentile"; "max #unique AS-paths" ]
+    (List.map
+       (fun (p, v) -> [ Printf.sprintf "%.0f%%" p; string_of_int v ])
+       (Topology.Diversity.table1_quantiles data));
+  (match dot_out with
+  | Some path ->
+      let rels = Core.infer_relationships prepared in
+      Topology.Dot.save ~levels:prepared.Core.levels ~relationships:rels path
+        prepared.Core.full_graph;
+      Printf.printf "graphviz rendering written to %s\n" path
+  | None -> ());
+  0
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Data-set inventory and route-diversity statistics (paper 3).")
+    Term.(const stats $ in_arg $ dot_arg)
+
+(* baseline *)
+
+let baseline input =
+  let data = load_datasets input in
+  let prepared = Core.prepare data in
+  Evaluation.Report.section std "T2a" "single router per AS, shortest path";
+  Format.printf "%a@." Evaluation.Agreement.pp
+    (Core.baseline_shortest_path prepared);
+  Evaluation.Report.section std "T2b" "single router per AS, inferred policies";
+  let rels = Core.infer_relationships prepared in
+  Format.printf "inferred relationships: %a@." Topology.Relationships.pp_counts
+    (Topology.Relationships.counts rels);
+  Format.printf "%a@." Evaluation.Agreement.pp (Core.baseline_policies prepared);
+  0
+
+let baseline_cmd =
+  Cmd.v
+    (Cmd.info "baseline"
+       ~doc:"Evaluate the single-router-per-AS baselines (paper Table 2).")
+    Term.(const baseline $ in_arg)
+
+(* build *)
+
+let split_seed_arg =
+  Arg.(
+    value & opt int 7
+    & info [ "split-seed" ] ~docv:"N" ~doc:"Seed of the train/validate split.")
+
+let train_fraction_arg =
+  Arg.(
+    value & opt float 0.5
+    & info [ "train-fraction" ] ~docv:"F"
+        ~doc:"Fraction of observation points used for training.")
+
+let by_origin_arg =
+  Arg.(
+    value & flag
+    & info [ "by-origin" ]
+        ~doc:"Split by originating AS instead of by observation point.")
+
+let model_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "model-out" ] ~docv:"FILE" ~doc:"Save the refined model here.")
+
+let max_iter_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-iterations" ] ~docv:"N" ~doc:"Cap refinement iterations.")
+
+let build input split_seed train_fraction by_origin model_out max_iter =
+  let data = load_datasets input in
+  let options =
+    { Refine.Refiner.default_options with max_iterations = max_iter }
+  in
+  (* Core.run_experiment has no progress hook; inline its stages so the
+     long refinement reports per-iteration progress on stderr. *)
+  let exp =
+    let prepared = Core.prepare data in
+    let splits =
+      Core.split ~by_origin ~train_fraction ~seed:split_seed prepared
+    in
+    let model = Asmodel.Qrmodel.initial prepared.Core.graph in
+    let refinement =
+      Refine.Refiner.refine ~options
+        ~on_iteration:(fun (h : Refine.Refiner.iter_stat) ->
+          Printf.eprintf "iteration %d: %d/%d matched (%d prefixes changed)\n%!"
+            h.Refine.Refiner.iteration h.Refine.Refiner.matched
+            h.Refine.Refiner.total h.Refine.Refiner.prefixes_changed)
+        model ~training:splits.Evaluation.Split.training
+    in
+    let prediction =
+      Core.evaluate refinement ~validation:splits.Evaluation.Split.validation
+    in
+    { Core.prepared; splits; refinement; prediction }
+  in
+  Evaluation.Report.section std "SPLIT" "training/validation";
+  Format.printf "%a@." Evaluation.Split.pp exp.Core.splits;
+  Evaluation.Report.section std "TRAIN" "iterative refinement (paper 4.6)";
+  let r = exp.Core.refinement in
+  Evaluation.Report.kv std
+    [
+      ("iterations", string_of_int r.Refine.Refiner.iterations);
+      ("training converged", string_of_bool r.Refine.Refiner.converged);
+      ( "training RIB-Out matches",
+        Printf.sprintf "%d/%d" r.Refine.Refiner.matched r.Refine.Refiner.total
+      );
+      ( "model",
+        Format.asprintf "%a" Asmodel.Qrmodel.pp_summary r.Refine.Refiner.model
+      );
+    ];
+  Evaluation.Report.section std "PREDICT" "validation predictions (paper 5)";
+  Format.printf "%a@." Evaluation.Predict.pp exp.Core.prediction;
+  (match model_out with
+  | Some path ->
+      Asmodel.Serialize.save path r.Refine.Refiner.model;
+      Printf.printf "model saved to %s\n" path
+  | None -> ());
+  0
+
+let build_cmd =
+  Cmd.v
+    (Cmd.info "build"
+       ~doc:
+         "Refine an AS-routing model from a training split and evaluate its \
+          predictions.")
+    Term.(
+      const build $ in_arg $ split_seed_arg $ train_fraction_arg $ by_origin_arg
+      $ model_out_arg $ max_iter_arg)
+
+(* eval *)
+
+let model_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "model" ] ~docv:"FILE" ~doc:"A model saved by 'build'.")
+
+let eval_run model_path input =
+  match Asmodel.Serialize.load model_path with
+  | Error msg ->
+      Printf.eprintf "cannot load model: %s\n" msg;
+      1
+  | Ok model ->
+      let data = load_datasets input in
+      let data = Rib.collapse_to_origin data in
+      let states = Hashtbl.create 256 in
+      let report = Evaluation.Predict.evaluate model ~states data in
+      Format.printf "%a@." Evaluation.Predict.pp report;
+      let verification = Refine.Verify.verify model ~states data in
+      Format.printf "%a@." Refine.Verify.pp verification;
+      0
+
+let eval_cmd =
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Evaluate a saved model against a dump file.")
+    Term.(const eval_run $ model_arg $ in_arg)
+
+(* inspect *)
+
+let prefix_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "prefix" ] ~docv:"PREFIX" ~doc:"Prefix to study (a.b.c.d/len).")
+
+let inspect model_path prefix_str =
+  match Asmodel.Serialize.load model_path with
+  | Error msg ->
+      Printf.eprintf "cannot load model: %s\n" msg;
+      1
+  | Ok model -> (
+      match Prefix.of_string prefix_str with
+      | None ->
+          Printf.eprintf "bad prefix %S\n" prefix_str;
+          1
+      | Some prefix ->
+          let study = Evaluation.Casestudy.study model prefix in
+          Evaluation.Casestudy.pp std study;
+          0)
+
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect"
+       ~doc:
+         "Per-prefix case study: which routes each AS receives and selects \
+          (paper Figure 3).")
+    Term.(const inspect $ model_arg $ prefix_arg)
+
+(* trace *)
+
+let trace_as_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "as" ] ~docv:"ASN" ~doc:"Show this AS's routes in detail.")
+
+let trace model_path prefix_str asn_opt =
+  match Asmodel.Serialize.load model_path with
+  | Error msg ->
+      Printf.eprintf "cannot load model: %s\n" msg;
+      1
+  | Ok model -> (
+      match Prefix.of_string prefix_str with
+      | None ->
+          Printf.eprintf "bad prefix %S\n" prefix_str;
+          1
+      | Some prefix ->
+          let st = Asmodel.Qrmodel.simulate model prefix in
+          let net = model.Asmodel.Qrmodel.net in
+          let tree = Simulator.Trace.tree net st in
+          Printf.printf "propagation forest for %s: %d roots, %d unrouted\n"
+            (Prefix.to_string prefix)
+            (List.length tree.Simulator.Trace.roots)
+            (List.length tree.Simulator.Trace.unrouted);
+          Printf.printf "depth profile:\n";
+          List.iter
+            (fun (d, n) -> Printf.printf "  depth %d: %d quasi-routers\n" d n)
+            (Simulator.Trace.depth_histogram tree);
+          (match asn_opt with
+          | None -> ()
+          | Some asn ->
+              List.iter
+                (fun node ->
+                  Format.printf "  %a@." (Simulator.Trace.pp_route net st) node)
+                (Simulator.Net.nodes_of_as net asn));
+          0)
+
+let trace_cmd =
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Show the propagation forest of a prefix through a saved model.")
+    Term.(const trace $ model_arg $ prefix_arg $ trace_as_arg)
+
+(* compact *)
+
+let compact model_path input out =
+  match Asmodel.Serialize.load model_path with
+  | Error msg ->
+      Printf.eprintf "cannot load model: %s\n" msg;
+      1
+  | Ok model -> (
+      let data = Rib.collapse_to_origin (load_datasets input) in
+      match Refine.Compress.compact_verified model ~against:data with
+      | None ->
+          Printf.printf "compaction would lose matches; model kept as is\n";
+          1
+      | Some (compacted, stats) ->
+          Printf.printf "quasi-routers %d -> %d, sessions %d -> %d\n"
+            stats.Refine.Compress.nodes_before stats.Refine.Compress.nodes_after
+            stats.Refine.Compress.sessions_before
+            stats.Refine.Compress.sessions_after;
+          Asmodel.Serialize.save out compacted;
+          Printf.printf "compacted model saved to %s\n" out;
+          0)
+
+let compact_out_arg =
+  Arg.(
+    value
+    & opt string "compacted.model"
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output model file.")
+
+let compact_cmd =
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:
+         "Merge behaviourally-identical quasi-routers, verifying against a \
+          dump file.")
+    Term.(const compact $ model_arg $ in_arg $ compact_out_arg)
+
+(* export-cbgp *)
+
+let cbgp_out_arg =
+  Arg.(
+    value
+    & opt string "model.cli"
+    & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output C-BGP script.")
+
+let export_cbgp model_path out =
+  match Asmodel.Serialize.load model_path with
+  | Error msg ->
+      Printf.eprintf "cannot load model: %s\n" msg;
+      1
+  | Ok model ->
+      Asmodel.Cbgp_export.save out model;
+      Printf.printf "wrote C-BGP script to %s (%d lines)\n" out
+        (List.length (Asmodel.Cbgp_export.to_lines model));
+      0
+
+let export_cbgp_cmd =
+  Cmd.v
+    (Cmd.info "export-cbgp"
+       ~doc:"Render a saved model as a C-BGP script (the paper's simulator).")
+    Term.(const export_cbgp $ model_arg $ cbgp_out_arg)
+
+(* whatif *)
+
+let as_a_arg =
+  Arg.(required & pos 0 (some int) None & info [] ~docv:"AS1" ~doc:"First AS.")
+
+let as_b_arg =
+  Arg.(required & pos 1 (some int) None & info [] ~docv:"AS2" ~doc:"Second AS.")
+
+let whatif model_path a b =
+  match Asmodel.Serialize.load model_path with
+  | Error msg ->
+      Printf.eprintf "cannot load model: %s\n" msg;
+      1
+  | Ok model ->
+      let before =
+        Asmodel.Whatif.snapshot ~on_prefix:(progress "baseline") model
+      in
+      let touched = Asmodel.Whatif.disable_as_link model a b in
+      if touched = 0 then begin
+        Printf.printf "AS%d and AS%d share no session in this model\n" a b;
+        1
+      end
+      else begin
+        Printf.printf "disabled %d half-sessions between AS%d and AS%d\n"
+          touched a b;
+        let after =
+          Asmodel.Whatif.snapshot ~on_prefix:(progress "what-if") model
+        in
+        Asmodel.Whatif.pp_diff std (Asmodel.Whatif.diff before after);
+        0
+      end
+
+let whatif_cmd =
+  Cmd.v
+    (Cmd.info "whatif"
+       ~doc:"Remove the link between two ASes and report route changes.")
+    Term.(const whatif $ model_arg $ as_a_arg $ as_b_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "asmodel" ~version:"1.0.0"
+       ~doc:
+         "AS-topology models that capture route diversity (Muehlbauer et \
+          al., SIGCOMM 2006)")
+    [
+      generate_cmd;
+      stats_cmd;
+      baseline_cmd;
+      build_cmd;
+      eval_cmd;
+      inspect_cmd;
+      trace_cmd;
+      compact_cmd;
+      export_cbgp_cmd;
+      whatif_cmd;
+    ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/incremental.ml: Asmodel Bgp Core Filename Format Fun Hashtbl List Netgen Option Prefix Refine Rib Sys

@@ -1,0 +1,1 @@
+examples/prediction.ml: Asmodel Core Evaluation Format List Netgen Refine

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asmodel Asn Aspath Bgp Format List Prefix Refine Rib Simulator String Topology

@@ -1,0 +1,1 @@
+examples/route_diversity.ml: Array Bgp Core Evaluation Format List Netgen Printf Sys Topology

@@ -1,0 +1,1 @@
+examples/what_if.ml: Asmodel Core Format List Netgen Refine Topology

@@ -1,0 +1,1 @@
+examples/what_if.mli:

@@ -1,0 +1,1 @@
+lib/asmodel/baseline.ml: Asn Bgp Hashtbl List Qrmodel Simulator Topology

@@ -1,0 +1,1 @@
+lib/asmodel/baseline.mli: Qrmodel Topology

@@ -1,0 +1,1 @@
+lib/asmodel/cbgp_export.ml: Bgp Ipv4 List Out_channel Prefix Printf Qrmodel Simulator

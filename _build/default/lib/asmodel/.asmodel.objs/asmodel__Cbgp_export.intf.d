@@ -1,0 +1,1 @@
+lib/asmodel/cbgp_export.mli: Qrmodel

@@ -1,0 +1,1 @@
+lib/asmodel/qrmodel.ml: Asn Bgp Format Hashtbl List Option Prefix Simulator Stdlib Topology

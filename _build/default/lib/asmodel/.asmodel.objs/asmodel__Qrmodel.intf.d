@@ -1,0 +1,1 @@
+lib/asmodel/qrmodel.mli: Asn Bgp Format Prefix Simulator Topology

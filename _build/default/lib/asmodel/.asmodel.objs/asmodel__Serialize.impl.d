@@ -1,0 +1,1 @@
+lib/asmodel/serialize.ml: Bgp In_channel Ipv4 List Option Out_channel Prefix Printf Qrmodel Result Simulator String Topology

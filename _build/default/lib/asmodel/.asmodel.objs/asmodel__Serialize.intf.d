@@ -1,0 +1,1 @@
+lib/asmodel/serialize.mli: Qrmodel

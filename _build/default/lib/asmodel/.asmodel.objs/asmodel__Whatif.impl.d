@@ -1,0 +1,1 @@
+lib/asmodel/whatif.ml: Asn Bgp Format Hashtbl List Prefix Qrmodel Simulator Topology

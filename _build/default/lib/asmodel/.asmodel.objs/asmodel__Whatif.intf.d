@@ -1,0 +1,1 @@
+lib/asmodel/whatif.mli: Asn Bgp Format Prefix Qrmodel

@@ -1,0 +1,41 @@
+module Net = Simulator.Net
+module Relclass = Simulator.Relclass
+module Rel = Topology.Relationships
+
+let shortest_path = Qrmodel.initial
+
+(* [rel a b] is a's relationship TO b, so the session class a assigns to
+   peer b is the converse role: my being a customer of b makes b my
+   provider. *)
+let class_of_rel = function
+  | Rel.Customer_of -> Relclass.provider
+  | Rel.Provider_of -> Relclass.customer
+  | Rel.Peer -> Relclass.peer
+  | Rel.Sibling -> Relclass.sibling
+  | Rel.Unknown -> Relclass.unknown
+
+let with_policies graph rels =
+  let open Bgp in
+  let net = Net.create () in
+  let node_of = Hashtbl.create 4096 in
+  List.iter
+    (fun asn ->
+      let id = Net.add_node net ~asn ~ip:(Asn.router_ip asn 0) in
+      Hashtbl.add node_of asn id)
+    (Topology.Asgraph.nodes graph);
+  Topology.Asgraph.fold_edges
+    (fun a b () ->
+      let na = Hashtbl.find node_of a and nb = Hashtbl.find node_of b in
+      let class_ab = class_of_rel (Rel.rel rels a b) in
+      let class_ba = class_of_rel (Rel.rel rels b a) in
+      let sa, sb = Net.connect ~class_ab ~class_ba net na nb in
+      Net.set_import_lpref net na sa (Relclass.lpref class_ab);
+      Net.set_import_lpref net nb sb (Relclass.lpref class_ba))
+    graph ();
+  Net.set_export_matrix net Relclass.export_ok;
+  let prefixes =
+    List.map
+      (fun asn -> (Asn.origin_prefix asn, asn))
+      (Topology.Asgraph.nodes graph)
+  in
+  { Qrmodel.net; graph; prefixes }

@@ -1,0 +1,23 @@
+(** The single-router-per-AS baselines of paper §3.3.
+
+    Two models the paper evaluates before introducing quasi-routers:
+
+    - {b shortest path}: one router per AS, no policies — routing decays
+      to shortest-AS-path plus the tie-break;
+    - {b inferred policies}: the same topology with LOCAL_PREF and
+      export rules realized from inferred customer/provider/peer
+      relationships (siblings and unknown edges treated like peerings,
+      paper footnote 2). *)
+
+val shortest_path : Topology.Asgraph.t -> Qrmodel.t
+(** Identical to {!Qrmodel.initial}; named for the experiment tables. *)
+
+val with_policies : Topology.Asgraph.t -> Topology.Relationships.t -> Qrmodel.t
+(** One router per AS with Gao-Rexford policies derived from the
+    inferred relationships: import preference by relationship class and
+    the valley-free export matrix ({!Simulator.Relclass}). *)
+
+val class_of_rel : Topology.Relationships.kind -> int
+(** The {!Simulator.Relclass} tag for "my view of a neighbour I have
+    this relationship with": a [Customer_of] neighbour relationship
+    means the peer is my provider. *)

@@ -1,0 +1,87 @@
+open Bgp
+module Net = Simulator.Net
+
+let to_lines (m : Qrmodel.t) =
+  let net = m.Qrmodel.net in
+  let buf = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> buf := s :: !buf) fmt in
+  let ip n = Ipv4.to_string (Net.ip_of net n) in
+  add "# C-BGP script generated from an AS-routing model";
+  add "# (Muehlbauer et al., SIGCOMM 2006 methodology)";
+  let n = Net.node_count net in
+  (* Physical plane. *)
+  for id = 0 to n - 1 do
+    add "net add node %s" (ip id)
+  done;
+  for id = 0 to n - 1 do
+    List.iter
+      (fun (_s, peer) ->
+        if id < peer then begin
+          add "net add link %s %s" (ip id) (ip peer);
+          add "net link %s %s igp-weight --bidir 1" (ip id) (ip peer)
+        end)
+      (Net.sessions_of net id)
+  done;
+  (* BGP plane: every quasi-router is a router of its AS. *)
+  for id = 0 to n - 1 do
+    add "bgp add router %d %s" (Net.asn_of net id) (ip id)
+  done;
+  for id = 0 to n - 1 do
+    List.iter
+      (fun (s, peer) ->
+        add "bgp router %s add peer %d %s" (ip id) (Net.asn_of net peer)
+          (ip peer);
+        (* Always-compare MED, the paper's requirement (§4.6). *)
+        ignore s)
+      (Net.sessions_of net id)
+  done;
+  add "bgp options med always-compare";
+  (* Policies: egress filters and import MED rankings. *)
+  Net.fold_export_denies net
+    (fun node s p () ->
+      add
+        "bgp router %s peer %s filter out add-rule match \"prefix in %s\" \
+         action deny"
+        (ip node)
+        (ip (Net.session_peer net node s))
+        (Prefix.to_string p))
+    ();
+  for id = 0 to n - 1 do
+    List.iter
+      (fun (s, peer) ->
+        List.iter
+          (fun (p, _) ->
+            match Net.import_med net id s p with
+            | Some v ->
+                add
+                  "bgp router %s peer %s filter in add-rule match \"prefix in \
+                   %s\" action \"metric %d\""
+                  (ip id) (ip peer) (Prefix.to_string p) v
+            | None -> ())
+          m.Qrmodel.prefixes)
+      (Net.sessions_of net id)
+  done;
+  (* Originations: one prefix per AS at every quasi-router. *)
+  List.iter
+    (fun (p, asn) ->
+      List.iter
+        (fun node ->
+          add "bgp router %s add network %s" (ip node) (Prefix.to_string p))
+        (Net.nodes_of_as net asn))
+    m.Qrmodel.prefixes;
+  (* Session activation. *)
+  for id = 0 to n - 1 do
+    List.iter
+      (fun (_s, peer) -> add "bgp router %s peer %s up" (ip id) (ip peer))
+      (Net.sessions_of net id)
+  done;
+  add "sim run";
+  List.rev !buf
+
+let save path m =
+  Out_channel.with_open_text path (fun oc ->
+      List.iter
+        (fun l ->
+          Out_channel.output_string oc l;
+          Out_channel.output_char oc '\n')
+        (to_lines m))

@@ -1,0 +1,22 @@
+(** Export an AS-routing model as a C-BGP script.
+
+    The paper runs its models in C-BGP [30]; this module renders a
+    refined {!Qrmodel.t} in C-BGP's configuration language so the result
+    can be cross-checked against the reference simulator:
+
+    {v
+    net add node <ip>
+    net add link <ip> <ip>
+    bgp add router <asn> <ip>
+    bgp router <ip> add peer <asn> <ip>
+    bgp router <ip> peer <ip> filter out add-rule match "prefix in P" action deny
+    ...
+    v}
+
+    The emitted script follows C-BGP 2.x syntax closely enough for its
+    parser; MED ranking rules become import filters setting the metric,
+    and every quasi-router of an origin AS announces the AS's prefix. *)
+
+val to_lines : Qrmodel.t -> string list
+
+val save : string -> Qrmodel.t -> unit

@@ -1,0 +1,26 @@
+(** Saving and loading AS-routing models.
+
+    A refined model — quasi-routers, sessions, per-prefix filters and
+    MED ranking rules — is the artifact the methodology produces; this
+    text format lets it be built once and reused for what-if studies.
+
+    Format (line-oriented, ['#'] comments):
+    {v
+    asmodel 1
+    node <id> <asn> <ip>
+    edge <node-id> <node-id>
+    deny <from-node> <to-node> <prefix>
+    med <at-node> <from-node> <prefix> <value>
+    prefix <prefix> <origin-asn>
+    v}
+
+    Policies are keyed by node pairs (a session is unique per pair), so
+    reloading does not depend on internal session numbering. *)
+
+val save : string -> Qrmodel.t -> unit
+
+val to_lines : Qrmodel.t -> string list
+
+val of_lines : string list -> (Qrmodel.t, string) result
+
+val load : string -> (Qrmodel.t, string) result

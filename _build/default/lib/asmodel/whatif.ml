@@ -1,0 +1,128 @@
+open Bgp
+module Net = Simulator.Net
+module Engine = Simulator.Engine
+
+type snapshot = (Prefix.t * (Asn.t * int array list) list) list
+
+let snapshot ?prefixes ?on_prefix (model : Qrmodel.t) =
+  let prefixes =
+    match prefixes with
+    | Some ps -> ps
+    | None -> List.map fst model.Qrmodel.prefixes
+  in
+  let ases = Topology.Asgraph.nodes model.Qrmodel.graph in
+  let total = List.length prefixes in
+  List.mapi
+    (fun i p ->
+      let st = Qrmodel.simulate model p in
+      let per_as =
+        List.filter_map
+          (fun asn ->
+            match Engine.selected_paths model.Qrmodel.net st asn with
+            | [] -> None
+            | paths -> Some (asn, paths))
+          ases
+      in
+      (match on_prefix with Some f -> f (i + 1) total | None -> ());
+      (p, per_as))
+    prefixes
+
+let sessions_between (model : Qrmodel.t) a b =
+  let net = model.Qrmodel.net in
+  List.concat_map
+    (fun n ->
+      List.filter_map
+        (fun (s, peer) ->
+          if Net.asn_of net peer = b then Some (n, s) else None)
+        (Net.sessions_of net n))
+    (Net.nodes_of_as net a)
+
+let disable_as_link (model : Qrmodel.t) a b =
+  let net = model.Qrmodel.net in
+  let halves = sessions_between model a b @ sessions_between model b a in
+  List.iter
+    (fun (n, s) ->
+      List.iter (fun (p, _) -> Net.deny_export net n s p) model.Qrmodel.prefixes)
+    halves;
+  List.length halves
+
+let enable_as_link (model : Qrmodel.t) a b =
+  let net = model.Qrmodel.net in
+  let halves = sessions_between model a b @ sessions_between model b a in
+  List.iter
+    (fun (n, s) ->
+      List.iter (fun (p, _) -> Net.allow_export net n s p) model.Qrmodel.prefixes)
+    halves;
+  List.length halves
+
+type change = {
+  prefix : Prefix.t;
+  ases_changed : Asn.t list;
+  ases_lost : Asn.t list;
+}
+
+type diff = {
+  changes : change list;
+  prefixes_affected : int;
+  ases_affected : int;
+}
+
+let diff before after =
+  let changes =
+    List.filter_map
+      (fun ((p, per_as_before), (p', per_as_after)) ->
+        assert (Prefix.equal p p');
+        let before_tbl = Hashtbl.create 64 in
+        List.iter (fun (a, paths) -> Hashtbl.replace before_tbl a paths)
+          per_as_before;
+        let after_tbl = Hashtbl.create 64 in
+        List.iter (fun (a, paths) -> Hashtbl.replace after_tbl a paths)
+          per_as_after;
+        let all_ases =
+          List.sort_uniq Asn.compare
+            (List.map fst per_as_before @ List.map fst per_as_after)
+        in
+        let changed, lost =
+          List.fold_left
+            (fun (changed, lost) a ->
+              let b = Hashtbl.find_opt before_tbl a in
+              let f = Hashtbl.find_opt after_tbl a in
+              match (b, f) with
+              | Some _, None -> (a :: changed, a :: lost)
+              | Some pb, Some pf when pb <> pf -> (a :: changed, lost)
+              | None, Some _ -> (a :: changed, lost)
+              | Some _, Some _ | None, None -> (changed, lost))
+            ([], []) all_ases
+        in
+        if changed = [] then None
+        else
+          Some
+            {
+              prefix = p;
+              ases_changed = List.rev changed;
+              ases_lost = List.rev lost;
+            })
+      (List.combine before after)
+  in
+  let ases_affected =
+    List.fold_left
+      (fun acc c -> Asn.Set.union acc (Asn.Set.of_list c.ases_changed))
+      Asn.Set.empty changes
+    |> Asn.Set.cardinal
+  in
+  { changes; prefixes_affected = List.length changes; ases_affected }
+
+let pp_diff ppf d =
+  Format.fprintf ppf "prefixes affected: %d, distinct ASes affected: %d@."
+    d.prefixes_affected d.ases_affected;
+  List.iteri
+    (fun i c ->
+      if i < 20 then
+        Format.fprintf ppf "  %a: %d ASes changed, %d lost all routes@."
+          Prefix.pp c.prefix
+          (List.length c.ases_changed)
+          (List.length c.ases_lost))
+    d.changes;
+  if List.length d.changes > 20 then
+    Format.fprintf ppf "  ... (%d more prefixes)@."
+      (List.length d.changes - 20)

@@ -1,0 +1,49 @@
+(** What-if studies on an AS-routing model.
+
+    The paper's motivation (§1) is answering questions like "what if a
+    certain peering link was removed".  With a refined model this
+    becomes: disable the link, re-simulate, and diff the selected
+    routes. *)
+
+open Bgp
+
+type snapshot
+(** Selected AS-level paths of every AS for every model prefix. *)
+
+val snapshot :
+  ?prefixes:Prefix.t list ->
+  ?on_prefix:(int -> int -> unit) ->
+  Qrmodel.t ->
+  snapshot
+(** Simulate the given prefixes (default: all model prefixes) and record
+    each AS's set of selected full paths. *)
+
+val disable_as_link : Qrmodel.t -> Asn.t -> Asn.t -> int
+(** Stop all route exchange between two ASes by denying every model
+    prefix on every session between their quasi-routers, in both
+    directions.  Returns the number of half-sessions touched; [0] means
+    the ASes share no session.  (Sessions are kept so the change can be
+    reverted with {!enable_as_link}.) *)
+
+val enable_as_link : Qrmodel.t -> Asn.t -> Asn.t -> int
+(** Remove every per-prefix deny on sessions between the two ASes —
+    including filters the refiner placed there, so reverting a what-if
+    restores connectivity but not necessarily the exact refined
+    policies.  Returns the number of half-sessions touched. *)
+
+type change = {
+  prefix : Prefix.t;
+  ases_changed : Asn.t list;  (** ASes whose selected path set changed *)
+  ases_lost : Asn.t list;  (** ASes that lost all routes to the prefix *)
+}
+
+type diff = {
+  changes : change list;  (** prefixes with any change, sorted *)
+  prefixes_affected : int;
+  ases_affected : int;  (** distinct ASes changed over all prefixes *)
+}
+
+val diff : snapshot -> snapshot -> diff
+(** Compare two snapshots taken over the same prefix list. *)
+
+val pp_diff : Format.formatter -> diff -> unit

@@ -1,0 +1,1 @@
+lib/bgp/asn.ml: Format Int Ipv4 Map Prefix Set Stdlib String

@@ -1,0 +1,1 @@
+lib/bgp/aspath.ml: Array Asn Format Hashtbl List Map Set Stdlib String

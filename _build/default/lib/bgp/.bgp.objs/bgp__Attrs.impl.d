@@ -1,0 +1,1 @@
+lib/bgp/attrs.ml: Format Ipv4 List Printf String

@@ -1,0 +1,1 @@
+lib/bgp/attrs.mli: Format Ipv4

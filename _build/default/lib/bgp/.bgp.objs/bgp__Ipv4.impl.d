@@ -1,0 +1,1 @@
+lib/bgp/ipv4.ml: Char Format Option Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/bgp/mrt.ml: Asn Aspath Attrs In_channel Ipv4 List Option Out_channel Prefix Printf Result String

@@ -1,0 +1,1 @@
+lib/bgp/mrt.mli: Asn Aspath Attrs Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/bgp/mrt_binary.ml: Array Asn Aspath Attrs Buffer Char Hashtbl In_channel Ipv4 List Mrt Option Out_channel Prefix Printf String

@@ -1,0 +1,1 @@
+lib/bgp/mrt_binary.mli: Mrt

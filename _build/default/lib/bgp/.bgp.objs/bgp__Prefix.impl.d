@@ -1,0 +1,1 @@
+lib/bgp/prefix.ml: Format Hashtbl Ipv4 Map Printf Set Stdlib String

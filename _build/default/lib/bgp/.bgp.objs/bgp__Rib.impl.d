@@ -1,0 +1,1 @@
+lib/bgp/rib.ml: Array Asn Aspath Attrs Format Hashtbl Ipv4 List Mrt Prefix Seq Set

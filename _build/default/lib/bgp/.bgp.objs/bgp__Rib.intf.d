@@ -1,0 +1,1 @@
+lib/bgp/rib.mli: Asn Aspath Format Hashtbl Ipv4 Mrt Prefix

@@ -1,0 +1,121 @@
+type t = int array
+
+let of_list l = Array.of_list l
+
+let to_list p = Array.to_list p
+
+let of_array a = Array.copy a
+
+let to_array p = Array.copy p
+
+let empty = [||]
+
+let is_empty p = Array.length p = 0
+
+let length p = Array.length p
+
+let origin p =
+  let n = Array.length p in
+  if n = 0 then None else Some p.(n - 1)
+
+let head p = if Array.length p = 0 then None else Some p.(0)
+
+let nth p i =
+  if i < 0 || i >= Array.length p then invalid_arg "Aspath.nth" else p.(i)
+
+let prepend a p =
+  let n = Array.length p in
+  let q = Array.make (n + 1) a in
+  Array.blit p 0 q 1 n;
+  q
+
+let drop_head p =
+  let n = Array.length p in
+  if n = 0 then invalid_arg "Aspath.drop_head" else Array.sub p 1 (n - 1)
+
+let suffix_from p i =
+  let n = Array.length p in
+  if i < 0 || i > n then invalid_arg "Aspath.suffix_from"
+  else Array.sub p i (n - i)
+
+let suffixes p =
+  let n = Array.length p in
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (suffix_from p i :: acc) in
+  loop (n - 1) []
+
+let contains a p = Array.exists (fun x -> x = a) p
+
+let index_of a p =
+  let n = Array.length p in
+  let rec loop i = if i >= n then None else if p.(i) = a then Some i else loop (i + 1) in
+  loop 0
+
+let remove_prepending p =
+  let n = Array.length p in
+  if n <= 1 then Array.copy p
+  else begin
+    let buf = Array.make n p.(0) in
+    let k = ref 1 in
+    for i = 1 to n - 1 do
+      if p.(i) <> p.(i - 1) then begin
+        buf.(!k) <- p.(i);
+        incr k
+      end
+    done;
+    Array.sub buf 0 !k
+  end
+
+let has_loop p =
+  let n = Array.length p in
+  let seen = Hashtbl.create (2 * n) in
+  let rec loop i =
+    if i >= n then false
+    else if i > 0 && p.(i) = p.(i - 1) then loop (i + 1) (* prepending run *)
+    else if Hashtbl.mem seen p.(i) then true
+    else begin
+      Hashtbl.add seen p.(i) ();
+      loop (i + 1)
+    end
+  in
+  loop 0
+
+let equal (a : int array) b = a = b
+
+let compare (a : int array) b = Stdlib.compare a b
+
+let hash p = Hashtbl.hash p
+
+let of_string s =
+  let tokens = String.split_on_char ' ' s |> List.filter (fun t -> t <> "") in
+  let rec parse acc = function
+    | [] -> Some (Array.of_list (List.rev acc))
+    | tok :: rest -> (
+        match Asn.of_string tok with
+        | Some a -> parse (a :: acc) rest
+        | None -> None)
+  in
+  parse [] tokens
+
+let to_string p =
+  String.concat " " (List.map string_of_int (Array.to_list p))
+
+let pp ppf p =
+  Format.pp_print_string ppf
+    (String.concat "-" (List.map string_of_int (Array.to_list p)))
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+
+  let hash = hash
+end)

@@ -1,0 +1,67 @@
+type origin = Igp | Egp | Incomplete
+
+let origin_to_string = function
+  | Igp -> "IGP"
+  | Egp -> "EGP"
+  | Incomplete -> "INCOMPLETE"
+
+let origin_of_string = function
+  | "IGP" -> Some Igp
+  | "EGP" -> Some Egp
+  | "INCOMPLETE" -> Some Incomplete
+  | _ -> None
+
+type community = int * int
+
+type t = {
+  origin : origin;
+  next_hop : Ipv4.t;
+  local_pref : int;
+  med : int;
+  communities : community list;
+}
+
+let default ~next_hop =
+  { origin = Igp; next_hop; local_pref = 100; med = 0; communities = [] }
+
+let community_to_string (a, v) = Printf.sprintf "%d:%d" a v
+
+let community_of_string s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i ->
+      let a = String.sub s 0 i in
+      let v = String.sub s (i + 1) (String.length s - i - 1) in
+      let num x =
+        if x <> "" && String.for_all (fun c -> c >= '0' && c <= '9') x then
+          int_of_string_opt x
+        else None
+      in
+      (match (num a, num v) with
+      | Some a, Some v -> Some (a, v)
+      | _, _ -> None)
+
+let communities_to_string cs = String.concat " " (List.map community_to_string cs)
+
+let communities_of_string s =
+  let tokens = String.split_on_char ' ' s |> List.filter (fun t -> t <> "") in
+  let rec parse acc = function
+    | [] -> Some (List.rev acc)
+    | tok :: rest -> (
+        match community_of_string tok with
+        | Some c -> parse (c :: acc) rest
+        | None -> None)
+  in
+  parse [] tokens
+
+let pp ppf a =
+  Format.fprintf ppf "origin=%s next_hop=%a lpref=%d med=%d communities=[%s]"
+    (origin_to_string a.origin) Ipv4.pp a.next_hop a.local_pref a.med
+    (communities_to_string a.communities)
+
+let equal a b =
+  a.origin = b.origin
+  && Ipv4.equal a.next_hop b.next_hop
+  && a.local_pref = b.local_pref
+  && a.med = b.med
+  && a.communities = b.communities

@@ -1,0 +1,71 @@
+type t = int
+
+let max_value = 0xFFFFFFFF
+
+let of_int n = n land max_value
+
+let to_int a = a
+
+let of_octets a b c d =
+  let check o =
+    if o < 0 || o > 255 then invalid_arg "Ipv4.of_octets: octet out of range"
+  in
+  check a;
+  check b;
+  check c;
+  check d;
+  (a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d
+
+let octets a =
+  ((a lsr 24) land 0xFF, (a lsr 16) land 0xFF, (a lsr 8) land 0xFF, a land 0xFF)
+
+let to_string a =
+  let o1, o2, o3, o4 = octets a in
+  Printf.sprintf "%d.%d.%d.%d" o1 o2 o3 o4
+
+let pp ppf a = Format.pp_print_string ppf (to_string a)
+
+(* Hand-rolled parser: no allocation beyond the result, rejects anything
+   that is not exactly four dot-separated decimal octets. *)
+let of_string s =
+  let len = String.length s in
+  let rec octet i acc digits =
+    if i >= len then (i, acc, digits)
+    else
+      match s.[i] with
+      | '0' .. '9' when digits < 3 ->
+          octet (i + 1) ((acc * 10) + Char.code s.[i] - Char.code '0') (digits + 1)
+      | _ -> (i, acc, digits)
+  in
+  let parse_octet i =
+    let j, v, digits = octet i 0 0 in
+    if digits = 0 || v > 255 then None else Some (j, v)
+  in
+  let ( let* ) = Option.bind in
+  let expect_dot i = if i < len && s.[i] = '.' then Some (i + 1) else None in
+  let* i1, a = parse_octet 0 in
+  let* i1 = expect_dot i1 in
+  let* i2, b = parse_octet i1 in
+  let* i2 = expect_dot i2 in
+  let* i3, c = parse_octet i2 in
+  let* i3 = expect_dot i3 in
+  let* i4, d = parse_octet i3 in
+  if i4 = len then Some (of_octets a b c d) else None
+
+let of_string_exn s =
+  match of_string s with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Ipv4.of_string_exn: %S" s)
+
+let compare (a : int) (b : int) = Stdlib.compare a b
+
+let equal (a : int) (b : int) = a = b
+
+let mask_bits n =
+  if n < 0 || n > 32 then invalid_arg "Ipv4.mask_bits"
+  else if n = 0 then 0
+  else max_value lxor ((1 lsl (32 - n)) - 1)
+
+let apply_mask len a = a land mask_bits len
+
+let succ a = (a + 1) land max_value

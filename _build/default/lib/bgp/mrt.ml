@@ -1,0 +1,236 @@
+type record = {
+  time : int;
+  peer_ip : Ipv4.t;
+  peer_as : Asn.t;
+  prefix : Prefix.t;
+  path : Aspath.t;
+  attrs : Attrs.t;
+}
+
+let record_to_line r =
+  let a = r.attrs in
+  String.concat "|"
+    [
+      "TABLE_DUMP2";
+      string_of_int r.time;
+      "B";
+      Ipv4.to_string r.peer_ip;
+      string_of_int r.peer_as;
+      Prefix.to_string r.prefix;
+      Aspath.to_string r.path;
+      Attrs.origin_to_string a.Attrs.origin;
+      Ipv4.to_string a.Attrs.next_hop;
+      string_of_int a.Attrs.local_pref;
+      string_of_int a.Attrs.med;
+      Attrs.communities_to_string a.Attrs.communities;
+      "NAG";
+      "";
+      "";
+    ]
+
+let parse_int name s =
+  if s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s then
+    match int_of_string_opt s with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "%s: integer out of range %S" name s)
+  else Error (Printf.sprintf "%s: not an integer %S" name s)
+
+(* Shared field parsing for table-dump ("B") and announcement ("A")
+   lines; they carry the same attribute columns. *)
+let parse_full_fields ~time ~peer_ip ~peer_as ~prefix ~path ~origin ~next_hop
+    ~local_pref ~med ~community =
+  let ( let* ) = Result.bind in
+  let* time = parse_int "time" time in
+  let* peer_ip =
+    Option.to_result ~none:("bad peer_ip " ^ peer_ip) (Ipv4.of_string peer_ip)
+  in
+  let* peer_as =
+    Option.to_result ~none:("bad peer_as " ^ peer_as) (Asn.of_string peer_as)
+  in
+  let* prefix =
+    Option.to_result ~none:("bad prefix " ^ prefix) (Prefix.of_string prefix)
+  in
+  let* path =
+    Option.to_result ~none:("bad as_path " ^ path) (Aspath.of_string path)
+  in
+  let* origin =
+    Option.to_result ~none:("bad origin " ^ origin)
+      (Attrs.origin_of_string origin)
+  in
+  let* next_hop =
+    Option.to_result ~none:("bad next_hop " ^ next_hop)
+      (Ipv4.of_string next_hop)
+  in
+  let* local_pref = parse_int "local_pref" local_pref in
+  let* med = parse_int "med" med in
+  let* communities =
+    Option.to_result ~none:("bad community " ^ community)
+      (Attrs.communities_of_string community)
+  in
+  Ok
+    {
+      time;
+      peer_ip;
+      peer_as;
+      prefix;
+      path;
+      attrs = { Attrs.origin; next_hop; local_pref; med; communities };
+    }
+
+type update =
+  | Announce of record
+  | Withdraw of { time : int; peer_ip : Ipv4.t; peer_as : Asn.t; prefix : Prefix.t }
+
+let update_to_line = function
+  | Announce r ->
+      let line = record_to_line r in
+      (* Same columns, BGP4MP kind and A subtype. *)
+      (match String.split_on_char '|' line with
+      | _kind :: time :: _sub :: rest ->
+          String.concat "|" (("BGP4MP" :: time :: "A" :: rest))
+      | _ -> assert false)
+  | Withdraw { time; peer_ip; peer_as; prefix } ->
+      String.concat "|"
+        [
+          "BGP4MP";
+          string_of_int time;
+          "W";
+          Ipv4.to_string peer_ip;
+          string_of_int peer_as;
+          Prefix.to_string prefix;
+        ]
+
+let update_of_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Error "comment"
+  else
+    let ( let* ) = Result.bind in
+    match String.split_on_char '|' line with
+    | "BGP4MP" :: time :: "A" :: peer_ip :: peer_as :: prefix :: path :: origin
+      :: next_hop :: local_pref :: med :: community :: _rest ->
+        let* r =
+          parse_full_fields ~time ~peer_ip ~peer_as ~prefix ~path ~origin
+            ~next_hop ~local_pref ~med ~community
+        in
+        Ok (Announce r)
+    | "BGP4MP" :: time :: "W" :: peer_ip :: peer_as :: prefix :: _rest ->
+        let* time = parse_int "time" time in
+        let* peer_ip =
+          Option.to_result ~none:("bad peer_ip " ^ peer_ip)
+            (Ipv4.of_string peer_ip)
+        in
+        let* peer_as =
+          Option.to_result ~none:("bad peer_as " ^ peer_as)
+            (Asn.of_string peer_as)
+        in
+        let* prefix =
+          Option.to_result ~none:("bad prefix " ^ prefix)
+            (Prefix.of_string prefix)
+        in
+        Ok (Withdraw { time; peer_ip; peer_as; prefix })
+    | kind :: _ when kind <> "BGP4MP" ->
+        Error (Printf.sprintf "not an update line (kind %S)" kind)
+    | _ -> Error "too few fields"
+
+let parse_update_lines lines =
+  let updates = ref [] in
+  let errors = ref [] in
+  List.iteri
+    (fun i line ->
+      match update_of_line line with
+      | Ok u -> updates := u :: !updates
+      | Error "comment" -> ()
+      | Error msg -> errors := (i + 1, msg) :: !errors)
+    lines;
+  (List.rev !updates, List.rev !errors)
+
+let record_of_line line =
+  let line = String.trim line in
+  if line = "" || line.[0] = '#' then Error "comment"
+  else
+    let fields = String.split_on_char '|' line in
+    match fields with
+    | kind :: time :: sub :: peer_ip :: peer_as :: prefix :: path :: origin
+      :: next_hop :: local_pref :: med :: community :: _rest ->
+        let ( let* ) = Result.bind in
+        let* () =
+          if kind = "TABLE_DUMP2" || kind = "TABLE_DUMP" then Ok ()
+          else Error (Printf.sprintf "unknown record kind %S" kind)
+        in
+        let* () =
+          if sub = "B" then Ok ()
+          else Error (Printf.sprintf "unsupported subtype %S (want B)" sub)
+        in
+        let* time = parse_int "time" time in
+        let* peer_ip =
+          Option.to_result ~none:("bad peer_ip " ^ peer_ip)
+            (Ipv4.of_string peer_ip)
+        in
+        let* peer_as =
+          Option.to_result ~none:("bad peer_as " ^ peer_as)
+            (Asn.of_string peer_as)
+        in
+        let* prefix =
+          Option.to_result ~none:("bad prefix " ^ prefix)
+            (Prefix.of_string prefix)
+        in
+        let* path =
+          Option.to_result ~none:("bad as_path " ^ path) (Aspath.of_string path)
+        in
+        let* origin =
+          Option.to_result ~none:("bad origin " ^ origin)
+            (Attrs.origin_of_string origin)
+        in
+        let* next_hop =
+          Option.to_result ~none:("bad next_hop " ^ next_hop)
+            (Ipv4.of_string next_hop)
+        in
+        let* local_pref = parse_int "local_pref" local_pref in
+        let* med = parse_int "med" med in
+        let* communities =
+          Option.to_result ~none:("bad community " ^ community)
+            (Attrs.communities_of_string community)
+        in
+        Ok
+          {
+            time;
+            peer_ip;
+            peer_as;
+            prefix;
+            path;
+            attrs =
+              { Attrs.origin; next_hop; local_pref; med; communities };
+          }
+    | _ -> Error "too few fields"
+
+let parse_lines lines =
+  let records = ref [] in
+  let errors = ref [] in
+  List.iteri
+    (fun i line ->
+      match record_of_line line with
+      | Ok r -> records := r :: !records
+      | Error "comment" -> ()
+      | Error msg -> errors := (i + 1, msg) :: !errors)
+    lines;
+  (List.rev !records, List.rev !errors)
+
+let read_channel ic =
+  let rec loop acc =
+    match In_channel.input_line ic with
+    | Some line -> loop (line :: acc)
+    | None -> List.rev acc
+  in
+  parse_lines (loop [])
+
+let read_file path = In_channel.with_open_text path read_channel
+
+let write_channel oc records =
+  List.iter
+    (fun r ->
+      Out_channel.output_string oc (record_to_line r);
+      Out_channel.output_char oc '\n')
+    records
+
+let write_file path records =
+  Out_channel.with_open_text path (fun oc -> write_channel oc records)

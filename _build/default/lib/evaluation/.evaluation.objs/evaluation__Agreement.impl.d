@@ -1,0 +1,1 @@
+lib/evaluation/agreement.ml: Asmodel Bgp Format Hashtbl List Option Refine Rib Simulator

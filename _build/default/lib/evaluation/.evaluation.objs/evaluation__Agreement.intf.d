@@ -1,0 +1,1 @@
+lib/evaluation/agreement.mli: Asmodel Bgp Format Hashtbl Prefix Rib Simulator

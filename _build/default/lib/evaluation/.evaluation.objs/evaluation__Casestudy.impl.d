@@ -1,0 +1,1 @@
+lib/evaluation/casestudy.ml: Asmodel Asn Aspath Bgp Format List Prefix Printf Simulator Stdlib Topology

@@ -1,0 +1,1 @@
+lib/evaluation/casestudy.mli: Asmodel Asn Aspath Bgp Format Prefix

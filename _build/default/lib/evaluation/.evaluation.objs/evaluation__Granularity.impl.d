@@ -1,0 +1,1 @@
+lib/evaluation/granularity.ml: Asmodel Bgp Format Hashtbl List Option Simulator Stdlib

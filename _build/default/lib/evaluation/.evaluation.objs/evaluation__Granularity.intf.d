@@ -1,0 +1,1 @@
+lib/evaluation/granularity.mli: Asmodel Format

@@ -1,0 +1,1 @@
+lib/evaluation/predict.ml: Asmodel Aspath Bgp Format Hashtbl List Prefix Refine Rib

@@ -1,0 +1,1 @@
+lib/evaluation/predict.mli: Asmodel Bgp Format Hashtbl Prefix Rib Simulator

@@ -1,0 +1,1 @@
+lib/evaluation/quantiles.ml: Array Hashtbl List Option Stdlib

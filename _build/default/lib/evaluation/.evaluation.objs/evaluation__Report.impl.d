@@ -1,0 +1,1 @@
+lib/evaluation/report.ml: Format List Option Printf String

@@ -1,0 +1,1 @@
+lib/evaluation/report.mli: Format

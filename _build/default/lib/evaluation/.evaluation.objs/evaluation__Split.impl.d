@@ -1,0 +1,1 @@
+lib/evaluation/split.ml: Asn Bgp Format List Random Rib

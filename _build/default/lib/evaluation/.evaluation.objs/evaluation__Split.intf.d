@@ -1,0 +1,1 @@
+lib/evaluation/split.mli: Bgp Format Rib

@@ -1,0 +1,77 @@
+module Net = Simulator.Net
+module Qrmodel = Asmodel.Qrmodel
+
+type treatment = { denied : bool; med : int option }
+
+type report = {
+  sessions : int;
+  sessions_with_rules : int;
+  atom_histogram : (int * int) list;
+  per_neighbor_sufficient : float;
+  as_max_atoms : (int * int) list;
+}
+
+let analyze (model : Qrmodel.t) =
+  let net = model.Qrmodel.net in
+  let n = Net.node_count net in
+  let histogram = Hashtbl.create 16 in
+  let bump table k =
+    Hashtbl.replace table k
+      (1 + Option.value ~default:0 (Hashtbl.find_opt table k))
+  in
+  let sessions = ref 0 and with_rules = ref 0 and sufficient = ref 0 in
+  let as_max : (Bgp.Asn.t, int) Hashtbl.t = Hashtbl.create 256 in
+  for id = 0 to n - 1 do
+    List.iter
+      (fun (s, _peer) ->
+        incr sessions;
+        let treatments = Hashtbl.create 8 in
+        let rules = ref false in
+        List.iter
+          (fun (p, _) ->
+            let denied = Net.export_denied net id s p in
+            let med = Net.import_med net id s p in
+            if denied || med <> None then rules := true;
+            Hashtbl.replace treatments { denied; med } ())
+          model.Qrmodel.prefixes;
+        let atoms = max 1 (Hashtbl.length treatments) in
+        bump histogram atoms;
+        if !rules then incr with_rules;
+        if atoms <= 1 then incr sufficient;
+        let asn = Net.asn_of net id in
+        let cur = Option.value ~default:0 (Hashtbl.find_opt as_max asn) in
+        if atoms > cur then Hashtbl.replace as_max asn atoms)
+      (Net.sessions_of net id)
+  done;
+  let as_hist = Hashtbl.create 16 in
+  Hashtbl.iter (fun _ atoms -> bump as_hist atoms) as_max;
+  let sorted table =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+    |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+  in
+  {
+    sessions = !sessions;
+    sessions_with_rules = !with_rules;
+    atom_histogram = sorted histogram;
+    per_neighbor_sufficient =
+      (if !sessions = 0 then 1.0
+       else float_of_int !sufficient /. float_of_int !sessions);
+    as_max_atoms = sorted as_hist;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "half-sessions: %d, with per-prefix rules: %d (%.1f%%)@.\
+     per-neighbour policies suffice for %.1f%% of half-sessions@."
+    r.sessions r.sessions_with_rules
+    (if r.sessions = 0 then 0.0
+     else 100.0 *. float_of_int r.sessions_with_rules /. float_of_int r.sessions)
+    (100.0 *. r.per_neighbor_sufficient);
+  Format.fprintf ppf "policy atoms per half-session:@.";
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "  %d atom(s): %d half-sessions@." k v)
+    r.atom_histogram;
+  Format.fprintf ppf "max atoms over an AS's sessions:@.";
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "  %d atom(s): %d ASes@." k v)
+    r.as_max_atoms

@@ -1,0 +1,30 @@
+(** Policy-granularity analysis of a refined model.
+
+    The authors' follow-up work ("In Search for an Appropriate
+    Granularity to Model Routing Policies") asks how fine-grained
+    policies must be: per AS, per neighbour (session), or per prefix.
+    The refined model answers this empirically: every session carries
+    per-prefix rules (export denies and import MED ranks), and the
+    number of distinct {e treatments} a session applies — its policy
+    {e atoms} — measures the granularity that was actually needed.
+
+    A session with one atom treats all prefixes alike (per-neighbour
+    policies suffice); more atoms mean genuinely per-prefix policy. *)
+
+type treatment = { denied : bool; med : int option }
+(** What one half-session does to one prefix on export (deny) and what
+    its reverse applies on import (MED rank). *)
+
+type report = {
+  sessions : int;  (** directed half-sessions *)
+  sessions_with_rules : int;  (** half-sessions carrying any rule *)
+  atom_histogram : (int * int) list;  (** #atoms → #half-sessions *)
+  per_neighbor_sufficient : float;
+      (** fraction of half-sessions with at most one atom *)
+  as_max_atoms : (int * int) list;
+      (** histogram: max #atoms over an AS's half-sessions → #ASes *)
+}
+
+val analyze : Asmodel.Qrmodel.t -> report
+
+val pp : Format.formatter -> report -> unit

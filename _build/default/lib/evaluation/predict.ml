@@ -1,0 +1,134 @@
+open Bgp
+module Qrmodel = Asmodel.Qrmodel
+module Matching = Refine.Matching
+
+type totals = {
+  cases : int;
+  rib_out : int;
+  potential_rib_out : int;
+  rib_in : int;
+  no_rib_in : int;
+}
+
+type coverage = {
+  prefixes : int;
+  at_least_half : int;
+  at_least_90 : int;
+  full : int;
+}
+
+type report = { totals : totals; coverage : coverage }
+
+let evaluate model ~states data =
+  let net = model.Qrmodel.net in
+  let state_of p =
+    match Hashtbl.find_opt states p with
+    | Some st -> Some st
+    | None -> (
+        match Qrmodel.origin_of model p with
+        | None -> None
+        | Some _ ->
+            let st = Qrmodel.simulate model p in
+            Hashtbl.replace states p st;
+            Some st)
+  in
+  let totals =
+    ref { cases = 0; rib_out = 0; potential_rib_out = 0; rib_in = 0; no_rib_in = 0 }
+  in
+  (* Distinct paths per prefix with their verdicts, for coverage. *)
+  let per_prefix : (Prefix.t, (Aspath.t * bool) list ref) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let seen : (Prefix.t * Aspath.t, Matching.verdict) Hashtbl.t =
+    Hashtbl.create 4096
+  in
+  List.iter
+    (fun (e : Rib.entry) ->
+      let key = (e.Rib.prefix, e.Rib.path) in
+      let verdict =
+        match Hashtbl.find_opt seen key with
+        | Some v -> Some v
+        | None -> (
+            match state_of e.Rib.prefix with
+            | None -> None
+            | Some st ->
+                let v = Matching.classify net st e.Rib.path in
+                Hashtbl.add seen key v;
+                let l =
+                  match Hashtbl.find_opt per_prefix e.Rib.prefix with
+                  | Some l -> l
+                  | None ->
+                      let l = ref [] in
+                      Hashtbl.add per_prefix e.Rib.prefix l;
+                      l
+                in
+                l := (e.Rib.path, v = Matching.Rib_out) :: !l;
+                Some v)
+      in
+      match verdict with
+      | None -> ()
+      | Some v ->
+          let t = !totals in
+          totals :=
+            {
+              cases = t.cases + 1;
+              rib_out = (t.rib_out + if v = Matching.Rib_out then 1 else 0);
+              potential_rib_out =
+                (t.potential_rib_out
+                + if v = Matching.Potential_rib_out then 1 else 0);
+              rib_in = (t.rib_in + if v = Matching.Rib_in then 1 else 0);
+              no_rib_in = (t.no_rib_in + if v = Matching.No_rib_in then 1 else 0);
+            })
+    (Rib.entries data);
+  let coverage =
+    Hashtbl.fold
+      (fun _ l acc ->
+        let n = List.length !l in
+        let matched = List.length (List.filter snd !l) in
+        let frac = float_of_int matched /. float_of_int n in
+        {
+          prefixes = acc.prefixes + 1;
+          at_least_half = (acc.at_least_half + if frac >= 0.5 then 1 else 0);
+          at_least_90 = (acc.at_least_90 + if frac >= 0.9 then 1 else 0);
+          full = (acc.full + if matched = n then 1 else 0);
+        })
+      per_prefix
+      { prefixes = 0; at_least_half = 0; at_least_90 = 0; full = 0 }
+  in
+  { totals = !totals; coverage }
+
+let frac n report =
+  if report.totals.cases = 0 then 0.0
+  else float_of_int n /. float_of_int report.totals.cases
+
+let down_to_tie_break_fraction r =
+  frac (r.totals.rib_out + r.totals.potential_rib_out) r
+
+let exact_fraction r = frac r.totals.rib_out r
+
+let rib_in_fraction r = frac (r.totals.cases - r.totals.no_rib_in) r
+
+let pp ppf r =
+  let t = r.totals in
+  let pct n = 100.0 *. frac n r in
+  Format.fprintf ppf
+    "@[<v>graded cases:            %d@,\
+     RIB-Out match (exact):   %6.1f%%@,\
+     potential RIB-Out:       %6.1f%%@,\
+     down to final tie-break: %6.1f%%@,\
+     RIB-In upper bound:      %6.1f%%@,\
+     no RIB-In:               %6.1f%%@,"
+    t.cases (pct t.rib_out) (pct t.potential_rib_out)
+    (pct (t.rib_out + t.potential_rib_out))
+    (pct (t.cases - t.no_rib_in))
+    (pct t.no_rib_in);
+  let c = r.coverage in
+  let cpct n =
+    if c.prefixes = 0 then 0.0
+    else 100.0 *. float_of_int n /. float_of_int c.prefixes
+  in
+  Format.fprintf ppf
+    "prefixes with >=50%% of paths matched: %5.1f%%@,\
+     prefixes with >=90%% of paths matched: %5.1f%%@,\
+     prefixes with all paths matched:      %5.1f%%  (%d prefixes)@]"
+    (cpct c.at_least_half) (cpct c.at_least_90) (cpct c.full) c.prefixes

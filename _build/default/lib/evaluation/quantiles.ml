@@ -1,0 +1,54 @@
+let percentile sample p =
+  let n = Array.length sample in
+  if n = 0 then 0
+  else begin
+    Array.sort Stdlib.compare sample;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let rank = max 1 (min n rank) in
+    sample.(rank - 1)
+  end
+
+let percentiles sample ps = List.map (fun p -> (p, percentile sample p)) ps
+
+let histogram values =
+  let table = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      Hashtbl.replace table v
+        (1 + Option.value ~default:0 (Hashtbl.find_opt table v)))
+    values;
+  Hashtbl.fold (fun v n acc -> (v, n) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+let ccdf values =
+  let hist = histogram values in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 hist in
+  if total = 0 then []
+  else
+    let rec go remaining = function
+      | [] -> []
+      | (v, n) :: rest ->
+          (v, float_of_int remaining /. float_of_int total)
+          :: go (remaining - n) rest
+    in
+    go total hist
+
+let mean values =
+  match values with
+  | [] -> 0.0
+  | _ ->
+      float_of_int (List.fold_left ( + ) 0 values)
+      /. float_of_int (List.length values)
+
+let log_binned hist =
+  let bins = Hashtbl.create 16 in
+  List.iter
+    (fun (v, n) ->
+      let rec bin lo = if v < 2 * lo then lo else bin (2 * lo) in
+      let lo = if v <= 0 then 0 else bin 1 in
+      Hashtbl.replace bins lo
+        (n + Option.value ~default:0 (Hashtbl.find_opt bins lo)))
+    hist;
+  Hashtbl.fold (fun lo n acc -> (lo, (2 * lo) - 1, n) :: acc) bins []
+  |> List.sort (fun (a, _, _) (b, _, _) -> Stdlib.compare a b)
+  |> List.map (fun (lo, hi, n) -> (lo, max lo hi, n))

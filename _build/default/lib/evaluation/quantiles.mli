@@ -1,0 +1,19 @@
+(** Small statistics helpers shared by the experiment harnesses. *)
+
+val percentile : int array -> float -> int
+(** Nearest-rank percentile of an unsorted sample (the array is sorted
+    in place); [0] on an empty sample. *)
+
+val percentiles : int array -> float list -> (float * int) list
+
+val histogram : int list -> (int * int) list
+(** [(value, count)] sorted by value. *)
+
+val ccdf : int list -> (int * float) list
+(** [(value, fraction of samples >= value)] sorted by value. *)
+
+val mean : int list -> float
+
+val log_binned : (int * int) list -> (int * int * int) list
+(** Collapse a histogram into powers-of-two bins:
+    [(lo, hi, count)] with [lo <= value <= hi]. *)

@@ -1,0 +1,55 @@
+open Bgp
+
+type t = { training : Rib.t; validation : Rib.t }
+
+let by_observation_points ?(train_fraction = 0.5) ~seed data =
+  let rng = Random.State.make [| seed; 0x5917 |] in
+  let points = Rib.observation_points data in
+  let train, valid =
+    List.partition (fun _ -> Random.State.float rng 1.0 < train_fraction) points
+  in
+  (* Guard degenerate draws: both sides must be inhabited. *)
+  let train, valid =
+    match (train, valid) with
+    | [], p :: rest -> ([ p ], rest)
+    | p :: rest, [] -> (rest, [ p ])
+    | _, _ -> (train, valid)
+  in
+  {
+    training = Rib.restrict_points data train;
+    validation = Rib.restrict_points data valid;
+  }
+
+let by_origin_ases ?(train_fraction = 0.5) ~seed data =
+  let rng = Random.State.make [| seed; 0x0419 |] in
+  let origins = Asn.Set.elements (Rib.origins data) in
+  let train, valid =
+    List.partition (fun _ -> Random.State.float rng 1.0 < train_fraction) origins
+  in
+  let train, valid =
+    match (train, valid) with
+    | [], a :: rest -> ([ a ], rest)
+    | a :: rest, [] -> (rest, [ a ])
+    | _, _ -> (train, valid)
+  in
+  {
+    training = Rib.restrict_origins data (Asn.Set.of_list train);
+    validation = Rib.restrict_origins data (Asn.Set.of_list valid);
+  }
+
+let combined ?train_fraction ~seed data =
+  let by_points = by_observation_points ?train_fraction ~seed data in
+  let by_origins = by_origin_ases ?train_fraction ~seed data in
+  let train_origins = Rib.origins by_origins.training in
+  let valid_origins = Rib.origins by_origins.validation in
+  {
+    training = Rib.restrict_origins by_points.training train_origins;
+    validation = Rib.restrict_origins by_points.validation valid_origins;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "training: %d entries / %d points; validation: %d / %d"
+    (Rib.size t.training)
+    (List.length (Rib.observation_points t.training))
+    (Rib.size t.validation)
+    (List.length (Rib.observation_points t.validation))

@@ -1,0 +1,26 @@
+(** Training/validation splits (paper §4.2).
+
+    The paper's main split assigns whole observation points randomly to
+    either set, so every path seen at a point lands in exactly one set.
+    The alternative slices by originating AS, measuring how well a model
+    trained on some prefixes predicts paths of unseen prefixes (§4.7). *)
+
+open Bgp
+
+type t = { training : Rib.t; validation : Rib.t }
+
+val by_observation_points : ?train_fraction:float -> seed:int -> Rib.t -> t
+(** Random assignment of observation points; [train_fraction] defaults
+    to [0.5] as in the paper. *)
+
+val by_origin_ases : ?train_fraction:float -> seed:int -> Rib.t -> t
+(** Random assignment of originating ASes: paths originated by training
+    ASes train the model; paths of held-out origins validate it. *)
+
+val combined : ?train_fraction:float -> seed:int -> Rib.t -> t
+(** The paper's combined slicing (§4.2): training is the training
+    observation points restricted to training origins; validation is
+    the held-out points restricted to held-out origins — the model must
+    generalize across vantage point AND prefix at once. *)
+
+val pp : Format.formatter -> t -> unit

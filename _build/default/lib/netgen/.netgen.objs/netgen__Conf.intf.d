@@ -1,0 +1,1 @@
+lib/netgen/conf.mli: Format

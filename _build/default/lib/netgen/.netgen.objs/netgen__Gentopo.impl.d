@@ -1,0 +1,1 @@
+lib/netgen/gentopo.ml: Array Asn Bgp Conf Format Hashtbl List Option Random Topology

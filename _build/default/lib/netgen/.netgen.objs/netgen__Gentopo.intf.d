@@ -1,0 +1,1 @@
+lib/netgen/gentopo.mli: Asn Bgp Conf Format Random Topology

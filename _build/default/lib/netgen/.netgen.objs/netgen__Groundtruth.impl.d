@@ -1,0 +1,1 @@
+lib/netgen/groundtruth.ml: Array Asn Aspath Bgp Conf Format Gentopo Hashtbl Ipv4 List Prefix Random Rib Simulator

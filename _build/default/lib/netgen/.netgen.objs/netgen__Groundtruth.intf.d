@@ -1,0 +1,1 @@
+lib/netgen/groundtruth.mli: Asn Bgp Conf Format Gentopo Hashtbl Prefix Random Rib Simulator

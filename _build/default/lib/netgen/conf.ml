@@ -1,0 +1,80 @@
+type t = {
+  seed : int;
+  n_tier1 : int;
+  n_tier2 : int;
+  n_tier3 : int;
+  n_stub : int;
+  stub_single_homed_frac : float;
+  tier2_peer_prob : float;
+  tier3_peer_prob : float;
+  sibling_frac : float;
+  parallel_link_prob : float;
+  routers_tier1 : int * int;
+  routers_tier2 : int * int;
+  routers_tier3 : int * int;
+  routers_stub : int * int;
+  rr_threshold : int;
+  weird_lpref_frac : float;
+  selective_announce_frac : float;
+  med_noise_frac : float;
+  multi_prefix_frac : float;
+  max_prefixes_per_as : int;
+  n_obs_ases : int;
+  multi_obs_frac : float;
+}
+
+let default =
+  {
+    seed = 42;
+    n_tier1 = 10;
+    n_tier2 = 70;
+    n_tier3 = 220;
+    n_stub = 400;
+    stub_single_homed_frac = 0.4;
+    tier2_peer_prob = 0.20;
+    tier3_peer_prob = 0.01;
+    sibling_frac = 0.02;
+    parallel_link_prob = 0.45;
+    routers_tier1 = (6, 10);
+    routers_tier2 = (3, 6);
+    routers_tier3 = (2, 4);
+    routers_stub = (1, 2);
+    rr_threshold = 6;
+    weird_lpref_frac = 0.06;
+    selective_announce_frac = 0.30;
+    med_noise_frac = 0.10;
+    multi_prefix_frac = 0.70;
+    max_prefixes_per_as = 8;
+    n_obs_ases = 90;
+    multi_obs_frac = 0.3;
+  }
+
+let scaled f =
+  let s n = max 1 (int_of_float (float_of_int n *. f)) in
+  {
+    default with
+    n_tier2 = s default.n_tier2;
+    n_tier3 = s default.n_tier3;
+    n_stub = s default.n_stub;
+    n_obs_ases = s default.n_obs_ases;
+  }
+
+let tiny =
+  {
+    default with
+    n_tier1 = 3;
+    n_tier2 = 6;
+    n_tier3 = 12;
+    n_stub = 20;
+    n_obs_ases = 8;
+    routers_tier1 = (2, 3);
+    routers_tier2 = (1, 2);
+    routers_tier3 = (1, 2);
+    routers_stub = (1, 1);
+  }
+
+let pp ppf c =
+  Format.fprintf ppf
+    "seed=%d ASes=%d+%d+%d+%d obs=%d peers(t2)=%.3f weird=%.2f selective=%.2f"
+    c.seed c.n_tier1 c.n_tier2 c.n_tier3 c.n_stub c.n_obs_ases
+    c.tier2_peer_prob c.weird_lpref_frac c.selective_announce_frac

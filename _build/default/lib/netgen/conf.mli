@@ -1,0 +1,63 @@
+(** Parameters of the synthetic-Internet generator.
+
+    The generator stands in for the paper's measured BGP feeds (see
+    DESIGN.md §2).  Its defaults produce a world with the qualitative
+    properties the paper's §3 analysis establishes: a small tier-1
+    clique, a multihomed hierarchy below it, intra-AS route diversity
+    from hot-potato routing, and a minority of ASes whose policies do
+    not follow customer/provider/peer conventions. *)
+
+type t = {
+  seed : int;
+  n_tier1 : int;  (** ASes in the top clique (paper finds 10). *)
+  n_tier2 : int;  (** national/large providers. *)
+  n_tier3 : int;  (** regional providers. *)
+  n_stub : int;  (** edge ASes that provide no transit. *)
+  stub_single_homed_frac : float;
+      (** fraction of stubs with exactly one provider (paper: 6,611 of
+          17,688 stubs). *)
+  tier2_peer_prob : float;  (** peering probability per tier-2 pair. *)
+  tier3_peer_prob : float;  (** peering probability per tier-3 pair. *)
+  sibling_frac : float;  (** fraction of provider links turned sibling. *)
+  parallel_link_prob : float;
+      (** probability that an inter-AS adjacency gets a second router
+          pair (multiple peering points, paper §1). *)
+  routers_tier1 : int * int;  (** min/max border routers per tier-1 AS. *)
+  routers_tier2 : int * int;
+  routers_tier3 : int * int;
+  routers_stub : int * int;
+  rr_threshold : int;
+      (** ASes with at least this many routers use route reflection
+          instead of full-mesh iBGP: the two lowest-index routers become
+          redundant route reflectors, all others their clients. *)
+  weird_lpref_frac : float;
+      (** fraction of eBGP sessions whose import preference deviates
+          from its Gao-Rexford class value. *)
+  selective_announce_frac : float;
+      (** fraction of transit ASes doing per-prefix selective
+          announcement towards some neighbour. *)
+  med_noise_frac : float;
+      (** fraction of ASes applying per-prefix MED overrides on some
+          sessions (per-prefix traffic engineering that shifts choices
+          among equal-length routes). *)
+  multi_prefix_frac : float;
+      (** fraction of ASes originating more than one prefix. *)
+  max_prefixes_per_as : int;
+      (** cap on prefixes per AS (each anchored at a random subset of
+          the AS's routers, so different prefixes take different exits). *)
+  n_obs_ases : int;  (** ASes hosting observation points. *)
+  multi_obs_frac : float;
+      (** fraction of observation ASes with several observation points
+          (paper: 30%). *)
+}
+
+val default : t
+(** Seed 42, ~700 ASes. *)
+
+val scaled : float -> t
+(** [scaled f] multiplies the AS counts by [f] (at least 1 each). *)
+
+val tiny : t
+(** A few dozen ASes; used by unit tests. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,233 @@
+open Bgp
+
+type tier = T1 | T2 | T3 | Stub
+
+let tier_to_string = function
+  | T1 -> "tier-1"
+  | T2 -> "tier-2"
+  | T3 -> "tier-3"
+  | Stub -> "stub"
+
+type rel = Provider | Peer | Sibling
+
+type link = { a : Asn.t; a_router : int; b : Asn.t; b_router : int; rel : rel }
+
+type t = {
+  conf : Conf.t;
+  tiers : tier Asn.Map.t;
+  routers : int Asn.Map.t;
+  links : link list;
+  coords : (int * int) array Asn.Map.t;
+}
+
+let rand_range rng (lo, hi) = lo + Random.State.int rng (hi - lo + 1)
+
+(* Weighted pick without replacement is not needed; duplicates are
+   filtered by the caller.  Weights favour already-popular providers to
+   produce the Internet's heavy-tailed degrees. *)
+let weighted_pick rng weights candidates =
+  let total = List.fold_left (fun acc c -> acc + weights c) 0 candidates in
+  if total = 0 then None
+  else
+    let x = Random.State.int rng total in
+    let rec go acc = function
+      | [] -> None
+      | c :: rest ->
+          let acc = acc + weights c in
+          if x < acc then Some c else go acc rest
+    in
+    go 0 candidates
+
+let generate (conf : Conf.t) rng =
+  let next_asn = ref 0 in
+  let fresh_tier n tier acc =
+    let rec loop i acc =
+      if i >= n then acc
+      else begin
+        incr next_asn;
+        loop (i + 1) (Asn.Map.add !next_asn tier acc)
+      end
+    in
+    loop 0 acc
+  in
+  let tiers =
+    Asn.Map.empty
+    |> fresh_tier conf.Conf.n_tier1 T1
+    |> fresh_tier conf.Conf.n_tier2 T2
+    |> fresh_tier conf.Conf.n_tier3 T3
+    |> fresh_tier conf.Conf.n_stub Stub
+  in
+  let of_tier t =
+    Asn.Map.fold (fun a t' acc -> if t' = t then a :: acc else acc) tiers []
+    |> List.rev
+  in
+  let tier1 = of_tier T1 and tier2 = of_tier T2 and tier3 = of_tier T3 in
+  let stubs = of_tier Stub in
+  let routers =
+    Asn.Map.mapi
+      (fun _ t ->
+        match t with
+        | T1 -> rand_range rng conf.Conf.routers_tier1
+        | T2 -> rand_range rng conf.Conf.routers_tier2
+        | T3 -> rand_range rng conf.Conf.routers_tier3
+        | Stub -> rand_range rng conf.Conf.routers_stub)
+      tiers
+  in
+  let degree = Hashtbl.create 1024 in
+  let deg a = Option.value ~default:0 (Hashtbl.find_opt degree a) in
+  let bump a = Hashtbl.replace degree a (deg a + 1) in
+  let links = ref [] in
+  let used_pairs = Hashtbl.create 4096 in
+  (* One router-level link; remembers the router pair so parallel links
+     never reuse it (the simulator allows one session per node pair). *)
+  let add_link a b rel =
+    let ra_max = Asn.Map.find a routers and rb_max = Asn.Map.find b routers in
+    let rec pick tries =
+      if tries = 0 then None
+      else
+        let ra = Random.State.int rng ra_max
+        and rb = Random.State.int rng rb_max in
+        if Hashtbl.mem used_pairs (a, ra, b, rb) then pick (tries - 1)
+        else Some (ra, rb)
+    in
+    match pick 8 with
+    | None -> ()
+    | Some (ra, rb) ->
+        Hashtbl.replace used_pairs (a, ra, b, rb) ();
+        Hashtbl.replace used_pairs (b, rb, a, ra) ();
+        links := { a; a_router = ra; b; b_router = rb; rel } :: !links;
+        bump a;
+        bump b
+  in
+  let adjacent = Hashtbl.create 4096 in
+  let mark_adj a b =
+    Hashtbl.replace adjacent (a, b) ();
+    Hashtbl.replace adjacent (b, a) ()
+  in
+  let is_adj a b = Hashtbl.mem adjacent (a, b) in
+  let add_adjacency a b rel =
+    if a <> b && not (is_adj a b) then begin
+      mark_adj a b;
+      add_link a b rel;
+      if Random.State.float rng 1.0 < conf.Conf.parallel_link_prob then
+        add_link a b rel
+    end
+  in
+  (* Tier-1 clique: all peerings. *)
+  List.iter
+    (fun a -> List.iter (fun b -> if a < b then add_adjacency a b Peer) tier1)
+    tier1;
+  let maybe_sibling rel =
+    match rel with
+    | Provider when Random.State.float rng 1.0 < conf.Conf.sibling_frac ->
+        Sibling
+    | rel -> rel
+  in
+  let connect_customer asn ~providers ~count =
+    let weights p = 1 + deg p in
+    let rec go chosen n =
+      if n = 0 then ()
+      else
+        match
+          weighted_pick rng weights
+            (List.filter (fun p -> not (List.mem p chosen)) providers)
+        with
+        | None -> ()
+        | Some p ->
+            add_adjacency p asn (maybe_sibling Provider);
+            go (p :: chosen) (n - 1)
+    in
+    go [] count
+  in
+  (* Tier-2: 2-4 tier-1 providers, peerings among themselves. *)
+  List.iter
+    (fun asn -> connect_customer asn ~providers:tier1 ~count:(2 + Random.State.int rng 3))
+    tier2;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a < b && Random.State.float rng 1.0 < conf.Conf.tier2_peer_prob
+          then add_adjacency a b Peer)
+        tier2)
+    tier2;
+  (* Tier-3: 1-3 providers drawn mostly from tier-2, peerings among
+     themselves. *)
+  List.iter
+    (fun asn ->
+      let providers =
+        if Random.State.float rng 1.0 < 0.15 then tier1 @ tier2 else tier2
+      in
+      connect_customer asn ~providers ~count:(2 + Random.State.int rng 3))
+    tier3;
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a < b && Random.State.float rng 1.0 < conf.Conf.tier3_peer_prob
+          then add_adjacency a b Peer)
+        tier3)
+    tier3;
+  (* Stubs: single-homed fraction gets exactly one provider, the rest
+     two or three. *)
+  List.iter
+    (fun asn ->
+      let count =
+        if Random.State.float rng 1.0 < conf.Conf.stub_single_homed_frac then 1
+        else 2 + Random.State.int rng 3
+      in
+      connect_customer asn ~providers:(tier2 @ tier3) ~count)
+    stubs;
+  let coords =
+    Asn.Map.map
+      (fun n ->
+        Array.init n (fun _ ->
+            (Random.State.int rng 100, Random.State.int rng 100)))
+      routers
+  in
+  { conf; tiers; routers; links = List.rev !links; coords }
+
+let ases t = Asn.Map.fold (fun a _ acc -> a :: acc) t.tiers [] |> List.rev
+
+let tier_of t a = Asn.Map.find a t.tiers
+
+let as_graph t =
+  List.fold_left
+    (fun g l -> Topology.Asgraph.add_edge g l.a l.b)
+    (List.fold_left (fun g a -> Topology.Asgraph.add_node g a) Topology.Asgraph.empty (ases t))
+    t.links
+
+let igp_cost t asn r1 r2 =
+  let c = Asn.Map.find asn t.coords in
+  let x1, y1 = c.(r1) and x2, y2 = c.(r2) in
+  abs (x1 - x2) + abs (y1 - y2)
+
+let true_rel t a b =
+  let rec find = function
+    | [] -> None
+    | l :: rest ->
+        if l.a = a && l.b = b then
+          Some
+            (match l.rel with
+            | Provider -> `Provider
+            | Peer -> `Peer
+            | Sibling -> `Sibling)
+        else if l.a = b && l.b = a then
+          Some
+            (match l.rel with
+            | Provider -> `Customer
+            | Peer -> `Peer
+            | Sibling -> `Sibling)
+        else find rest
+  in
+  find t.links
+
+let pp_summary ppf t =
+  let count tier =
+    Asn.Map.fold (fun _ t' acc -> if t' = tier then acc + 1 else acc) t.tiers 0
+  in
+  let total_routers = Asn.Map.fold (fun _ n acc -> acc + n) t.routers 0 in
+  Format.fprintf ppf
+    "%d ASes (t1=%d t2=%d t3=%d stub=%d), %d router links, %d routers"
+    (Asn.Map.cardinal t.tiers) (count T1) (count T2) (count T3) (count Stub)
+    (List.length t.links) total_routers

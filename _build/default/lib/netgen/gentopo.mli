@@ -1,0 +1,58 @@
+(** Synthetic AS- and router-level topologies.
+
+    Generates the structural half of the ground-truth world: a tiered AS
+    hierarchy (tier-1 clique, tier-2, tier-3, stubs) with multihoming,
+    peering and sibling links, several border routers per transit AS,
+    possibly several router-level links per AS adjacency, and router
+    coordinates from which IGP distances (hot-potato inputs) derive.
+    Everything is driven by the seed in {!Conf.t}. *)
+
+open Bgp
+
+type tier = T1 | T2 | T3 | Stub
+
+val tier_to_string : tier -> string
+
+type rel = Provider | Peer | Sibling
+(** Ground-truth relationship of a link's [a] side towards its [b] side:
+    [Provider] means [a] is the provider of [b]. *)
+
+type link = {
+  a : Asn.t;
+  a_router : int;  (** router index inside [a] *)
+  b : Asn.t;
+  b_router : int;
+  rel : rel;
+}
+
+type t = {
+  conf : Conf.t;
+  tiers : tier Asn.Map.t;
+  routers : int Asn.Map.t;  (** routers per AS *)
+  links : link list;
+  coords : (int * int) array Asn.Map.t;
+      (** per-router plane coordinates; IGP cost between two routers of
+          an AS is their Manhattan distance. *)
+}
+
+val generate : Conf.t -> Random.State.t -> t
+
+val ases : t -> Asn.t list
+(** All ASNs, ascending. *)
+
+val tier_of : t -> Asn.t -> tier
+
+val as_graph : t -> Topology.Asgraph.t
+(** The true AS-level graph (one edge per adjacency). *)
+
+val igp_cost : t -> Asn.t -> int -> int -> int
+(** [igp_cost t asn r1 r2]: Manhattan distance between two routers of
+    [asn]. *)
+
+val true_rel :
+  t -> Asn.t -> Asn.t -> [ `Provider | `Customer | `Peer | `Sibling ] option
+(** Ground-truth relationship of the first AS towards the second, if
+    they are adjacent ([`Provider]: the first provides transit for the
+    second).  Parallel links share the relationship. *)
+
+val pp_summary : Format.formatter -> t -> unit

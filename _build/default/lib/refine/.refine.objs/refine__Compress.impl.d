@@ -1,0 +1,1 @@
+lib/refine/compress.ml: Array Asmodel Asn Bgp Hashtbl List Option Simulator Verify

@@ -1,0 +1,1 @@
+lib/refine/compress.mli: Asmodel Bgp Rib

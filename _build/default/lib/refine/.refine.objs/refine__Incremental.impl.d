@@ -1,0 +1,1 @@
+lib/refine/incremental.ml: Asmodel Refiner Simulator

@@ -1,0 +1,1 @@
+lib/refine/incremental.mli: Asmodel Bgp Refiner Rib

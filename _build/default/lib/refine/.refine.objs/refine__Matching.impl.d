@@ -1,0 +1,1 @@
+lib/refine/matching.ml: Array Aspath Bgp List Simulator

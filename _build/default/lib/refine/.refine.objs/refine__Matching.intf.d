@@ -1,0 +1,1 @@
+lib/refine/matching.mli: Asn Aspath Bgp Simulator

@@ -1,0 +1,1 @@
+lib/refine/refiner.ml: Array Asmodel Aspath Bgp Hashtbl List Matching Prefix Rib Simulator Stdlib Topology

@@ -1,0 +1,1 @@
+lib/refine/refiner.mli: Asmodel Bgp Hashtbl Prefix Rib Simulator

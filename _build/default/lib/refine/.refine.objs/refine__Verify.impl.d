@@ -1,0 +1,1 @@
+lib/refine/verify.ml: Array Asmodel Asn Aspath Bgp Format Hashtbl List Matching Prefix Printf Rib Simulator Stdlib

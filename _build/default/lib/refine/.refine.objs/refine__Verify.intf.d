@@ -1,0 +1,1 @@
+lib/refine/verify.mli: Asmodel Asn Aspath Bgp Format Hashtbl Matching Prefix Rib Simulator

@@ -1,0 +1,37 @@
+(** Model minimization.
+
+    The refiner duplicates quasi-routers eagerly; after convergence,
+    several quasi-routers of an AS often select the same best route for
+    every prefix and are therefore redundant partitions of the AS's
+    policy.  This pass merges them: within an AS, quasi-routers with
+    identical selected paths across all model prefixes collapse onto one
+    representative, export filters of merged sessions intersect (the
+    merged session delivers what any of the old ones did) and import MED
+    ranks take the strongest (minimum) value.
+
+    The merge preserves each AS's selected AS-level path set for every
+    model prefix (property-tested over tens of thousands of random
+    models): a peer's candidate from the merged session carries the best
+    (minimum) MED rank any non-denied old session assigned, and is
+    present iff any old session delivered it.  {!compact_verified} adds
+    a belt-and-braces re-check with {!Verify} against reference data and
+    falls back to the original model if exactness would ever be lost. *)
+
+open Bgp
+
+type stats = {
+  nodes_before : int;
+  nodes_after : int;
+  sessions_before : int;  (** BGP sessions (not half-sessions) *)
+  sessions_after : int;
+}
+
+val compact : Asmodel.Qrmodel.t -> Asmodel.Qrmodel.t * stats
+(** Build the merged model (the input is not modified). *)
+
+val compact_verified :
+  Asmodel.Qrmodel.t -> against:Rib.t -> (Asmodel.Qrmodel.t * stats) option
+(** [compact_verified model ~against] returns the compacted model only
+    if it still RIB-Out-matches every observed path of [against] that
+    the original model matched; [None] when compaction would lose
+    matches (keep the original). *)

@@ -1,0 +1,22 @@
+module Net = Simulator.Net
+
+type outcome = {
+  result : Refiner.result;
+  new_quasi_routers : int;
+  new_filters : int;
+  new_med_rules : int;
+}
+
+let add_observations ?options (model : Asmodel.Qrmodel.t) data =
+  let nodes_before = Net.node_count model.Asmodel.Qrmodel.net in
+  let filters_before, meds_before =
+    Net.count_policies model.Asmodel.Qrmodel.net
+  in
+  let result = Refiner.refine ?options model ~training:data in
+  let filters_after, meds_after = Net.count_policies model.Asmodel.Qrmodel.net in
+  {
+    result;
+    new_quasi_routers = Net.node_count model.Asmodel.Qrmodel.net - nodes_before;
+    new_filters = filters_after - filters_before;
+    new_med_rules = meds_after - meds_before;
+  }

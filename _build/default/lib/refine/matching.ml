@@ -1,0 +1,111 @@
+open Bgp
+module Net = Simulator.Net
+module Engine = Simulator.Engine
+module Decision = Simulator.Decision
+
+type verdict = Rib_out | Potential_rib_out | Rib_in | No_rib_in
+
+let verdict_to_string = function
+  | Rib_out -> "RIB-Out match"
+  | Potential_rib_out -> "potential RIB-Out match"
+  | Rib_in -> "RIB-In match"
+  | No_rib_in -> "no RIB-In match"
+
+let verdict_rank = function
+  | Rib_out -> 0
+  | Potential_rib_out -> 1
+  | Rib_in -> 2
+  | No_rib_in -> 3
+
+let tail_of path =
+  let arr = Aspath.to_array path in
+  Array.sub arr 1 (Array.length arr - 1)
+
+let nodes_selecting net st asn tail =
+  List.filter
+    (fun n ->
+      match Engine.best st n with
+      | Some r -> r.Simulator.Rattr.path = tail
+      | None -> false)
+    (Net.nodes_of_as net asn)
+
+let nodes_receiving net st asn tail =
+  List.filter_map
+    (fun n ->
+      let sessions =
+        List.filter_map
+          (fun (s, r) -> if r.Simulator.Rattr.path = tail then Some s else None)
+          (Engine.rib_in st n)
+      in
+      (* The originated route counts as "received" only through RIB-In
+         semantics when some session carries it; origination itself is
+         handled by the callers via empty tails. *)
+      if sessions = [] then None else Some (n, sessions))
+    (Net.nodes_of_as net asn)
+
+(* Position of a step in the decision sequence; later = closer to
+   selection, hence a better grade for the observed route. *)
+let step_position steps step =
+  let rec go i = function
+    | [] -> -1
+    | s :: rest -> if s = step then i else go (i + 1) rest
+  in
+  go 0 steps
+
+let best_elimination net st asn tail =
+  let steps = Net.decision_steps net in
+  let target (r : Simulator.Rattr.t) = r.Simulator.Rattr.path = tail in
+  List.fold_left
+    (fun acc n ->
+      let verdict =
+        Decision.classify steps ~target (Engine.candidates st net n)
+      in
+      match (verdict, acc) with
+      | Decision.Selected, _ -> `Selected
+      | _, `Selected -> `Selected
+      | Decision.Eliminated_at step, `Eliminated best ->
+          if step_position steps step > step_position steps best then
+            `Eliminated step
+          else `Eliminated best
+      | Decision.Eliminated_at step, `None -> `Eliminated step
+      | Decision.Tied_not_chosen, `Eliminated best ->
+          (* Losing an in-order tie is as close as losing the last
+             step. *)
+          if
+            step_position steps best
+            < List.length steps - 1
+          then `Eliminated (List.nth steps (List.length steps - 1))
+          else `Eliminated best
+      | Decision.Tied_not_chosen, `None ->
+          `Eliminated (List.nth steps (List.length steps - 1))
+      | Decision.Not_present, acc -> acc)
+    `None (Net.nodes_of_as net asn)
+
+let classify net st path =
+  let arr = Aspath.to_array path in
+  match Array.length arr with
+  | 0 -> No_rib_in
+  | 1 ->
+      (* The observing AS originates the prefix: matched by
+         definition. *)
+      if nodes_selecting net st arr.(0) [||] <> [] then Rib_out else No_rib_in
+  | _ -> (
+      let asn = arr.(0) in
+      let tail = Array.sub arr 1 (Array.length arr - 1) in
+      if nodes_selecting net st asn tail <> [] then Rib_out
+      else
+        match best_elimination net st asn tail with
+        | `Selected -> Rib_out
+        | `Eliminated Decision.Lowest_ip -> Potential_rib_out
+        | `Eliminated _ -> Rib_in
+        | `None -> No_rib_in)
+
+let eliminated_at net st path =
+  let arr = Aspath.to_array path in
+  if Array.length arr < 2 then None
+  else
+    let asn = arr.(0) in
+    let tail = Array.sub arr 1 (Array.length arr - 1) in
+    match best_elimination net st asn tail with
+    | `Eliminated step -> Some step
+    | `Selected | `None -> None

@@ -1,0 +1,1 @@
+lib/simulator/decision.ml: Array List Rattr Stdlib

@@ -1,0 +1,1 @@
+lib/simulator/decision.mli: Rattr

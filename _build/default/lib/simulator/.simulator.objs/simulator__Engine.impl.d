@@ -1,0 +1,1 @@
+lib/simulator/engine.ml: Array Bgp Decision Ipv4 List Net Prefix Queue Rattr Stdlib

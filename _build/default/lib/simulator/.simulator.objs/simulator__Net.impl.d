@@ -1,0 +1,1 @@
+lib/simulator/net.ml: Array Asn Bgp Decision Format Hashtbl Ipv4 List Prefix

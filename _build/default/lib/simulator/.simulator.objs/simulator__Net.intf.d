@@ -1,0 +1,1 @@
+lib/simulator/net.mli: Asn Bgp Decision Format Ipv4 Prefix

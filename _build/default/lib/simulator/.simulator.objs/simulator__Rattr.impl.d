@@ -1,0 +1,1 @@
+lib/simulator/rattr.ml: Array Aspath Bgp Format

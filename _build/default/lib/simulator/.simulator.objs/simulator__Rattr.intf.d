@@ -1,0 +1,1 @@
+lib/simulator/rattr.mli: Asn Bgp Format

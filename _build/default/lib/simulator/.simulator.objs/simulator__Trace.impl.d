@@ -1,0 +1,1 @@
+lib/simulator/trace.ml: Array Engine Format Hashtbl List Net Option Rattr Stdlib

@@ -1,0 +1,83 @@
+type step = Local_pref | Path_length | Med | Prefer_ebgp | Igp_cost | Lowest_ip
+
+let step_to_string = function
+  | Local_pref -> "local-pref"
+  | Path_length -> "as-path length"
+  | Med -> "med"
+  | Prefer_ebgp -> "prefer-ebgp"
+  | Igp_cost -> "igp cost"
+  | Lowest_ip -> "lowest neighbor IP"
+
+let model_steps = [ Local_pref; Path_length; Med; Lowest_ip ]
+
+let full_steps = [ Local_pref; Path_length; Med; Prefer_ebgp; Igp_cost; Lowest_ip ]
+
+(* Keep candidates minimizing [key]; single pass to find the minimum,
+   second to filter.  Order is preserved. *)
+let keep_min key candidates =
+  match candidates with
+  | [] | [ _ ] -> candidates
+  | first :: rest ->
+      let best =
+        List.fold_left (fun acc r -> min acc (key r)) (key first) rest
+      in
+      List.filter (fun r -> key r = best) candidates
+
+let survivors step candidates =
+  match step with
+  | Local_pref -> keep_min (fun r -> -r.Rattr.lpref) candidates
+  | Path_length -> keep_min (fun r -> Array.length r.Rattr.path) candidates
+  | Med -> keep_min (fun r -> r.Rattr.med) candidates
+  | Prefer_ebgp ->
+      keep_min
+        (fun r -> match r.Rattr.learned with From_ibgp -> 1 | Originated | From_ebgp -> 0)
+        candidates
+  | Igp_cost -> keep_min (fun r -> r.Rattr.igp) candidates
+  | Lowest_ip -> keep_min (fun r -> r.Rattr.from_ip) candidates
+
+let step_key step (r : Rattr.t) =
+  match step with
+  | Local_pref -> -r.Rattr.lpref
+  | Path_length -> Array.length r.Rattr.path
+  | Med -> r.Rattr.med
+  | Prefer_ebgp -> (
+      match r.Rattr.learned with From_ibgp -> 1 | Originated | From_ebgp -> 0)
+  | Igp_cost -> r.Rattr.igp
+  | Lowest_ip -> r.Rattr.from_ip
+
+let compare_routes steps a b =
+  let rec go = function
+    | [] -> 0
+    | step :: rest ->
+        let c = Stdlib.compare (step_key step a) (step_key step b) in
+        if c <> 0 then c else go rest
+  in
+  go steps
+
+let select steps candidates =
+  let rec run steps candidates =
+    match (steps, candidates) with
+    | _, [] -> None
+    | _, [ r ] -> Some r
+    | [], r :: _ -> Some r
+    | step :: rest, candidates -> run rest (survivors step candidates)
+  in
+  run steps candidates
+
+type verdict = Selected | Eliminated_at of step | Tied_not_chosen | Not_present
+
+let classify steps ~target candidates =
+  if not (List.exists target candidates) then Not_present
+  else
+    let rec run steps candidates =
+      match steps with
+      | [] -> (
+          match candidates with
+          | r :: _ when target r -> Selected
+          | _ -> Tied_not_chosen)
+      | step :: rest ->
+          let remaining = survivors step candidates in
+          if List.exists target remaining then run rest remaining
+          else Eliminated_at step
+    in
+    run steps candidates

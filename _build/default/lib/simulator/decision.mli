@@ -1,0 +1,52 @@
+(** The BGP decision process (paper §2, Figure 1).
+
+    The process is a sequence of elimination steps over the candidate
+    routes of a node's RIB-In.  Each configuration lists its steps; the
+    paper's quasi-router model uses
+    [\[Local_pref; Path_length; Med; Lowest_ip\]] with always-compare
+    MED, while the router-level ground truth additionally uses
+    [Prefer_ebgp] and [Igp_cost] (hot-potato routing). *)
+
+type step =
+  | Local_pref  (** keep the highest LOCAL_PREF *)
+  | Path_length  (** keep the shortest AS-path *)
+  | Med  (** keep the lowest MED; compared across all neighbours *)
+  | Prefer_ebgp  (** prefer eBGP-learned (and originated) over iBGP *)
+  | Igp_cost  (** keep the lowest IGP cost to the egress (hot potato) *)
+  | Lowest_ip  (** final tie-break: lowest announcing-router address *)
+
+val step_to_string : step -> string
+
+val model_steps : step list
+(** The quasi-router model's process (paper §4.5–4.6). *)
+
+val full_steps : step list
+(** The complete router-level process used by the ground truth. *)
+
+val survivors : step -> Rattr.t list -> Rattr.t list
+(** Candidates remaining after one elimination step (order preserved). *)
+
+val compare_routes : step list -> Rattr.t -> Rattr.t -> int
+(** Total preference order induced by the elimination steps: negative
+    when the first route wins.  Running elimination equals taking the
+    lexicographic minimum under this order (ties resolved by list
+    order), which is what the engine's hot path does. *)
+
+val select : step list -> Rattr.t list -> Rattr.t option
+(** Run all steps and return the single best route ([None] on an empty
+    candidate list).  If candidates remain tied after every step the
+    first in list order wins — deterministic because RIB-In order is
+    session order. *)
+
+type verdict =
+  | Selected  (** a target route is the best route *)
+  | Eliminated_at of step  (** step at which the last target was dropped *)
+  | Tied_not_chosen
+      (** a target survived every step but lost the final in-order pick
+          (only possible when two sessions share an announcing IP) *)
+  | Not_present  (** no candidate satisfies the target predicate *)
+
+val classify : step list -> target:(Rattr.t -> bool) -> Rattr.t list -> verdict
+(** Where in the elimination process the target route(s) die — the
+    machinery behind the paper's "potential RIB-Out match" (eliminated
+    exactly at {!Lowest_ip}) and the Table 2 disagreement breakdown. *)

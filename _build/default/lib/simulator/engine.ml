@@ -1,0 +1,225 @@
+open Bgp
+
+type state = {
+  pfx : Prefix.t;
+  rib_in : Rattr.t option array array;  (* node -> session index -> route *)
+  best : Rattr.t option array;
+  originates : bool array;
+  mutable converged : bool;
+  mutable events : int;
+}
+
+let prefix st = st.pfx
+
+let converged st = st.converged
+
+let events st = st.events
+
+(* Nodes created after a run (the refiner's duplicates) have no state
+   yet: report them as empty rather than out of bounds. *)
+let best st n = if n >= Array.length st.best then None else st.best.(n)
+
+let rib_in st n =
+  if n >= Array.length st.rib_in then []
+  else
+  let slots = st.rib_in.(n) in
+  let acc = ref [] in
+  for i = Array.length slots - 1 downto 0 do
+    match slots.(i) with Some r -> acc := (i, r) :: !acc | None -> ()
+  done;
+  !acc
+
+let candidates st net n =
+  let own =
+    if n < Array.length st.originates && st.originates.(n) then
+      [ Rattr.originated ~own_ip:(Ipv4.to_int (Net.ip_of net n)) ]
+    else []
+  in
+  own @ List.map snd (rib_in st n)
+
+(* What node [n] advertises over session [s] (described by [si]) given
+   its best route; [None] means withdraw.  [ebgp_path] is the
+   own-AS-prepended path, computed once per best change. *)
+let compute_export net st n s (si : Net.session_info) best ~ebgp_path =
+  match best with
+  | None -> None
+  | Some (r : Rattr.t) ->
+      if r.Rattr.from_node = si.Net.si_peer then None
+      else if
+        si.Net.si_kind = Net.Ibgp
+        && r.Rattr.learned = Rattr.From_ibgp
+        && not
+             (* RFC 4456 route reflection: an iBGP-learned route is
+                re-advertised over iBGP to clients always, and to
+                non-clients when it was learned from a client. *)
+             (si.Net.si_rr_client
+             || (r.Rattr.from_session >= 0 && Net.rr_client net n r.Rattr.from_session))
+      then None
+      else if Net.export_denied net n s st.pfx then None
+      else if
+        si.Net.si_kind = Net.Ebgp
+        && not
+             (Net.export_matrix net ~learned_class:r.Rattr.learned_class
+                ~to_class:si.Net.si_class)
+      then None
+      else
+        let path =
+          match si.Net.si_kind with
+          | Net.Ebgp -> ebgp_path
+          | Net.Ibgp -> r.Rattr.path
+        in
+        Some (path, r)
+
+(* Import processing at [peer] for an advertisement from [n] over the
+   peer-side session [ps] (described by [ri]). *)
+let import net st ~sender:n ~sender_ip ~peer ~peer_as ~peer_session:ps
+    (ri : Net.session_info) adv =
+  match adv with
+  | None -> None
+  | Some (path, (orig : Rattr.t)) -> (
+      match ri.Net.si_kind with
+      | Net.Ebgp ->
+          if Array.exists (fun a -> a = peer_as) path then None
+          else
+            let lpref =
+              match Net.import_lpref_for net peer ps st.pfx with
+              | Some v -> v
+              | None ->
+                  if ri.Net.si_carry then orig.Rattr.lpref
+                  else match ri.Net.si_lpref with Some v -> v | None -> 100
+            in
+            let med =
+              match Net.session_med net peer ps st.pfx with
+              | Some v -> v
+              | None -> Net.default_med net
+            in
+            Some
+              {
+                Rattr.path;
+                lpref;
+                med;
+                igp = 0;
+                from_node = n;
+                from_ip = sender_ip;
+                from_session = ps;
+                learned = Rattr.From_ebgp;
+                learned_class = ri.Net.si_class;
+              }
+      | Net.Ibgp ->
+          (* LOCAL_PREF and MED travel unchanged inside the AS; the IGP
+             cost to the egress (the announcing router) implements
+             hot-potato ranking. *)
+          Some
+            {
+              Rattr.path;
+              lpref = orig.Rattr.lpref;
+              med = orig.Rattr.med;
+              igp = Net.igp_cost net peer n;
+              from_node = n;
+              from_ip = sender_ip;
+              from_session = ps;
+              learned = Rattr.From_ibgp;
+              learned_class = ri.Net.si_class;
+            })
+
+let run ?max_events ?on_best_change net ~prefix:pfx ~originators =
+  let n = Net.node_count net in
+  let st =
+    {
+      pfx;
+      rib_in = Array.init n (fun i -> Array.make (Net.session_count_of net i) None);
+      best = Array.make n None;
+      originates = Array.make n false;
+      converged = true;
+      events = 0;
+    }
+  in
+  List.iter (fun o -> st.originates.(o) <- true) originators;
+  let budget =
+    match max_events with Some b -> b | None -> 1000 + (200 * n)
+  in
+  let queue = Queue.create () in
+  let queued = Array.make n false in
+  let enqueue u =
+    if not queued.(u) then begin
+      queued.(u) <- true;
+      Queue.push u queue
+    end
+  in
+  List.iter enqueue originators;
+  let steps = Net.decision_steps net in
+  (* Allocation-free best computation: the elimination process equals
+     the lexicographic minimum under Decision.compare_routes, first in
+     RIB-In order winning ties. *)
+  let recompute_best u =
+    let best = ref None in
+    if st.originates.(u) then
+      best := Some (Rattr.originated ~own_ip:(Ipv4.to_int (Net.ip_of net u)));
+    let slots = st.rib_in.(u) in
+    for i = 0 to Array.length slots - 1 do
+      match slots.(i) with
+      | None -> ()
+      | Some r -> (
+          match !best with
+          | None -> best := Some r
+          | Some b -> if Decision.compare_routes steps r b < 0 then best := Some r)
+    done;
+    !best
+  in
+  let process u =
+    st.events <- st.events + 1;
+    let best' = recompute_best u in
+    if not (Rattr.same_advertisement st.best.(u) best') then begin
+      st.best.(u) <- best';
+      (match on_best_change with Some f -> f u best' | None -> ());
+      let ebgp_path =
+        match best' with
+        | None -> [||]
+        | Some r ->
+            let own = Net.asn_of net u in
+            let len = Array.length r.Rattr.path in
+            let out = Array.make (len + 1) own in
+            Array.blit r.Rattr.path 0 out 1 len;
+            out
+      in
+      let own_ip = Ipv4.to_int (Net.ip_of net u) in
+      Net.iter_sessions net u (fun s _peer ->
+          let si = Net.session_info net u s in
+          let peer = si.Net.si_peer in
+          let adv = compute_export net st u s si best' ~ebgp_path in
+          let ps = si.Net.si_reverse in
+          let ri = Net.session_info net peer ps in
+          let imported =
+            import net st ~sender:u ~sender_ip:own_ip ~peer
+              ~peer_as:(Net.asn_of net peer) ~peer_session:ps ri adv
+          in
+          if not (Rattr.same_advertisement st.rib_in.(peer).(ps) imported)
+          then begin
+            st.rib_in.(peer).(ps) <- imported;
+            enqueue peer
+          end)
+    end
+  in
+  let rec drain () =
+    if not (Queue.is_empty queue) then
+      if st.events >= budget then st.converged <- false
+      else begin
+        let u = Queue.pop queue in
+        queued.(u) <- false;
+        process u;
+        drain ()
+      end
+  in
+  drain ();
+  st
+
+let best_full_path net st n =
+  match best st n with
+  | None -> None
+  | Some r -> Some (Rattr.full_path ~own_as:(Net.asn_of net n) r)
+
+let selected_paths net st asn =
+  let paths =
+    List.filter_map (fun n -> best_full_path net st n) (Net.nodes_of_as net asn)
+  in
+  List.sort_uniq Stdlib.compare paths

@@ -1,0 +1,52 @@
+(** Per-prefix route propagation to convergence.
+
+    Like C-BGP (paper §2, §4.1), the engine computes the steady state of
+    BGP for one prefix at a time: originators inject the route, nodes
+    apply import policies, run the decision process and re-export their
+    best route until no announcement changes anything.  The result gives
+    access to every node's RIB-In and best route, which is exactly what
+    the matching metrics of §4.2 inspect. *)
+
+open Bgp
+
+type state
+
+val run :
+  ?max_events:int ->
+  ?on_best_change:(int -> Rattr.t option -> unit) ->
+  Net.t ->
+  prefix:Prefix.t ->
+  originators:int list ->
+  state
+(** Simulate until convergence.  [max_events] (default
+    [1000 + 200 * node_count]) bounds node activations; exceeding the
+    budget flags the state as non-converged instead of looping.
+    [on_best_change node best] is a trace hook, called whenever a node
+    adopts a new best route. *)
+
+val prefix : state -> Prefix.t
+
+val converged : state -> bool
+
+val events : state -> int
+(** Node activations performed. *)
+
+val best : state -> int -> Rattr.t option
+(** The node's selected route ([None]: no route). *)
+
+val rib_in : state -> int -> (int * Rattr.t) list
+(** [(session_index, route)] for every session currently delivering a
+    route to the node, in session order. *)
+
+val candidates : state -> Net.t -> int -> Rattr.t list
+(** The decision-process input at a node: originated route (if the node
+    originates the prefix) followed by the RIB-In routes. *)
+
+val best_full_path : Net.t -> state -> int -> int array option
+(** The node's selected AS-level path including its own AS — directly
+    comparable with an observed AS-path. *)
+
+val selected_paths : Net.t -> state -> Asn.t -> int array list
+(** All distinct full paths selected by the nodes of an AS (what the AS
+    as a whole propagates — the model's answer to "which routes does
+    this AS use for this prefix"). *)

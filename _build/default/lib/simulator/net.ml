@@ -1,0 +1,307 @@
+open Bgp
+
+type session_kind = Ebgp | Ibgp
+
+let class_none = 0
+
+(* Minimal growable vector; nodes and sessions are append-only. *)
+module Vec = struct
+  type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
+
+  let create dummy = { data = Array.make 8 dummy; len = 0; dummy }
+
+  let length v = v.len
+
+  let get v i =
+    if i < 0 || i >= v.len then invalid_arg "Vec.get" else v.data.(i)
+
+  let push v x =
+    if v.len = Array.length v.data then begin
+      let data = Array.make (2 * v.len) v.dummy in
+      Array.blit v.data 0 data 0 v.len;
+      v.data <- data
+    end;
+    v.data.(v.len) <- x;
+    v.len <- v.len + 1;
+    v.len - 1
+
+  let iteri f v =
+    for i = 0 to v.len - 1 do
+      f i v.data.(i)
+    done
+end
+
+type session = {
+  peer : int;
+  mutable peer_session : int;
+  kind : session_kind;
+  s_class : int;
+  mutable lpref_in : int option;
+  mutable carry_lpref : bool;
+  mutable rr_client : bool;
+  med_in : int Prefix.Table.t;
+  lpref_in_pfx : int Prefix.Table.t;
+  deny_out : unit Prefix.Table.t;
+}
+
+type node = { asn : Asn.t; ip : Ipv4.t; sessions : session Vec.t }
+
+type t = {
+  nodes : node Vec.t;
+  by_as : (Asn.t, int list ref) Hashtbl.t;  (* node ids, reverse order *)
+  mutable export_ok : learned_class:int -> to_class:int -> bool;
+  mutable igp : int -> int -> int;
+  mutable med_default : int;
+  mutable steps : Decision.step list;
+  mutable nsessions : int;  (* directed half-sessions *)
+}
+
+let dummy_session =
+  {
+    peer = -1;
+    peer_session = -1;
+    kind = Ebgp;
+    s_class = class_none;
+    lpref_in = None;
+    carry_lpref = false;
+    rr_client = false;
+    med_in = Prefix.Table.create 1;
+    lpref_in_pfx = Prefix.Table.create 1;
+    deny_out = Prefix.Table.create 1;
+  }
+
+let dummy_node =
+  { asn = 0; ip = Ipv4.of_int 0; sessions = Vec.create dummy_session }
+
+let create () =
+  {
+    nodes = Vec.create dummy_node;
+    by_as = Hashtbl.create 256;
+    export_ok = (fun ~learned_class:_ ~to_class:_ -> true);
+    igp = (fun _ _ -> 0);
+    med_default = 100;
+    steps = Decision.model_steps;
+    nsessions = 0;
+  }
+
+let add_node t ~asn ~ip =
+  let id =
+    Vec.push t.nodes { asn; ip; sessions = Vec.create dummy_session }
+  in
+  (match Hashtbl.find_opt t.by_as asn with
+  | Some l -> l := id :: !l
+  | None -> Hashtbl.add t.by_as asn (ref [ id ]));
+  id
+
+let node_count t = Vec.length t.nodes
+
+let session_count t = t.nsessions
+
+let node t n = Vec.get t.nodes n
+
+let asn_of t n = (node t n).asn
+
+let ip_of t n = (node t n).ip
+
+let nodes_of_as t asn =
+  match Hashtbl.find_opt t.by_as asn with
+  | Some l -> List.rev !l
+  | None -> []
+
+let find_session t a b =
+  let na = node t a in
+  let found = ref None in
+  Vec.iteri (fun i s -> if s.peer = b && !found = None then found := Some i)
+    na.sessions;
+  !found
+
+let fresh_session ~peer ~kind ~s_class =
+  {
+    peer;
+    peer_session = -1;
+    kind;
+    s_class;
+    lpref_in = None;
+    carry_lpref = false;
+    rr_client = false;
+    med_in = Prefix.Table.create 4;
+    lpref_in_pfx = Prefix.Table.create 4;
+    deny_out = Prefix.Table.create 4;
+  }
+
+let connect ?(kind = Ebgp) ?(class_ab = class_none) ?(class_ba = class_none) t
+    a b =
+  if a = b then invalid_arg "Net.connect: self session";
+  if find_session t a b <> None then
+    invalid_arg "Net.connect: session already exists";
+  let sa = fresh_session ~peer:b ~kind ~s_class:class_ab in
+  let sb = fresh_session ~peer:a ~kind ~s_class:class_ba in
+  let ia = Vec.push (node t a).sessions sa in
+  let ib = Vec.push (node t b).sessions sb in
+  sa.peer_session <- ib;
+  sb.peer_session <- ia;
+  t.nsessions <- t.nsessions + 2;
+  (ia, ib)
+
+let sessions_of t n =
+  let acc = ref [] in
+  Vec.iteri (fun i s -> acc := (i, s.peer) :: !acc) (node t n).sessions;
+  List.rev !acc
+
+let iter_sessions t n f =
+  Vec.iteri (fun i s -> f i s.peer) (node t n).sessions
+
+let session_count_of t n = Vec.length (node t n).sessions
+
+let session t n s = Vec.get (node t n).sessions s
+
+type session_info = {
+  si_peer : int;
+  si_reverse : int;
+  si_kind : session_kind;
+  si_class : int;
+  si_lpref : int option;
+  si_carry : bool;
+  si_rr_client : bool;
+}
+
+let session_info t n s =
+  let ss = session t n s in
+  {
+    si_peer = ss.peer;
+    si_reverse = ss.peer_session;
+    si_kind = ss.kind;
+    si_class = ss.s_class;
+    si_lpref = ss.lpref_in;
+    si_carry = ss.carry_lpref;
+    si_rr_client = ss.rr_client;
+  }
+
+let session_med t n s p = Prefix.Table.find_opt (session t n s).med_in p
+
+let session_peer t n s = (session t n s).peer
+
+let session_kind t n s = (session t n s).kind
+
+let session_reverse t n s = (session t n s).peer_session
+
+let session_class t n s = (session t n s).s_class
+
+let set_import_lpref t n s v = (session t n s).lpref_in <- Some v
+
+let import_lpref t n s = (session t n s).lpref_in
+
+let set_rr_client t n s v = (session t n s).rr_client <- v
+
+let rr_client t n s = (session t n s).rr_client
+
+let set_carry_lpref t n s v = (session t n s).carry_lpref <- v
+
+let carry_lpref t n s = (session t n s).carry_lpref
+
+let set_import_lpref_for t n s p v =
+  Prefix.Table.replace (session t n s).lpref_in_pfx p v
+
+let clear_import_lpref_for t n s p =
+  Prefix.Table.remove (session t n s).lpref_in_pfx p
+
+let import_lpref_for t n s p =
+  Prefix.Table.find_opt (session t n s).lpref_in_pfx p
+
+let set_import_med t n s p v = Prefix.Table.replace (session t n s).med_in p v
+
+let clear_import_med t n s p = Prefix.Table.remove (session t n s).med_in p
+
+let import_med t n s p = Prefix.Table.find_opt (session t n s).med_in p
+
+let deny_export t n s p = Prefix.Table.replace (session t n s).deny_out p ()
+
+let allow_export t n s p = Prefix.Table.remove (session t n s).deny_out p
+
+let export_denied t n s p = Prefix.Table.mem (session t n s).deny_out p
+
+let fold_export_denies t f init =
+  let acc = ref init in
+  Vec.iteri
+    (fun n nd ->
+      Vec.iteri
+        (fun si s -> Prefix.Table.iter (fun p () -> acc := f n si p !acc) s.deny_out)
+        nd.sessions)
+    t.nodes;
+  !acc
+
+let count_policies t =
+  let denies = ref 0 and meds = ref 0 in
+  Vec.iteri
+    (fun _ nd ->
+      Vec.iteri
+        (fun _ s ->
+          denies := !denies + Prefix.Table.length s.deny_out;
+          meds := !meds + Prefix.Table.length s.med_in)
+        nd.sessions)
+    t.nodes;
+  (!denies, !meds)
+
+let set_export_matrix t f = t.export_ok <- f
+
+let export_matrix t ~learned_class ~to_class = t.export_ok ~learned_class ~to_class
+
+let set_igp_cost t f = t.igp <- f
+
+let igp_cost t a b = t.igp a b
+
+let set_default_med t v = t.med_default <- v
+
+let default_med t = t.med_default
+
+let set_decision_steps t steps = t.steps <- steps
+
+let decision_steps t = t.steps
+
+let copy_table src dst =
+  Prefix.Table.reset dst;
+  Prefix.Table.iter (fun p v -> Prefix.Table.replace dst p v) src
+
+let duplicate_node t n =
+  let orig = node t n in
+  let idx = List.length (nodes_of_as t orig.asn) in
+  let ip = Asn.router_ip orig.asn idx in
+  let id = add_node t ~asn:orig.asn ~ip in
+  let dup = node t id in
+  Vec.iteri
+    (fun _ s ->
+      let peer_node = node t s.peer in
+      let peer_half = Vec.get peer_node.sessions s.peer_session in
+      (* Half-session at the duplicate, mirroring n's import/export
+         policies toward this peer. *)
+      let mine = fresh_session ~peer:s.peer ~kind:s.kind ~s_class:s.s_class in
+      mine.lpref_in <- s.lpref_in;
+      mine.carry_lpref <- s.carry_lpref;
+      mine.rr_client <- s.rr_client;
+      copy_table s.med_in mine.med_in;
+      copy_table s.lpref_in_pfx mine.lpref_in_pfx;
+      copy_table s.deny_out mine.deny_out;
+      (* Half-session at the peer toward the duplicate, mirroring the
+         peer's policies toward n (so the duplicate receives exactly the
+         routes n receives — paper §4.6). *)
+      let theirs =
+        fresh_session ~peer:id ~kind:peer_half.kind ~s_class:peer_half.s_class
+      in
+      theirs.lpref_in <- peer_half.lpref_in;
+      theirs.carry_lpref <- peer_half.carry_lpref;
+      theirs.rr_client <- peer_half.rr_client;
+      copy_table peer_half.med_in theirs.med_in;
+      copy_table peer_half.lpref_in_pfx theirs.lpref_in_pfx;
+      copy_table peer_half.deny_out theirs.deny_out;
+      let im = Vec.push dup.sessions mine in
+      let ip' = Vec.push peer_node.sessions theirs in
+      mine.peer_session <- ip';
+      theirs.peer_session <- im;
+      t.nsessions <- t.nsessions + 2)
+    orig.sessions;
+  id
+
+let pp_summary ppf t =
+  let denies, meds = count_policies t in
+  Format.fprintf ppf "%d nodes, %d sessions, %d ASes, %d filters, %d med rules"
+    (node_count t) (t.nsessions / 2) (Hashtbl.length t.by_as) denies meds

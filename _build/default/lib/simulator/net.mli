@@ -1,0 +1,193 @@
+(** Simulated networks: nodes, BGP sessions and policies.
+
+    A network holds routers (or quasi-routers) identified by dense
+    integer ids, each belonging to an AS and carrying an address used by
+    the final decision-process tie-break.  Sessions are stored as
+    directed half-sessions: node [n]'s half toward peer [m] carries the
+    policies [n] applies when {e exporting} to [m] and when
+    {e importing} from [m].
+
+    Networks are mutable: the refinement heuristic adds quasi-routers,
+    filters and MED rules between simulation runs. *)
+
+open Bgp
+
+type t
+
+type session_kind = Ebgp | Ibgp
+
+val class_none : int
+(** Relationship class for sessions without one (the agnostic model). *)
+
+val create : unit -> t
+
+val add_node : t -> asn:Asn.t -> ip:Ipv4.t -> int
+(** Returns the new node's id. *)
+
+val node_count : t -> int
+
+val session_count : t -> int
+(** Total directed half-sessions (twice the number of BGP sessions). *)
+
+val asn_of : t -> int -> Asn.t
+
+val ip_of : t -> int -> Ipv4.t
+
+val nodes_of_as : t -> Asn.t -> int list
+(** Node ids of an AS, in creation order (lowest quasi-router id — and
+    hence lowest address — first); [] for unknown ASes. *)
+
+val connect :
+  ?kind:session_kind ->
+  ?class_ab:int ->
+  ?class_ba:int ->
+  t ->
+  int ->
+  int ->
+  int * int
+(** [connect t a b] establishes a BGP session; returns the session index
+    of the new half-session at [a] and at [b].  [class_ab] is the
+    relationship class [a] assigns to peer [b] (how [a] sees [b]);
+    [class_ba] the converse.  Raises [Invalid_argument] if a session
+    between [a] and [b] already exists or [a = b]. *)
+
+val sessions_of : t -> int -> (int * int) list
+(** [(session_index, peer_node_id)] pairs at a node. *)
+
+val iter_sessions : t -> int -> (int -> int -> unit) -> unit
+(** [iter_sessions t n f] calls [f session_index peer_node_id] for every
+    session of [n] without allocating (the engine's hot path). *)
+
+val session_count_of : t -> int -> int
+(** Number of sessions at a node. *)
+
+val session_peer : t -> int -> int -> int
+(** [session_peer t n s] is the node at the far end of session [s] of
+    node [n]. *)
+
+val session_kind : t -> int -> int -> session_kind
+
+val session_reverse : t -> int -> int -> int
+(** [session_reverse t n s] is the index, at the peer, of the
+    half-session mirroring session [s] of node [n]. *)
+
+val session_class : t -> int -> int -> int
+(** Relationship class node [n] assigns to the peer of session [s]. *)
+
+val find_session : t -> int -> int -> int option
+(** [find_session t a b] is the index at [a] of the session to [b]. *)
+
+type session_info = {
+  si_peer : int;
+  si_reverse : int;  (** index of the mirror half-session at the peer *)
+  si_kind : session_kind;
+  si_class : int;
+  si_lpref : int option;
+  si_carry : bool;
+  si_rr_client : bool;
+}
+
+val session_info : t -> int -> int -> session_info
+(** All per-session fields in one lookup — the engine's hot path. *)
+
+val session_med : t -> int -> int -> Prefix.t -> int option
+(** Alias of {!import_med}; named for the engine's import step. *)
+
+(** {2 Policies} *)
+
+val set_import_lpref : t -> int -> int -> int -> unit
+(** [set_import_lpref t n s v]: routes received by [n] over session [s]
+    get LOCAL_PREF [v] (default: the network-wide default, 100). *)
+
+val import_lpref : t -> int -> int -> int option
+
+val set_rr_client : t -> int -> int -> bool -> unit
+(** [set_rr_client t n s true]: the peer of iBGP session [s] is a
+    route-reflection client of [n].  The engine then applies RFC 4456
+    reflection at [n]: iBGP-learned routes are re-advertised over iBGP
+    to clients always, and to non-clients when they were learned from a
+    client.  Without any client flags iBGP behaves as a full mesh
+    (iBGP-learned routes are never re-advertised). *)
+
+val rr_client : t -> int -> int -> bool
+
+val set_carry_lpref : t -> int -> int -> bool -> unit
+(** [set_carry_lpref t n s true]: routes received by [n] over eBGP
+    session [s] keep the announcer's LOCAL_PREF instead of getting an
+    import value — the behaviour of sibling ASes (one organization, so
+    preference is preserved across the boundary, as with
+    confederations).  Carrying the preference makes two-sibling dispute
+    wheels impossible: a mutual preference inversion would need
+    [a > b] and [b > a] on the carried values. *)
+
+val carry_lpref : t -> int -> int -> bool
+
+val set_import_med : t -> int -> int -> Prefix.t -> int -> unit
+(** Per-prefix MED override on import (the refiner's ranking rule). *)
+
+val set_import_lpref_for : t -> int -> int -> Prefix.t -> int -> unit
+(** Per-prefix LOCAL_PREF override on import — the ranking mechanism the
+    paper tried first and abandoned because preferring routes with
+    longer AS-paths over shorter ones can diverge (§4.6, citing [37]).
+    Kept so the negative result is reproducible; takes precedence over
+    the per-session import preference. *)
+
+val clear_import_lpref_for : t -> int -> int -> Prefix.t -> unit
+
+val import_lpref_for : t -> int -> int -> Prefix.t -> int option
+
+val clear_import_med : t -> int -> int -> Prefix.t -> unit
+
+val import_med : t -> int -> int -> Prefix.t -> int option
+
+val deny_export : t -> int -> int -> Prefix.t -> unit
+(** [deny_export t n s p]: node [n] stops announcing prefix [p] over
+    session [s] (the refiner's filter rule). *)
+
+val allow_export : t -> int -> int -> Prefix.t -> unit
+(** Remove a {!deny_export} rule (the refiner's filter deletion). *)
+
+val export_denied : t -> int -> int -> Prefix.t -> bool
+
+val fold_export_denies : t -> (int -> int -> Prefix.t -> 'a -> 'a) -> 'a -> 'a
+(** Fold over all (node, session, prefix) deny rules. *)
+
+val count_policies : t -> int * int
+(** [(deny_rules, med_rules)] across the network. *)
+
+(** {2 Network-wide configuration} *)
+
+val set_export_matrix : t -> (learned_class:int -> to_class:int -> bool) -> unit
+(** Relationship-based export rule for eBGP sessions: may a route
+    learned over a session of class [learned_class] ([-1] when
+    originated) be exported over a session of class [to_class]?
+    Default: always true (the agnostic model). *)
+
+val export_matrix : t -> learned_class:int -> to_class:int -> bool
+
+val set_igp_cost : t -> (int -> int -> int) -> unit
+(** IGP distance between two routers of the same AS, for hot-potato
+    ranking of iBGP-learned routes.  Default: constant 0. *)
+
+val igp_cost : t -> int -> int -> int
+
+val set_default_med : t -> int -> unit
+(** MED assigned on import when no per-prefix rule matches (default
+    100, so the refiner's MED 0 rules rank below it). *)
+
+val default_med : t -> int
+
+val set_decision_steps : t -> Decision.step list -> unit
+(** Default: {!Decision.model_steps}. *)
+
+val decision_steps : t -> Decision.step list
+
+(** {2 Structure edits used by the refiner} *)
+
+val duplicate_node : t -> int -> int
+(** [duplicate_node t n] creates a copy of [n] in the same AS with the
+    next quasi-router index: same sessions (fresh half-sessions on both
+    sides) and deep-copied policies in both directions, so the copy has
+    the same RIB-In as the original (paper §4.6).  Returns the new id. *)
+
+val pp_summary : Format.formatter -> t -> unit

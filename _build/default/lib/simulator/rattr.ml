@@ -1,0 +1,52 @@
+open Bgp
+
+type learned = Originated | From_ebgp | From_ibgp
+
+type t = {
+  path : int array;
+  lpref : int;
+  med : int;
+  igp : int;
+  from_node : int;
+  from_ip : int;
+  from_session : int;
+  learned : learned;
+  learned_class : int;
+}
+
+let originated_lpref = 1_000_000
+
+let originated ~own_ip =
+  {
+    path = [||];
+    lpref = originated_lpref;
+    med = 0;
+    igp = 0;
+    from_node = -1;
+    from_ip = own_ip;
+    from_session = -1;
+    learned = Originated;
+    learned_class = -1;
+  }
+
+let full_path ~own_as r =
+  let n = Array.length r.path in
+  let out = Array.make (n + 1) own_as in
+  Array.blit r.path 0 out 1 n;
+  out
+
+let same_advertisement a b =
+  match (a, b) with
+  | None, None -> true
+  | Some _, None | None, Some _ -> false
+  | Some a, Some b ->
+      a.from_node = b.from_node
+      && a.path = b.path
+      && a.lpref = b.lpref
+      && a.med = b.med
+      && a.igp = b.igp
+
+let pp ~own_as ppf r =
+  let path = full_path ~own_as r in
+  Format.fprintf ppf "%a lpref=%d med=%d igp=%d from=%d" Aspath.pp
+    (Aspath.of_array path) r.lpref r.med r.igp r.from_node

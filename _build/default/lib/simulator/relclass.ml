@@ -1,0 +1,37 @@
+let customer = 1
+
+let peer = 2
+
+let provider = 3
+
+let sibling = 4
+
+let unknown = 5
+
+let lpref c =
+  if c = customer then 120
+  else if c = sibling then 110
+  else if c = peer || c = unknown then 100
+  else if c = provider then 80
+  else 100
+
+let band c =
+  if c = customer then (116, 125)
+  else if c = sibling then (106, 115)
+  else if c = peer || c = unknown then (96, 105)
+  else if c = provider then (76, 90)
+  else (96, 105)
+
+let export_ok ~learned_class ~to_class =
+  learned_class = -1
+  || learned_class = customer
+  || to_class = customer
+  || to_class = sibling
+
+let to_string c =
+  if c = customer then "customer"
+  else if c = peer then "peer"
+  else if c = provider then "provider"
+  else if c = sibling then "sibling"
+  else if c = unknown then "unknown"
+  else "none"

@@ -1,0 +1,45 @@
+(** Relationship classes as session tags.
+
+    The engine is policy-agnostic: sessions carry an integer class and
+    the network an export matrix over classes.  This module fixes the
+    conventional encoding used by the ground-truth world and by the
+    relationship-based baseline (paper §3.3): Gao-Rexford preferences
+    and the standard export rule ("routes learned from a peer or a
+    provider are exported only to customers and siblings").
+
+    Preference values live in disjoint per-class bands with customers
+    strictly on top.  Per-session "weird" policies may pick any value
+    inside their class band: that varies which link an AS prefers — and
+    lets longer routes win over shorter ones within a class — without
+    violating the Gao-Rexford safety condition (customer routes above
+    all others), so simulations provably converge. *)
+
+val customer : int
+
+val peer : int
+
+val provider : int
+
+val sibling : int
+
+val unknown : int
+(** Edges the inference could not classify.  The paper treats them like
+    peerings (footnote 2). *)
+
+val lpref : int -> int
+(** Default import preference for a session class: customer 120,
+    sibling 110, peer/unknown 100, provider 80. *)
+
+val band : int -> int * int
+(** Inclusive LOCAL_PREF range a deviant session of this class may use:
+    customer 116-125, sibling 106-115, peer/unknown 96-105,
+    provider 76-90. *)
+
+val export_ok : learned_class:int -> to_class:int -> bool
+(** The valley-free export rule.  Originated routes ([learned_class =
+    -1]) and customer routes go everywhere; peer, provider, unknown and
+    sibling routes only to customers and siblings.  (Treating
+    sibling-learned routes conservatively keeps transit chains through
+    sibling links from leaking provider routes upward.) *)
+
+val to_string : int -> string

@@ -1,0 +1,65 @@
+type tree = {
+  parent : int option array;
+  children : int list array;
+  roots : int list;
+  unrouted : int list;
+}
+
+let tree net st =
+  let n = Net.node_count net in
+  let parent = Array.make n None in
+  let children = Array.make n [] in
+  let roots = ref [] and unrouted = ref [] in
+  for id = n - 1 downto 0 do
+    match Engine.best st id with
+    | None -> unrouted := id :: !unrouted
+    | Some r ->
+        if r.Rattr.from_node < 0 then roots := id :: !roots
+        else begin
+          parent.(id) <- Some r.Rattr.from_node;
+          children.(r.Rattr.from_node) <- id :: children.(r.Rattr.from_node)
+        end
+  done;
+  { parent; children; roots = !roots; unrouted = !unrouted }
+
+let depth t n =
+  let rec go n acc =
+    match t.parent.(n) with
+    | None -> acc
+    | Some p -> if acc > Array.length t.parent then acc else go p (acc + 1)
+  in
+  go n 0
+
+let rec subtree_size t n =
+  1 + List.fold_left (fun acc c -> acc + subtree_size t c) 0 t.children.(n)
+
+let depth_histogram t =
+  let table = Hashtbl.create 16 in
+  Array.iteri
+    (fun id parent ->
+      match parent with
+      | Some _ ->
+          let d = depth t id in
+          Hashtbl.replace table d
+            (1 + Option.value ~default:0 (Hashtbl.find_opt table d))
+      | None -> ())
+    t.parent;
+  List.iter
+    (fun r ->
+      Hashtbl.replace table 0
+        (1 + Option.value ~default:0 (Hashtbl.find_opt table 0));
+      ignore r)
+    t.roots;
+  Hashtbl.fold (fun d c acc -> (d, c) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+let pp_route net st ppf n =
+  let rec go n first =
+    if not first then Format.fprintf ppf " <- ";
+    Format.fprintf ppf "n%d(AS%d)" n (Net.asn_of net n);
+    match Engine.best st n with
+    | Some r when r.Rattr.from_node >= 0 -> go r.Rattr.from_node false
+    | Some _ -> Format.fprintf ppf " [origin]"
+    | None -> Format.fprintf ppf " [no route]"
+  in
+  go n true

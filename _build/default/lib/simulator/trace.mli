@@ -1,0 +1,33 @@
+(** Propagation inspection of a converged state.
+
+    Once a per-prefix simulation has converged, the best routes form a
+    forest rooted at the originators: each routed node's parent is the
+    node that announced its best route.  This module reconstructs that
+    forest and derives the statistics used for debugging models and for
+    reporting convergence behaviour. *)
+
+type tree = {
+  parent : int option array;
+      (** [parent.(n)] is the announcing node of [n]'s best route;
+          [None] for originators and unrouted nodes. *)
+  children : int list array;  (** inverse of [parent] *)
+  roots : int list;  (** nodes using their own originated route *)
+  unrouted : int list;  (** nodes with no route at all *)
+}
+
+val tree : Net.t -> Engine.state -> tree
+
+val depth : tree -> int -> int
+(** Hops from a node to its root along the forest ([0] for roots and
+    unrouted nodes). *)
+
+val subtree_size : tree -> int -> int
+(** Number of nodes (including [n]) whose traffic towards the prefix
+    flows through [n] — the node's "customer cone" for this prefix. *)
+
+val depth_histogram : tree -> (int * int) list
+(** [(depth, #routed nodes)]; a propagation-depth profile. *)
+
+val pp_route : Net.t -> Engine.state -> Format.formatter -> int -> unit
+(** Print a node's route as a hop-by-hop chain of nodes
+    ("n12(AS7) <- n4(AS2) <- root n1(AS9)"). *)

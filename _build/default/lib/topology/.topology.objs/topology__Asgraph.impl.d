@@ -1,0 +1,1 @@
+lib/topology/asgraph.ml: Asn Bgp Format Hashtbl List Option Stdlib

@@ -1,0 +1,1 @@
+lib/topology/asgraph.mli: Asn Bgp Format

@@ -1,0 +1,1 @@
+lib/topology/diversity.ml: Array Asn Aspath Bgp Hashtbl List Option Prefix Rib Stdlib

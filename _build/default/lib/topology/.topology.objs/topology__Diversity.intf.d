@@ -1,0 +1,1 @@
+lib/topology/diversity.mli: Asn Aspath Bgp Hashtbl Prefix Rib

@@ -1,0 +1,1 @@
+lib/topology/dot.ml: Asgraph Buffer Hierarchy List Out_channel Printf Relationships

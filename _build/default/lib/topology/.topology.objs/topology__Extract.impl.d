@@ -1,0 +1,1 @@
+lib/topology/extract.ml: Array Asgraph Asn Aspath Bgp Format List Rib

@@ -1,0 +1,1 @@
+lib/topology/extract.mli: Asgraph Asn Aspath Bgp Format Prefix Rib

@@ -1,0 +1,1 @@
+lib/topology/hierarchy.ml: Asgraph Asn Bgp Format List Stdlib

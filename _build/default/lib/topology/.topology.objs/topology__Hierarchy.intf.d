@@ -1,0 +1,1 @@
+lib/topology/hierarchy.mli: Asgraph Asn Bgp Format

@@ -1,0 +1,1 @@
+lib/topology/inflation.ml: Asgraph Asn Aspath Bgp Format Hashtbl List Option Queue Stdlib

@@ -1,0 +1,1 @@
+lib/topology/inflation.mli: Asgraph Asn Aspath Bgp Format

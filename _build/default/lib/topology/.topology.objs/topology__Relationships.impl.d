@@ -1,0 +1,1 @@
+lib/topology/relationships.ml: Array Asgraph Asn Aspath Bgp Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/topology/relationships.mli: Asgraph Asn Aspath Bgp Format

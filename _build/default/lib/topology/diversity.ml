@@ -1,0 +1,92 @@
+open Bgp
+
+let pair_path_histogram data =
+  let pairs = Rib.unique_paths_per_pair data in
+  let hist = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ paths ->
+      let k = Aspath.Set.cardinal paths in
+      Hashtbl.replace hist k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt hist k)))
+    pairs;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) hist []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+let fraction_pairs_with_diversity data =
+  let hist = pair_path_histogram data in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 hist in
+  let multi =
+    List.fold_left (fun acc (k, n) -> if k > 1 then acc + n else acc) 0 hist
+  in
+  if total = 0 then 0.0 else float_of_int multi /. float_of_int total
+
+let prefixes_per_path_histogram data =
+  let per_path = Aspath.Table.create 4096 in
+  List.iter
+    (fun e ->
+      let set =
+        match Aspath.Table.find_opt per_path e.Rib.path with
+        | Some s -> s
+        | None -> Prefix.Set.empty
+      in
+      Aspath.Table.replace per_path e.Rib.path (Prefix.Set.add e.Rib.prefix set))
+    (Rib.entries data);
+  let hist = Hashtbl.create 64 in
+  Aspath.Table.iter
+    (fun _ prefs ->
+      let k = Prefix.Set.cardinal prefs in
+      Hashtbl.replace hist k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt hist k)))
+    per_path;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) hist []
+  |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+
+let received_paths data =
+  let table = Hashtbl.create 4096 in
+  List.iter
+    (fun e ->
+      let arr = Aspath.to_array e.Rib.path in
+      let n = Array.length arr in
+      for i = 0 to n - 2 do
+        let receiver = arr.(i) in
+        let suffix = Aspath.suffix_from e.Rib.path (i + 1) in
+        let key = (receiver, e.Rib.prefix) in
+        let set =
+          match Hashtbl.find_opt table key with
+          | Some s -> s
+          | None -> Aspath.Set.empty
+        in
+        Hashtbl.replace table key (Aspath.Set.add suffix set)
+      done)
+    (Rib.entries data);
+  table
+
+let max_received_diversity data =
+  let per_as_prefix = received_paths data in
+  let per_as = Hashtbl.create 1024 in
+  Hashtbl.iter
+    (fun (a, _) paths ->
+      let k = Aspath.Set.cardinal paths in
+      let cur = Option.value ~default:0 (Hashtbl.find_opt per_as a) in
+      if k > cur then Hashtbl.replace per_as a k)
+    per_as_prefix;
+  Hashtbl.fold (fun a k acc -> (a, k) :: acc) per_as []
+  |> List.sort (fun (a, _) (b, _) -> Asn.compare a b)
+
+(* Percentile with the nearest-rank definition on the sorted sample. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let rank = max 1 (min n rank) in
+    sorted.(rank - 1)
+
+let table1_quantiles data =
+  let values =
+    max_received_diversity data |> List.map snd |> Array.of_list
+  in
+  Array.sort Stdlib.compare values;
+  List.map
+    (fun p -> (p, percentile values p))
+    [ 75.0; 90.0; 95.0; 98.0; 99.0 ]

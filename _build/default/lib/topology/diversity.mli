@@ -1,0 +1,38 @@
+(** Route-diversity statistics (paper §3.2).
+
+    Two measurements drive the paper's argument that one router per AS
+    cannot represent observed routing:
+
+    - {b Figure 2}: the histogram of how many distinct AS-paths are
+      observed between each (origin AS, observation AS) pair, over all
+      prefixes the origin advertises;
+    - {b Table 1}: for each AS, the maximum over destination prefixes of
+      the number of distinct unique AS-paths the AS {e receives} — a
+      lower bound on how many quasi-routers the AS needs. *)
+
+open Bgp
+
+val pair_path_histogram : Rib.t -> (int * int) list
+(** [(k, n)] meaning: [n] AS-pairs have exactly [k] distinct observed
+    AS-paths; sorted by [k].  The Figure 2 series. *)
+
+val fraction_pairs_with_diversity : Rib.t -> float
+(** Fraction of AS-pairs with more than one distinct path (the paper
+    reports > 30%). *)
+
+val prefixes_per_path_histogram : Rib.t -> (int * int) list
+(** [(k, n)]: [n] distinct AS-paths are each used by exactly [k]
+    prefixes (paper §3.2's log-log observation). *)
+
+val received_paths : Rib.t -> (Asn.t * Prefix.t, Aspath.Set.t) Hashtbl.t
+(** For every (AS, prefix), the set of distinct route paths the AS is
+    seen to {e receive}: for every observed path [... a s1 s2 ... origin]
+    the AS [a] receives the strict suffix [s1 s2 ... origin]. *)
+
+val max_received_diversity : Rib.t -> (Asn.t * int) list
+(** For each AS, [max] over prefixes of the number of distinct received
+    paths; only ASes that receive at least one path appear. *)
+
+val table1_quantiles : Rib.t -> (float * int) list
+(** Table 1: the [(percentile, value)] pairs for percentiles
+    75/90/95/98/99 of {!max_received_diversity}. *)

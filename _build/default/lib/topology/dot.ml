@@ -1,0 +1,55 @@
+
+let node_attrs levels quasi_routers a =
+  let label =
+    match quasi_routers with
+    | Some count when count a > 1 -> Printf.sprintf "AS%d\\n%d qr" a (count a)
+    | Some _ | None -> Printf.sprintf "AS%d" a
+  in
+  let colour =
+    match levels with
+    | None -> "lightgrey"
+    | Some l -> (
+        match Hierarchy.level_of l a with
+        | 1 -> "salmon"
+        | 2 -> "orange"
+        | _ -> "lightgrey")
+  in
+  Printf.sprintf "label=\"%s\", style=filled, fillcolor=%s, shape=box" label
+    colour
+
+let edge_repr relationships a b =
+  match relationships with
+  | None -> Printf.sprintf "  as%d -- as%d;" a b
+  | Some rels -> (
+      match Relationships.rel rels a b with
+      | Relationships.Provider_of ->
+          Printf.sprintf "  as%d -- as%d [dir=forward, arrowhead=normal];" a b
+      | Relationships.Customer_of ->
+          Printf.sprintf "  as%d -- as%d [dir=back, arrowtail=normal];" a b
+      | Relationships.Peer -> Printf.sprintf "  as%d -- as%d [style=dashed];" a b
+      | Relationships.Sibling ->
+          Printf.sprintf "  as%d -- as%d [style=bold];" a b
+      | Relationships.Unknown ->
+          Printf.sprintf "  as%d -- as%d [color=grey];" a b)
+
+let of_graph ?levels ?relationships ?quasi_routers graph =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "graph as_topology {\n";
+  Buffer.add_string buf "  overlap=false;\n  splines=true;\n";
+  List.iter
+    (fun a ->
+      Buffer.add_string buf
+        (Printf.sprintf "  as%d [%s];\n" a (node_attrs levels quasi_routers a)))
+    (Asgraph.nodes graph);
+  Asgraph.fold_edges
+    (fun a b () ->
+      Buffer.add_string buf (edge_repr relationships a b);
+      Buffer.add_char buf '\n')
+    graph ();
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let save ?levels ?relationships ?quasi_routers path graph =
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc
+        (of_graph ?levels ?relationships ?quasi_routers graph))

@@ -1,0 +1,25 @@
+(** Graphviz (DOT) rendering of AS graphs.
+
+    For eyeballing extracted topologies and refined models: nodes are
+    ASes (optionally coloured by hierarchy level), edges are AS
+    adjacencies (optionally styled by inferred relationship). *)
+
+
+val of_graph :
+  ?levels:Hierarchy.levels ->
+  ?relationships:Relationships.t ->
+  ?quasi_routers:(Bgp.Asn.t -> int) ->
+  Asgraph.t ->
+  string
+(** DOT source for the graph.  With [levels], tier-1 ASes render as red
+    boxes, tier-2 orange, others grey.  With [relationships], provider →
+    customer edges become directed arrows, peers dashed, siblings bold.
+    With [quasi_routers], the count is shown in the node label. *)
+
+val save :
+  ?levels:Hierarchy.levels ->
+  ?relationships:Relationships.t ->
+  ?quasi_routers:(Bgp.Asn.t -> int) ->
+  string ->
+  Asgraph.t ->
+  unit

@@ -1,0 +1,65 @@
+open Bgp
+
+let graph_of_paths paths =
+  List.fold_left
+    (fun g path ->
+      let arr = Aspath.to_array path in
+      let n = Array.length arr in
+      let g = if n = 1 then Asgraph.add_node g arr.(0) else g in
+      let rec loop i g =
+        if i >= n - 1 then g else loop (i + 1) (Asgraph.add_edge g arr.(i) arr.(i + 1))
+      in
+      loop 0 g)
+    Asgraph.empty paths
+
+let graph_of_dataset data = graph_of_paths (Rib.all_paths data)
+
+let transit_ases paths =
+  List.fold_left
+    (fun acc path ->
+      let arr = Aspath.to_array path in
+      let n = Array.length arr in
+      let rec loop i acc =
+        if i >= n - 1 then acc else loop (i + 1) (Asn.Set.add arr.(i) acc)
+      in
+      if n <= 2 then acc else loop 1 acc)
+    Asn.Set.empty paths
+
+type classification = {
+  graph : Asgraph.t;
+  transit : Asn.Set.t;
+  stubs_single_homed : Asn.Set.t;
+  stubs_multi_homed : Asn.Set.t;
+}
+
+let classify data =
+  let paths = Rib.all_paths data in
+  let graph = graph_of_paths paths in
+  let transit = transit_ases paths in
+  let single, multi =
+    Asgraph.fold_nodes
+      (fun a (single, multi) ->
+        if Asn.Set.mem a transit then (single, multi)
+        else if Asgraph.degree graph a <= 1 then (Asn.Set.add a single, multi)
+        else (single, Asn.Set.add a multi))
+      graph (Asn.Set.empty, Asn.Set.empty)
+  in
+  { graph; transit; stubs_single_homed = single; stubs_multi_homed = multi }
+
+let pp_classification ppf c =
+  Format.fprintf ppf
+    "@[<v>AS graph: %a@,transit ASes: %d@,single-homed stubs: %d@,\
+     multi-homed stubs: %d@]"
+    Asgraph.pp_stats c.graph
+    (Asn.Set.cardinal c.transit)
+    (Asn.Set.cardinal c.stubs_single_homed)
+    (Asn.Set.cardinal c.stubs_multi_homed)
+
+type reduced = { core : Asgraph.t; removed : Asn.Set.t; data : Rib.t }
+
+let reduce ?(reprefix = Asn.origin_prefix) data =
+  let c = classify data in
+  let removed = c.stubs_single_homed in
+  let core = Asn.Set.fold (fun a g -> Asgraph.remove_node g a) removed c.graph in
+  let data = Rib.transfer_stub_origins data ~removed ~reprefix in
+  { core; removed; data }

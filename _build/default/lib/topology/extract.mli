@@ -1,0 +1,41 @@
+(** Deriving the AS topology from observed AS-paths (paper §3.1).
+
+    Besides the raw graph, this module reproduces the paper's data
+    cleaning: classifying transit vs stub ASes, single- vs multi-homed
+    stubs, and removing single-homed stub ASes (whose path information is
+    transferred to their upstream's prefix by {!Bgp.Rib.transfer_stub_origins}). *)
+
+open Bgp
+
+val graph_of_paths : Aspath.t list -> Asgraph.t
+(** Edge for every pair of adjacent ASes on any path. *)
+
+val graph_of_dataset : Rib.t -> Asgraph.t
+
+val transit_ases : Aspath.t list -> Asn.Set.t
+(** ASes that appear at least once in the middle of a path — the paper's
+    transit providers. *)
+
+type classification = {
+  graph : Asgraph.t;  (** the full extracted graph *)
+  transit : Asn.Set.t;
+  stubs_single_homed : Asn.Set.t;  (** non-transit, observed degree 1 *)
+  stubs_multi_homed : Asn.Set.t;  (** non-transit, observed degree >= 2 *)
+}
+
+val classify : Rib.t -> classification
+
+val pp_classification : Format.formatter -> classification -> unit
+(** Prints the §3.1-style inventory (AS count, edges, transit count,
+    single-/multi-homed stub counts). *)
+
+type reduced = {
+  core : Asgraph.t;  (** graph after removing single-homed stubs *)
+  removed : Asn.Set.t;  (** the removed single-homed stub ASes *)
+  data : Rib.t;  (** dataset with stub origins transferred *)
+}
+
+val reduce : ?reprefix:(Asn.t -> Prefix.t) -> Rib.t -> reduced
+(** The paper's model-building input: remove single-homed stub ASes from
+    the graph and transfer their origination to the upstream neighbour's
+    prefix.  [reprefix] defaults to {!Bgp.Asn.origin_prefix}. *)

@@ -1,0 +1,51 @@
+open Bgp
+
+let infer_tier1 ?seeds g =
+  let by_degree =
+    Asgraph.nodes g
+    |> List.sort (fun a b ->
+           let c = Stdlib.compare (Asgraph.degree g b) (Asgraph.degree g a) in
+           if c <> 0 then c else Asn.compare a b)
+  in
+  let seeds =
+    match seeds with
+    | Some s -> s
+    | None -> (
+        match by_degree with
+        | a :: b :: _ when Asgraph.mem_edge g a b -> [ a; b ]
+        | a :: _ -> [ a ]
+        | [] -> [])
+  in
+  let seed_set = Asn.Set.of_list seeds in
+  if not (Asgraph.is_clique g seed_set) then
+    invalid_arg "Hierarchy.infer_tier1: seeds are not a clique";
+  List.fold_left
+    (fun clique a ->
+      if Asn.Set.mem a clique then clique
+      else if Asn.Set.for_all (fun b -> Asgraph.mem_edge g a b) clique then
+        Asn.Set.add a clique
+      else clique)
+    seed_set by_degree
+
+type levels = { level1 : Asn.Set.t; level2 : Asn.Set.t; other : Asn.Set.t }
+
+let classify ?seeds g =
+  let level1 = infer_tier1 ?seeds g in
+  let level2 =
+    Asn.Set.fold
+      (fun a acc -> Asn.Set.union acc (Asgraph.neighbors g a))
+      level1 Asn.Set.empty
+    |> fun s -> Asn.Set.diff s level1
+  in
+  let other = Asn.Set.diff (Asgraph.node_set g) (Asn.Set.union level1 level2) in
+  { level1; level2; other }
+
+let level_of levels a =
+  if Asn.Set.mem a levels.level1 then 1
+  else if Asn.Set.mem a levels.level2 then 2
+  else 3
+
+let pp_levels ppf l =
+  Format.fprintf ppf "level-1: %d, level-2: %d, other: %d"
+    (Asn.Set.cardinal l.level1) (Asn.Set.cardinal l.level2)
+    (Asn.Set.cardinal l.other)

@@ -1,0 +1,28 @@
+(** Provider hierarchy (paper §3.1).
+
+    The paper identifies level-1 (tier-1) providers as the largest clique
+    of ASes containing a small seed list of known tier-1s, classifies the
+    clique's neighbours as level-2, and groups everything else as
+    "other". *)
+
+open Bgp
+
+val infer_tier1 : ?seeds:Asn.t list -> Asgraph.t -> Asn.Set.t
+(** Greedy clique expansion.  Starting from [seeds] (default: the two
+    highest-degree ASes, which must be adjacent — if not, the single
+    highest-degree AS), candidate ASes are considered in decreasing
+    degree order and added whenever the result remains a clique.
+    Seeds that are not pairwise adjacent raise [Invalid_argument]. *)
+
+type levels = {
+  level1 : Asn.Set.t;
+  level2 : Asn.Set.t;  (** neighbours of level-1, not themselves level-1 *)
+  other : Asn.Set.t;
+}
+
+val classify : ?seeds:Asn.t list -> Asgraph.t -> levels
+
+val level_of : levels -> Asn.t -> int
+(** [1], [2] or [3] ("other"); [3] also for unknown ASes. *)
+
+val pp_levels : Format.formatter -> levels -> unit

@@ -1,0 +1,84 @@
+open Bgp
+
+type report = {
+  paths : int;
+  exact : int;
+  inflated : int;
+  extra_hops_histogram : (int * int) list;
+  mean_inflation : float;
+}
+
+(* Single-source BFS, memoized per source by the caller. *)
+let bfs graph source =
+  let dist = Hashtbl.create 256 in
+  Hashtbl.replace dist source 0;
+  let queue = Queue.create () in
+  Queue.push source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let du = Hashtbl.find dist u in
+    Asn.Set.iter
+      (fun v ->
+        if not (Hashtbl.mem dist v) then begin
+          Hashtbl.replace dist v (du + 1);
+          Queue.push v queue
+        end)
+      (Asgraph.neighbors graph u)
+  done;
+  dist
+
+let bfs_distance graph a b =
+  if not (Asgraph.mem_node graph a && Asgraph.mem_node graph b) then None
+  else Hashtbl.find_opt (bfs graph a) b
+
+let analyze graph paths =
+  let memo = Hashtbl.create 64 in
+  let dist_from source =
+    match Hashtbl.find_opt memo source with
+    | Some d -> d
+    | None ->
+        let d = bfs graph source in
+        Hashtbl.replace memo source d;
+        d
+  in
+  let hist = Hashtbl.create 16 in
+  let graded = ref 0 and exact = ref 0 and total_extra = ref 0 in
+  List.iter
+    (fun path ->
+      match (Aspath.head path, Aspath.origin path) with
+      | Some a, Some b when a <> b && Asgraph.mem_node graph a -> (
+          match Hashtbl.find_opt (dist_from a) b with
+          | Some d ->
+              let hops = Aspath.length path - 1 in
+              let extra = max 0 (hops - d) in
+              incr graded;
+              if extra = 0 then incr exact;
+              total_extra := !total_extra + extra;
+              Hashtbl.replace hist extra
+                (1 + Option.value ~default:0 (Hashtbl.find_opt hist extra))
+          | None -> ())
+      | _, _ -> ())
+    paths;
+  {
+    paths = !graded;
+    exact = !exact;
+    inflated = !graded - !exact;
+    extra_hops_histogram =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist []
+      |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b);
+    mean_inflation =
+      (if !graded = 0 then 0.0
+       else float_of_int !total_extra /. float_of_int !graded);
+  }
+
+let pp ppf r =
+  Format.fprintf ppf
+    "graded %d paths: %d shortest-possible (%.1f%%), %d inflated, mean +%.2f \
+     hops@."
+    r.paths r.exact
+    (if r.paths = 0 then 0.0
+     else 100.0 *. float_of_int r.exact /. float_of_int r.paths)
+    r.inflated r.mean_inflation;
+  List.iter
+    (fun (extra, n) -> Format.fprintf ppf "  +%d hops: %d paths@." extra n)
+    r.extra_hops_histogram

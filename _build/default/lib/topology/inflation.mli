@@ -1,0 +1,29 @@
+(** Path inflation analysis.
+
+    Policy routing makes AS-paths longer than the shortest route the
+    topology would allow; the literature the paper builds on ([12],
+    "route diversity") quantifies this as {e path inflation}.  Comparing
+    every observed path against the graph distance between its endpoints
+    shows how far routing deviates from shortest-path — the same force
+    that makes the paper's shortest-path baseline fail. *)
+
+open Bgp
+
+type report = {
+  paths : int;  (** observed paths graded *)
+  exact : int;  (** paths already as short as topologically possible *)
+  inflated : int;
+  extra_hops_histogram : (int * int) list;
+      (** [(extra hops, #paths)]; 0 bucket = [exact] *)
+  mean_inflation : float;  (** mean extra hops over all graded paths *)
+}
+
+val analyze : Asgraph.t -> Aspath.t list -> report
+(** Grade each path's length against the BFS distance between its first
+    and last AS in the graph.  Paths whose endpoints are disconnected or
+    absent are skipped. *)
+
+val bfs_distance : Asgraph.t -> Asn.t -> Asn.t -> int option
+(** Hop distance between two ASes; [None] if disconnected. *)
+
+val pp : Format.formatter -> report -> unit

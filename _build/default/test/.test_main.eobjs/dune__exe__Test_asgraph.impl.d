@@ -1,0 +1,1 @@
+test/test_asgraph.ml: Alcotest Asn Bgp List QCheck QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_asmodel.ml: Alcotest Asmodel Asn Aspath Bgp List Option Prefix Result Simulator Topology

@@ -1,0 +1,1 @@
+test/test_asn.ml: Alcotest Asn Bgp Ipv4 List Prefix Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_aspath.ml: Alcotest Array Aspath Bgp Format List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_decision.ml: Alcotest List QCheck QCheck_alcotest Simulator

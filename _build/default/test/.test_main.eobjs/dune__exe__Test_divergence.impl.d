@@ -1,0 +1,1 @@
+test/test_divergence.ml: Alcotest Array Asmodel Asn Aspath Bgp Core Netgen Refine Rib Simulator Topology

@@ -1,0 +1,1 @@
+test/test_dot.ml: Alcotest Bgp Filename Fun In_channel List Printf String Sys Topology

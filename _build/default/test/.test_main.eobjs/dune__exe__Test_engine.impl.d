@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Asn Bgp Hashtbl List Option Simulator

@@ -1,0 +1,1 @@
+test/test_evaluation.ml: Alcotest Array Asmodel Asn Aspath Bgp Evaluation Hashtbl List QCheck QCheck_alcotest Rib Topology

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Asmodel Asn Aspath Attrs Bgp List Mrt Option Prefix Result Rib Simulator String Topology

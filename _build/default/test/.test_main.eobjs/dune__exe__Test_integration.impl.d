@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Asmodel Aspath Bgp Core Evaluation Filename Fun Hashtbl List Netgen Refine Rib Sys

@@ -1,0 +1,1 @@
+test/test_ipv4.ml: Alcotest Bgp Ipv4 List QCheck QCheck_alcotest

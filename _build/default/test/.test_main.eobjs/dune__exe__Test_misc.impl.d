@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Asmodel Asn Aspath Attrs Bgp List Netgen Printf Refine Rib Simulator Topology

@@ -1,0 +1,1 @@
+test/test_mrt.ml: Alcotest Aspath Attrs Bgp Filename Fun Ipv4 List Mrt Prefix Sys

@@ -1,0 +1,1 @@
+test/test_mrt_binary.ml: Alcotest Asn Aspath Attrs Bgp Buffer Char Filename Fun In_channel Ipv4 List Mrt Mrt_binary Prefix QCheck QCheck_alcotest Rib String Sys

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Asn Bgp Ipv4 List Simulator

@@ -1,0 +1,1 @@
+test/test_netgen.ml: Alcotest Asn Aspath Bgp List Netgen Printf Random Rib Simulator Topology

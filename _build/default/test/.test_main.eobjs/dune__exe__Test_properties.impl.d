@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Asmodel Aspath Bgp Format List Printf QCheck QCheck_alcotest Random Refine Simulator String Topology

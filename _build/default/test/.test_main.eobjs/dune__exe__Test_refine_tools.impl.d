@@ -1,0 +1,1 @@
+test/test_refine_tools.ml: Alcotest Asmodel Asn Aspath Bgp Evaluation Hashtbl List Prefix Refine Rib Simulator Topology

@@ -1,0 +1,1 @@
+test/test_refiner.ml: Alcotest Array Asmodel Asn Aspath Bgp Core List Netgen QCheck QCheck_alcotest Refine Rib Simulator Topology

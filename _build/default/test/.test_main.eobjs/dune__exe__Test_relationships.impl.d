@@ -1,0 +1,1 @@
+test/test_relationships.ml: Alcotest Asn Aspath Bgp Netgen Printf Rib Topology

@@ -1,0 +1,1 @@
+test/test_rib.ml: Alcotest Asn Aspath Attrs Bgp Filename Fun Hashtbl List Mrt Prefix Rib Sys

@@ -1,0 +1,1 @@
+test/test_route_reflection.ml: Alcotest Asn Aspath Bgp List Netgen Rib Simulator

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Asn Aspath Bgp Hashtbl List Rib Topology

@@ -1,0 +1,1 @@
+test/test_trace_inflation.ml: Alcotest Array Asn Aspath Bgp Format List Netgen Rib Simulator String Topology

@@ -1,0 +1,146 @@
+(* Tests for the quasi-router model, serialization, baselines, what-if. *)
+
+open Bgp
+module Net = Simulator.Net
+module Qrmodel = Asmodel.Qrmodel
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let graph =
+  Topology.Asgraph.of_edges [ (1, 2); (1, 4); (1, 5); (2, 3); (3, 4); (4, 5) ]
+
+let initial_model () =
+  let m = Qrmodel.initial graph in
+  check_int "one quasi-router per AS" (Topology.Asgraph.num_nodes graph)
+    (Net.node_count m.Qrmodel.net);
+  check_int "one session per edge"
+    (2 * Topology.Asgraph.num_edges graph)
+    (Net.session_count m.Qrmodel.net);
+  check_int "one prefix per AS" (Topology.Asgraph.num_nodes graph)
+    (List.length m.Qrmodel.prefixes);
+  check_bool "origin lookup" true (Qrmodel.origin_of m (Asn.origin_prefix 3) = Some 3);
+  check_bool "unknown prefix" true
+    (Qrmodel.origin_of m (Prefix.of_string_exn "99.0.0.0/8") = None);
+  check_int "originators" 1 (List.length (Qrmodel.originators m (Asn.origin_prefix 3)))
+
+let model_simulation () =
+  let m = Qrmodel.initial graph in
+  let st = Qrmodel.simulate m (Asn.origin_prefix 3) in
+  check_bool "converged" true (Simulator.Engine.converged st);
+  (* AS 5 reaches 3 via 4 (shortest). *)
+  let n5 = List.hd (Net.nodes_of_as m.Qrmodel.net 5) in
+  check_bool "shortest" true
+    (Simulator.Engine.best_full_path m.Qrmodel.net st n5 = Some [| 5; 4; 3 |])
+
+let histogram () =
+  let m = Qrmodel.initial graph in
+  check_bool "all size 1" true (Qrmodel.quasi_router_histogram m = [ (1, 5) ]);
+  let n1 = List.hd (Net.nodes_of_as m.Qrmodel.net 1) in
+  ignore (Net.duplicate_node m.Qrmodel.net n1);
+  check_bool "after duplication" true
+    (Qrmodel.quasi_router_histogram m = [ (1, 4); (2, 1) ]);
+  check_int "count for AS1" 2 (Qrmodel.quasi_router_count m 1);
+  check_int "total" 6 (Qrmodel.total_quasi_routers m)
+
+let serialize_roundtrip () =
+  let m = Qrmodel.initial graph in
+  (* Decorate with policies and a duplicate so the round-trip is
+     non-trivial. *)
+  let n1 = List.hd (Net.nodes_of_as m.Qrmodel.net 1) in
+  let n2 = List.hd (Net.nodes_of_as m.Qrmodel.net 2) in
+  let s12 = Option.get (Net.find_session m.Qrmodel.net n1 n2) in
+  Net.deny_export m.Qrmodel.net n1 s12 (Asn.origin_prefix 3);
+  Net.set_import_med m.Qrmodel.net n1 s12 (Asn.origin_prefix 4) 0;
+  ignore (Net.duplicate_node m.Qrmodel.net n1);
+  let lines = Asmodel.Serialize.to_lines m in
+  match Asmodel.Serialize.of_lines lines with
+  | Error e -> Alcotest.failf "reload failed: %s" e
+  | Ok m2 ->
+      check_int "node count" (Net.node_count m.Qrmodel.net)
+        (Net.node_count m2.Qrmodel.net);
+      check_int "session count" (Net.session_count m.Qrmodel.net)
+        (Net.session_count m2.Qrmodel.net);
+      check_bool "prefixes" true (m.Qrmodel.prefixes = m2.Qrmodel.prefixes);
+      (* Policies survived. *)
+      let n1' = List.hd (Net.nodes_of_as m2.Qrmodel.net 1) in
+      let n2' = List.hd (Net.nodes_of_as m2.Qrmodel.net 2) in
+      let s12' = Option.get (Net.find_session m2.Qrmodel.net n1' n2') in
+      check_bool "deny survived" true
+        (Net.export_denied m2.Qrmodel.net n1' s12' (Asn.origin_prefix 3));
+      check_bool "med survived" true
+        (Net.import_med m2.Qrmodel.net n1' s12' (Asn.origin_prefix 4) = Some 0);
+      (* Behaviour identical: same best paths for every prefix. *)
+      List.iter
+        (fun (p, _) ->
+          let st = Qrmodel.simulate m p and st2 = Qrmodel.simulate m2 p in
+          List.iter
+            (fun asn ->
+              check_bool "same selected paths" true
+                (Simulator.Engine.selected_paths m.Qrmodel.net st asn
+                = Simulator.Engine.selected_paths m2.Qrmodel.net st2 asn))
+            (Topology.Asgraph.nodes graph))
+        m.Qrmodel.prefixes
+
+let serialize_rejects_garbage () =
+  check_bool "bad keyword" true
+    (Result.is_error (Asmodel.Serialize.of_lines [ "frobnicate 1 2" ]));
+  check_bool "bad edge" true
+    (Result.is_error
+       (Asmodel.Serialize.of_lines [ "node 0 1 1.0.0.1"; "edge 0 7" ]));
+  check_bool "deny without session" true
+    (Result.is_error
+       (Asmodel.Serialize.of_lines
+          [ "node 0 1 1.0.0.1"; "node 1 2 2.0.0.1"; "deny 0 1 10.0.0.0/24" ]))
+
+let baseline_policies_model () =
+  let rels = Topology.Relationships.infer graph [ Aspath.of_list [ 3; 2; 1; 4 ] ] in
+  let m = Asmodel.Baseline.with_policies graph rels in
+  check_int "one router per AS" 5 (Net.node_count m.Qrmodel.net);
+  (* Import preferences follow the relationship classes. *)
+  let n2 = List.hd (Net.nodes_of_as m.Qrmodel.net 2) in
+  let n1 = List.hd (Net.nodes_of_as m.Qrmodel.net 1) in
+  let s21 = Option.get (Net.find_session m.Qrmodel.net n2 n1) in
+  let expected =
+    Simulator.Relclass.lpref
+      (Asmodel.Baseline.class_of_rel (Topology.Relationships.rel rels 2 1))
+  in
+  check_bool "lpref from inferred class" true
+    (Net.import_lpref m.Qrmodel.net n2 s21 = Some expected)
+
+let whatif_link_removal () =
+  let m = Qrmodel.initial graph in
+  let before = Asmodel.Whatif.snapshot m in
+  let touched = Asmodel.Whatif.disable_as_link m 4 5 in
+  check_int "two half-sessions" 2 touched;
+  let after = Asmodel.Whatif.snapshot m in
+  let diff = Asmodel.Whatif.diff before after in
+  check_bool "something changed" true (diff.Asmodel.Whatif.prefixes_affected > 0);
+  (* AS 5 still reaches 3: via 1 now. *)
+  let st = Qrmodel.simulate m (Asn.origin_prefix 3) in
+  let n5 = List.hd (Net.nodes_of_as m.Qrmodel.net 5) in
+  check_bool "rerouted" true
+    (Simulator.Engine.best_full_path m.Qrmodel.net st n5 = Some [| 5; 1; 2; 3 |]);
+  (* Restore. *)
+  ignore (Asmodel.Whatif.enable_as_link m 4 5);
+  let restored = Asmodel.Whatif.snapshot m in
+  let diff_back = Asmodel.Whatif.diff before restored in
+  check_int "fully restored (no refinement filters involved)" 0
+    diff_back.Asmodel.Whatif.prefixes_affected
+
+let whatif_unknown_link () =
+  let m = Qrmodel.initial graph in
+  check_int "no session" 0 (Asmodel.Whatif.disable_as_link m 2 5)
+
+let suite =
+  [
+    Alcotest.test_case "initial model" `Quick initial_model;
+    Alcotest.test_case "model simulation" `Quick model_simulation;
+    Alcotest.test_case "quasi-router histogram" `Quick histogram;
+    Alcotest.test_case "serialize roundtrip" `Quick serialize_roundtrip;
+    Alcotest.test_case "serialize rejects garbage" `Quick serialize_rejects_garbage;
+    Alcotest.test_case "baseline policies model" `Quick baseline_policies_model;
+    Alcotest.test_case "whatif link removal" `Quick whatif_link_removal;
+    Alcotest.test_case "whatif unknown link" `Quick whatif_unknown_link;
+  ]

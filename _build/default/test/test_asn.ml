@@ -1,0 +1,71 @@
+(* Tests for Bgp.Asn: parsing, origin-prefix scheme, router addresses. *)
+
+open Bgp
+
+let check_bool = Alcotest.(check bool)
+
+let parsing () =
+  check_bool "valid" true (Asn.of_string "7018" = Some 7018);
+  check_bool "zero rejected" true (Asn.of_string "0" = None);
+  check_bool "negative rejected" true (Asn.of_string "-1" = None);
+  check_bool "junk rejected" true (Asn.of_string "AS7018" = None);
+  check_bool "empty rejected" true (Asn.of_string "" = None)
+
+let origin_prefix_roundtrip () =
+  List.iter
+    (fun asn ->
+      let p = Asn.origin_prefix asn in
+      check_bool
+        (Printf.sprintf "AS%d" asn)
+        true
+        (Asn.of_origin_prefix p = Some asn))
+    [ 1; 255; 256; 3356; 65535 ]
+
+let nth_prefix_distinct () =
+  let asn = 1234 in
+  let prefixes = List.init Asn.max_prefixes (Asn.nth_prefix asn) in
+  let set = Prefix.Set.of_list prefixes in
+  Alcotest.(check int) "all distinct" Asn.max_prefixes (Prefix.Set.cardinal set);
+  List.iter
+    (fun p -> check_bool "maps back" true (Asn.of_origin_prefix p = Some asn))
+    prefixes
+
+let nth_prefix_bounds () =
+  Alcotest.check_raises "index too big" (Invalid_argument "Asn.nth_prefix: index")
+    (fun () -> ignore (Asn.nth_prefix 1 Asn.max_prefixes));
+  Alcotest.check_raises "asn too big" (Invalid_argument "Asn.nth_prefix: asn")
+    (fun () -> ignore (Asn.nth_prefix 65536 0))
+
+let foreign_prefix () =
+  check_bool "non-synthetic prefix" true
+    (Asn.of_origin_prefix (Prefix.of_string_exn "8.8.8.0/24") = None);
+  check_bool "wrong length" true
+    (Asn.of_origin_prefix (Prefix.of_string_exn "10.1.2.0/23") = None)
+
+let router_ip_scheme () =
+  let ip = Asn.router_ip 7018 3 in
+  let asn, idx = Asn.of_router_ip ip in
+  Alcotest.(check int) "asn" 7018 asn;
+  Alcotest.(check int) "idx" 3 idx;
+  (* The paper's tie-break: lower index means lower address within an
+     AS, and lower ASN dominates. *)
+  check_bool "idx order" true
+    (Ipv4.compare (Asn.router_ip 10 0) (Asn.router_ip 10 1) < 0);
+  check_bool "asn order" true
+    (Ipv4.compare (Asn.router_ip 10 65535) (Asn.router_ip 11 0) < 0)
+
+let prop_router_ip_roundtrip =
+  QCheck.Test.make ~name:"router ip roundtrip" ~count:500
+    QCheck.(pair (int_range 1 65535) (int_bound 65535))
+    (fun (asn, idx) -> Asn.of_router_ip (Asn.router_ip asn idx) = (asn, idx))
+
+let suite =
+  [
+    Alcotest.test_case "parsing" `Quick parsing;
+    Alcotest.test_case "origin prefix roundtrip" `Quick origin_prefix_roundtrip;
+    Alcotest.test_case "nth prefixes distinct" `Quick nth_prefix_distinct;
+    Alcotest.test_case "nth prefix bounds" `Quick nth_prefix_bounds;
+    Alcotest.test_case "foreign prefixes" `Quick foreign_prefix;
+    Alcotest.test_case "router ip scheme" `Quick router_ip_scheme;
+    QCheck_alcotest.to_alcotest prop_router_ip_roundtrip;
+  ]

@@ -1,0 +1,135 @@
+(* Tests for the BGP decision process. *)
+
+module D = Simulator.Decision
+module R = Simulator.Rattr
+
+let check_bool = Alcotest.(check bool)
+
+let route ?(path = [| 2; 6 |]) ?(lpref = 100) ?(med = 100) ?(igp = 0)
+    ?(from_node = 0) ?(from_ip = 10) ?(learned = R.From_ebgp)
+    ?(learned_class = -1) ?(from_session = 0) () =
+  { R.path; lpref; med; igp; from_node; from_ip; from_session; learned; learned_class }
+
+let steps = D.model_steps
+
+let local_pref_wins () =
+  let a = route ~lpref:120 ~path:[| 2; 3; 4; 6 |] () in
+  let b = route ~lpref:100 ~path:[| 2; 6 |] () in
+  check_bool "higher lpref beats shorter path" true (D.select steps [ a; b ] = Some a)
+
+let path_length_wins () =
+  let a = route ~path:[| 2; 6 |] ~med:500 () in
+  let b = route ~path:[| 2; 3; 6 |] ~med:0 () in
+  check_bool "shorter path beats lower med" true (D.select steps [ a; b ] = Some a)
+
+let med_always_compared () =
+  (* Two routes from different neighbour ASes: MED still decides (the
+     paper requires always-compare-MED, §4.6). *)
+  let a = route ~path:[| 2; 6 |] ~med:0 ~from_ip:99 () in
+  let b = route ~path:[| 3; 6 |] ~med:100 ~from_ip:1 () in
+  check_bool "lower med wins across neighbours" true
+    (D.select steps [ b; a ] = Some a)
+
+let tie_break_lowest_ip () =
+  let a = route ~from_ip:5 () in
+  let b = route ~from_ip:9 () in
+  check_bool "lowest ip" true (D.select steps [ b; a ] = Some a)
+
+let ebgp_and_igp_steps () =
+  let full = D.full_steps in
+  let ib = route ~learned:R.From_ibgp ~igp:10 ~from_ip:1 () in
+  let eb = route ~learned:R.From_ebgp ~from_ip:9 () in
+  check_bool "ebgp preferred" true (D.select full [ ib; eb ] = Some eb);
+  let ib2 = route ~learned:R.From_ibgp ~igp:3 ~from_ip:9 () in
+  check_bool "hot potato" true (D.select full [ ib; ib2 ] = Some ib2)
+
+let empty_and_single () =
+  check_bool "empty" true (D.select steps [] = None);
+  let a = route () in
+  check_bool "single" true (D.select steps [ a ] = Some a)
+
+let originated_beats_learned () =
+  let o = R.originated ~own_ip:42 in
+  let l = route ~lpref:200 ~path:[| 2 |] () in
+  check_bool "origination wins" true (D.select steps [ l; o ] = Some o)
+
+let classify_verdicts () =
+  let target (r : R.t) = r.R.path = [| 3; 6 |] in
+  let good = route ~path:[| 3; 6 |] ~from_ip:9 () in
+  let short = route ~path:[| 2 |] () in
+  let equal_len_lower_ip = route ~path:[| 2; 6 |] ~from_ip:1 () in
+  check_bool "selected" true
+    (D.classify steps ~target [ good ] = D.Selected);
+  check_bool "eliminated at path length" true
+    (D.classify steps ~target [ good; short ] = D.Eliminated_at D.Path_length);
+  check_bool "eliminated at tie break" true
+    (D.classify steps ~target [ good; equal_len_lower_ip ]
+    = D.Eliminated_at D.Lowest_ip);
+  check_bool "not present" true
+    (D.classify steps ~target [ short ] = D.Not_present);
+  let high_lpref_rival = route ~path:[| 2; 6 |] ~lpref:300 () in
+  check_bool "eliminated at lpref" true
+    (D.classify steps ~target [ good; high_lpref_rival ]
+    = D.Eliminated_at D.Local_pref)
+
+let arb_route =
+  let gen =
+    QCheck.Gen.(
+      let* len = int_range 0 5 in
+      let* path = array_size (return len) (int_range 1 50) in
+      let* lpref = int_range 50 150 in
+      let* med = int_range 0 200 in
+      let* igp = int_range 0 50 in
+      let* from_ip = int_range 1 1000 in
+      let* ebgp = bool in
+      return
+        (route ~path ~lpref ~med ~igp ~from_ip
+           ~learned:(if ebgp then R.From_ebgp else R.From_ibgp)
+           ()))
+  in
+  QCheck.make gen
+
+let prop_select_is_minimum =
+  (* The engine's pairwise-comparison fold and the elimination-based
+     select must agree. *)
+  QCheck.Test.make ~name:"select = min by compare_routes" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 8) arb_route)
+    (fun candidates ->
+      let by_select = D.select D.full_steps candidates in
+      let by_fold =
+        List.fold_left
+          (fun acc r ->
+            match acc with
+            | None -> Some r
+            | Some b -> if D.compare_routes D.full_steps r b < 0 then Some r else Some b)
+          None candidates
+      in
+      match (by_select, by_fold) with
+      | Some a, Some b -> D.compare_routes D.full_steps a b = 0
+      | None, None -> true
+      | Some _, None | None, Some _ -> false)
+
+let prop_selected_never_dominated =
+  QCheck.Test.make ~name:"selected route dominates all" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_range 1 8) arb_route)
+    (fun candidates ->
+      match D.select D.full_steps candidates with
+      | None -> false
+      | Some best ->
+          List.for_all
+            (fun r -> D.compare_routes D.full_steps best r <= 0)
+            candidates)
+
+let suite =
+  [
+    Alcotest.test_case "local-pref wins" `Quick local_pref_wins;
+    Alcotest.test_case "path length wins" `Quick path_length_wins;
+    Alcotest.test_case "med always compared" `Quick med_always_compared;
+    Alcotest.test_case "tie-break: lowest ip" `Quick tie_break_lowest_ip;
+    Alcotest.test_case "ebgp/igp steps" `Quick ebgp_and_igp_steps;
+    Alcotest.test_case "empty and single" `Quick empty_and_single;
+    Alcotest.test_case "originated beats learned" `Quick originated_beats_learned;
+    Alcotest.test_case "classify verdicts" `Quick classify_verdicts;
+    QCheck_alcotest.to_alcotest prop_select_is_minimum;
+    QCheck_alcotest.to_alcotest prop_selected_never_dominated;
+  ]

@@ -1,0 +1,127 @@
+(* Reproducing the paper's §4.6 negative result: ranking routes with
+   per-prefix LOCAL_PREF — which prefers longer paths over shorter ones
+   — can make BGP diverge, while the MED+filter scheme cannot. *)
+
+open Bgp
+module Net = Simulator.Net
+module Engine = Simulator.Engine
+module Qrmodel = Asmodel.Qrmodel
+module Refiner = Refine.Refiner
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let p0 = Asn.origin_prefix 10
+
+(* The classic BAD GADGET: origin AS 10 in the middle, ASes 1, 2, 3 in a
+   ring, each preferring the route through its clockwise neighbour over
+   its own direct route. *)
+let bad_gadget () =
+  let net = Net.create () in
+  let o = Net.add_node net ~asn:10 ~ip:(Asn.router_ip 10 0) in
+  let n = Array.init 3 (fun i -> Net.add_node net ~asn:(i + 1) ~ip:(Asn.router_ip (i + 1) 0)) in
+  Array.iter (fun ni -> ignore (Net.connect net ni o)) n;
+  for i = 0 to 2 do
+    let next = n.((i + 1) mod 3) in
+    let s_to_next, _ = Net.connect net n.(i) next in
+    (* Prefer the (longer) route via the clockwise neighbour. *)
+    Net.set_import_lpref_for net n.(i) s_to_next p0 200
+  done;
+  (net, o)
+
+let bad_gadget_diverges () =
+  let net, o = bad_gadget () in
+  let st = Engine.run net ~prefix:p0 ~originators:[ o ] in
+  check_bool "engine detects divergence" false (Engine.converged st)
+
+let bad_gadget_stable_without_lpref () =
+  (* The same topology with no preference rules converges immediately:
+     the instability is the policy, not the graph. *)
+  let net = Net.create () in
+  let o = Net.add_node net ~asn:10 ~ip:(Asn.router_ip 10 0) in
+  let n = Array.init 3 (fun i -> Net.add_node net ~asn:(i + 1) ~ip:(Asn.router_ip (i + 1) 0)) in
+  Array.iter (fun ni -> ignore (Net.connect net ni o)) n;
+  for i = 0 to 2 do
+    ignore (Net.connect net n.(i) n.((i + 1) mod 3))
+  done;
+  let st = Engine.run net ~prefix:p0 ~originators:[ o ] in
+  check_bool "stable" true (Engine.converged st);
+  Array.iter
+    (fun ni ->
+      check_bool "direct route" true
+        (Engine.best_full_path net st ni = Some [| Net.asn_of net ni; 10 |]))
+    n
+
+let per_prefix_lpref_scoping () =
+  (* A per-prefix preference must not leak onto other prefixes. *)
+  let net = Net.create () in
+  let a = Net.add_node net ~asn:1 ~ip:(Asn.router_ip 1 0) in
+  let b = Net.add_node net ~asn:2 ~ip:(Asn.router_ip 2 0) in
+  let c = Net.add_node net ~asn:3 ~ip:(Asn.router_ip 3 0) in
+  let s_ab, _ = Net.connect net a b in
+  ignore (Net.connect net a c);
+  ignore (Net.connect net b c);
+  (* For prefix of AS 3 only, a prefers the longer route via b. *)
+  Net.set_import_lpref_for net a s_ab (Asn.origin_prefix 3) 200;
+  let st3 = Engine.run net ~prefix:(Asn.origin_prefix 3) ~originators:[ c ] in
+  check_bool "preferred longer route" true
+    (Engine.best_full_path net st3 a = Some [| 1; 2; 3 |]);
+  (* Another prefix of AS 3's neighbour takes the shortest path. *)
+  let st2 = Engine.run net ~prefix:(Asn.origin_prefix 2) ~originators:[ b ] in
+  check_bool "other prefix unaffected" true
+    (Engine.best_full_path net st2 a = Some [| 1; 2 |])
+
+(* Refiner-level comparison on the Figure-5 scenario, where both modes
+   can in principle realize the observed paths. *)
+let op asn = { Rib.op_ip = Asn.router_ip asn 0; op_as = asn }
+
+let entry o origin path_list =
+  {
+    Rib.op = op o;
+    prefix = Asn.origin_prefix origin;
+    path = Aspath.of_list path_list;
+  }
+
+let fig5_graph =
+  Topology.Asgraph.of_edges [ (1, 2); (1, 4); (1, 5); (2, 3); (3, 4); (4, 5) ]
+
+let fig5_training =
+  Rib.of_entries
+    [ entry 1 3 [ 1; 2; 3 ]; entry 1 4 [ 1; 4 ]; entry 1 4 [ 1; 5; 4 ] ]
+
+let lpref_mode_on_simple_scenario () =
+  let options =
+    { Refiner.default_options with ranking = Refiner.Lpref_ranking }
+  in
+  let result =
+    Refiner.refine ~options (Qrmodel.initial fig5_graph) ~training:fig5_training
+  in
+  (* On this loop-free scenario the lpref mode works too, and adds no
+     filters (preference alone beats path length). *)
+  check_bool "converged here" true result.Refiner.converged;
+  check_int "no filters needed" 0
+    (fst (Simulator.Net.count_policies result.Refiner.model.Qrmodel.net));
+  check_int "no divergence here" 0 result.Refiner.unstable_prefixes
+
+let med_mode_never_unstable () =
+  (* The paper's scheme on a generated world: all final simulations
+     converge (the med scheme cannot create preference cycles). *)
+  let conf = { Netgen.Conf.tiny with Netgen.Conf.seed = 21 } in
+  let world = Netgen.Groundtruth.build conf in
+  let data = Netgen.Groundtruth.observe world in
+  let prepared = Core.prepare data in
+  let result = Core.build prepared ~training:prepared.Core.data in
+  check_int "no unstable prefixes" 0 result.Refine.Refiner.unstable_prefixes;
+  check_bool "converged" true result.Refine.Refiner.converged
+
+let suite =
+  [
+    Alcotest.test_case "bad gadget diverges" `Quick bad_gadget_diverges;
+    Alcotest.test_case "bad gadget stable without lpref" `Quick
+      bad_gadget_stable_without_lpref;
+    Alcotest.test_case "per-prefix lpref scoping" `Quick per_prefix_lpref_scoping;
+    Alcotest.test_case "lpref mode on simple scenario" `Quick
+      lpref_mode_on_simple_scenario;
+    Alcotest.test_case "med mode never unstable" `Slow med_mode_never_unstable;
+  ]

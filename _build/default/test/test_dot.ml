@@ -1,0 +1,57 @@
+(* Tests for the Graphviz export. *)
+
+let check_bool = Alcotest.(check bool)
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let graph = Topology.Asgraph.of_edges [ (1, 2); (1, 3); (2, 3); (2, 4) ]
+
+let plain_output () =
+  let dot = Topology.Dot.of_graph graph in
+  check_bool "graph header" true (contains "graph as_topology {" dot);
+  check_bool "all nodes" true
+    (List.for_all (fun a -> contains (Printf.sprintf "as%d [" a) dot) [ 1; 2; 3; 4 ]);
+  check_bool "an edge" true (contains "as1 -- as2" dot);
+  check_bool "closes" true (contains "}" dot)
+
+let levels_colouring () =
+  let levels = Topology.Hierarchy.classify ~seeds:[ 1; 2 ] graph in
+  let dot = Topology.Dot.of_graph ~levels graph in
+  check_bool "tier-1 salmon" true (contains "fillcolor=salmon" dot);
+  check_bool "tier-2 orange" true (contains "fillcolor=orange" dot)
+
+let relationship_styles () =
+  let rels =
+    Topology.Relationships.infer graph
+      [ Bgp.Aspath.of_list [ 4; 2; 1; 3 ]; Bgp.Aspath.of_list [ 4; 2; 3 ] ]
+  in
+  let dot = Topology.Dot.of_graph ~relationships:rels graph in
+  check_bool "directed or styled edges appear" true
+    (contains "dir=" dot || contains "style=" dot || contains "color=grey" dot)
+
+let quasi_router_labels () =
+  let dot =
+    Topology.Dot.of_graph ~quasi_routers:(fun a -> if a = 2 then 3 else 1) graph
+  in
+  check_bool "qr label" true (contains "AS2\\n3 qr" dot)
+
+let file_output () =
+  let tmp = Filename.temp_file "dot" ".dot" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      Topology.Dot.save tmp graph;
+      let content = In_channel.with_open_text tmp In_channel.input_all in
+      check_bool "written" true (contains "as_topology" content))
+
+let suite =
+  [
+    Alcotest.test_case "plain output" `Quick plain_output;
+    Alcotest.test_case "levels colouring" `Quick levels_colouring;
+    Alcotest.test_case "relationship styles" `Quick relationship_styles;
+    Alcotest.test_case "quasi-router labels" `Quick quasi_router_labels;
+    Alcotest.test_case "file output" `Quick file_output;
+  ]

@@ -1,0 +1,109 @@
+(* Coverage for the remaining small API surfaces: data-set union, the
+   refiner's progress callback, generator scaling, attribute helpers. *)
+
+open Bgp
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let op asn = { Rib.op_ip = Asn.router_ip asn 0; op_as = asn }
+
+let entry o origin path_list =
+  {
+    Rib.op = op o;
+    prefix = Asn.origin_prefix origin;
+    path = Aspath.of_list path_list;
+  }
+
+let rib_union () =
+  let a = Rib.of_entries [ entry 1 6 [ 1; 6 ]; entry 1 5 [ 1; 5 ] ] in
+  let b = Rib.of_entries [ entry 1 6 [ 1; 6 ]; entry 2 6 [ 2; 6 ] ] in
+  let u = Rib.union a b in
+  check_int "duplicates collapse" 3 (Rib.size u);
+  check_int "points merged" 2 (List.length (Rib.observation_points u))
+
+let refiner_progress_callback () =
+  let graph = Topology.Asgraph.of_edges [ (1, 2); (1, 3); (2, 4); (3, 4) ] in
+  let training = Rib.of_entries [ entry 1 4 [ 1; 3; 4 ] ] in
+  let seen = ref [] in
+  let result =
+    Refine.Refiner.refine
+      ~on_iteration:(fun h -> seen := h.Refine.Refiner.iteration :: !seen)
+      (Asmodel.Qrmodel.initial graph)
+      ~training
+  in
+  check_int "callback per iteration" result.Refine.Refiner.iterations
+    (List.length !seen);
+  check_bool "iterations in order" true
+    (List.rev !seen = List.init result.Refine.Refiner.iterations (fun i -> i + 1))
+
+let conf_scaling () =
+  let half = Netgen.Conf.scaled 0.5 in
+  check_int "tier2 halved" (Netgen.Conf.default.Netgen.Conf.n_tier2 / 2)
+    half.Netgen.Conf.n_tier2;
+  check_int "tier1 untouched" Netgen.Conf.default.Netgen.Conf.n_tier1
+    half.Netgen.Conf.n_tier1;
+  let tiny_scale = Netgen.Conf.scaled 0.0001 in
+  check_bool "floors at one" true (tiny_scale.Netgen.Conf.n_stub >= 1)
+
+let attrs_helpers () =
+  check_bool "origin roundtrip" true
+    (List.for_all
+       (fun o -> Attrs.origin_of_string (Attrs.origin_to_string o) = Some o)
+       [ Attrs.Igp; Attrs.Egp; Attrs.Incomplete ]);
+  check_bool "bad origin" true (Attrs.origin_of_string "BOGUS" = None);
+  check_bool "community roundtrip" true
+    (Attrs.community_of_string (Attrs.community_to_string (7018, 5000))
+    = Some (7018, 5000));
+  check_bool "bad community" true (Attrs.community_of_string "7018" = None);
+  check_bool "bad community number" true (Attrs.community_of_string "a:b" = None);
+  check_bool "communities list" true
+    (Attrs.communities_of_string "1:2 3:4" = Some [ (1, 2); (3, 4) ]);
+  check_bool "empty communities" true (Attrs.communities_of_string "" = Some []);
+  check_bool "malformed list" true (Attrs.communities_of_string "1:2 junk" = None)
+
+let relclass_invariants () =
+  let module RC = Simulator.Relclass in
+  (* Customer band strictly above every other band: the Gao-Rexford
+     safety condition the ground truth relies on. *)
+  let lo_customer, _ = RC.band RC.customer in
+  List.iter
+    (fun c ->
+      let _, hi = RC.band c in
+      check_bool (Printf.sprintf "customer above %s" (RC.to_string c)) true
+        (lo_customer > hi))
+    [ RC.peer; RC.provider; RC.sibling; RC.unknown ];
+  (* Originated and customer routes go everywhere; provider routes only
+     towards customers/siblings. *)
+  check_bool "originated exports" true
+    (RC.export_ok ~learned_class:(-1) ~to_class:RC.provider);
+  check_bool "customer route to provider" true
+    (RC.export_ok ~learned_class:RC.customer ~to_class:RC.provider);
+  check_bool "provider route not to peer" false
+    (RC.export_ok ~learned_class:RC.provider ~to_class:RC.peer);
+  check_bool "provider route to customer" true
+    (RC.export_ok ~learned_class:RC.provider ~to_class:RC.customer)
+
+let verdict_helpers () =
+  let module M = Refine.Matching in
+  check_bool "ranks ordered" true
+    (M.verdict_rank M.Rib_out < M.verdict_rank M.Potential_rib_out
+    && M.verdict_rank M.Potential_rib_out < M.verdict_rank M.Rib_in
+    && M.verdict_rank M.Rib_in < M.verdict_rank M.No_rib_in);
+  check_bool "strings distinct" true
+    (List.length
+       (List.sort_uniq compare
+          (List.map M.verdict_to_string
+             [ M.Rib_out; M.Potential_rib_out; M.Rib_in; M.No_rib_in ]))
+    = 4)
+
+let suite =
+  [
+    Alcotest.test_case "rib union" `Quick rib_union;
+    Alcotest.test_case "refiner progress callback" `Quick refiner_progress_callback;
+    Alcotest.test_case "conf scaling" `Quick conf_scaling;
+    Alcotest.test_case "attrs helpers" `Quick attrs_helpers;
+    Alcotest.test_case "relclass invariants" `Quick relclass_invariants;
+    Alcotest.test_case "verdict helpers" `Quick verdict_helpers;
+  ]

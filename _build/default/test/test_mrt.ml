@@ -1,0 +1,95 @@
+(* Tests for the bgpdump-style table-dump line format. *)
+
+open Bgp
+
+let check_bool = Alcotest.(check bool)
+
+let sample_record =
+  {
+    Mrt.time = 1131867000;
+    peer_ip = Ipv4.of_octets 12 0 1 63;
+    peer_as = 7018;
+    prefix = Prefix.of_string_exn "3.0.0.0/8";
+    path = Aspath.of_list [ 7018; 701; 703 ];
+    attrs =
+      {
+        Attrs.origin = Attrs.Igp;
+        next_hop = Ipv4.of_octets 12 0 1 63;
+        local_pref = 100;
+        med = 0;
+        communities = [ (7018, 5000) ];
+      };
+  }
+
+let roundtrip () =
+  let line = Mrt.record_to_line sample_record in
+  match Mrt.record_of_line line with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok r ->
+      check_bool "time" true (r.Mrt.time = sample_record.Mrt.time);
+      check_bool "peer ip" true (Ipv4.equal r.Mrt.peer_ip sample_record.Mrt.peer_ip);
+      check_bool "peer as" true (r.Mrt.peer_as = sample_record.Mrt.peer_as);
+      check_bool "prefix" true (Prefix.equal r.Mrt.prefix sample_record.Mrt.prefix);
+      check_bool "path" true (Aspath.equal r.Mrt.path sample_record.Mrt.path);
+      check_bool "attrs" true (Attrs.equal r.Mrt.attrs sample_record.Mrt.attrs)
+
+let real_world_line () =
+  (* A line in the shape bgpdump -m emits. *)
+  let line =
+    "TABLE_DUMP2|1131867000|B|12.0.1.63|7018|3.0.0.0/8|7018 701 703|IGP|12.0.1.63|100|0|7018:5000|NAG||"
+  in
+  match Mrt.record_of_line line with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok r ->
+      check_bool "peer as" true (r.Mrt.peer_as = 7018);
+      check_bool "path" true (Aspath.to_list r.Mrt.path = [ 7018; 701; 703 ]);
+      check_bool "community" true (r.Mrt.attrs.Attrs.communities = [ (7018, 5000) ])
+
+let comments_skipped () =
+  let records, errors =
+    Mrt.parse_lines
+      [
+        "# a comment";
+        "";
+        Mrt.record_to_line sample_record;
+        "garbage line";
+        Mrt.record_to_line sample_record;
+      ]
+  in
+  Alcotest.(check int) "records" 2 (List.length records);
+  Alcotest.(check int) "errors" 1 (List.length errors);
+  (match errors with
+  | [ (4, _) ] -> ()
+  | _ -> Alcotest.fail "error should point at line 4")
+
+let malformed_fields () =
+  let check_err label line =
+    match Mrt.record_of_line line with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s should not parse" label
+  in
+  check_err "bad kind" "BOGUS|1|B|1.2.3.4|7018|3.0.0.0/8|7018|IGP|1.2.3.4|0|0||NAG||";
+  check_err "bad subtype" "TABLE_DUMP2|1|A|1.2.3.4|7018|3.0.0.0/8|7018|IGP|1.2.3.4|0|0||NAG||";
+  check_err "bad prefix" "TABLE_DUMP2|1|B|1.2.3.4|7018|3.0.0.0|7018|IGP|1.2.3.4|0|0||NAG||";
+  check_err "bad path" "TABLE_DUMP2|1|B|1.2.3.4|7018|3.0.0.0/8|70x18|IGP|1.2.3.4|0|0||NAG||";
+  check_err "bad origin" "TABLE_DUMP2|1|B|1.2.3.4|7018|3.0.0.0/8|7018|OOPS|1.2.3.4|0|0||NAG||";
+  check_err "too few" "TABLE_DUMP2|1|B|1.2.3.4"
+
+let file_roundtrip () =
+  let tmp = Filename.temp_file "mrt_test" ".dump" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove tmp)
+    (fun () ->
+      Mrt.write_file tmp [ sample_record; sample_record ];
+      let records, errors = Mrt.read_file tmp in
+      Alcotest.(check int) "no errors" 0 (List.length errors);
+      Alcotest.(check int) "two records" 2 (List.length records))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip" `Quick roundtrip;
+    Alcotest.test_case "real-world line" `Quick real_world_line;
+    Alcotest.test_case "comments skipped" `Quick comments_skipped;
+    Alcotest.test_case "malformed fields" `Quick malformed_fields;
+    Alcotest.test_case "file roundtrip" `Quick file_roundtrip;
+  ]

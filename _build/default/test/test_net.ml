@@ -1,0 +1,116 @@
+(* Tests for the network structure and its policy stores. *)
+
+open Bgp
+module Net = Simulator.Net
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let p = Asn.origin_prefix 6
+
+let make_pair () =
+  let net = Net.create () in
+  let a = Net.add_node net ~asn:1 ~ip:(Asn.router_ip 1 0) in
+  let b = Net.add_node net ~asn:2 ~ip:(Asn.router_ip 2 0) in
+  let sa, sb = Net.connect net a b in
+  (net, a, b, sa, sb)
+
+let construction () =
+  let net, a, b, sa, sb = make_pair () in
+  check_int "nodes" 2 (Net.node_count net);
+  check_int "half-sessions" 2 (Net.session_count net);
+  check_int "peer of a" b (Net.session_peer net a sa);
+  check_int "peer of b" a (Net.session_peer net b sb);
+  check_int "reverse of a's session" sb (Net.session_reverse net a sa);
+  check_bool "find session" true (Net.find_session net a b = Some sa);
+  check_bool "asn" true (Net.asn_of net a = 1)
+
+let duplicate_sessions_rejected () =
+  let net, a, b, _, _ = make_pair () in
+  Alcotest.check_raises "dup" (Invalid_argument "Net.connect: session already exists")
+    (fun () -> ignore (Net.connect net a b));
+  Alcotest.check_raises "self" (Invalid_argument "Net.connect: self session")
+    (fun () -> ignore (Net.connect net a a))
+
+let policies () =
+  let net, a, _b, sa, _ = make_pair () in
+  check_bool "no deny initially" false (Net.export_denied net a sa p);
+  Net.deny_export net a sa p;
+  check_bool "denied" true (Net.export_denied net a sa p);
+  Net.allow_export net a sa p;
+  check_bool "allowed again" false (Net.export_denied net a sa p);
+  check_bool "no med initially" true (Net.import_med net a sa p = None);
+  Net.set_import_med net a sa p 0;
+  check_bool "med set" true (Net.import_med net a sa p = Some 0);
+  Net.clear_import_med net a sa p;
+  check_bool "med cleared" true (Net.import_med net a sa p = None);
+  Net.set_import_lpref net a sa 120;
+  check_bool "lpref" true (Net.import_lpref net a sa = Some 120);
+  Net.set_carry_lpref net a sa true;
+  check_bool "carry" true (Net.carry_lpref net a sa)
+
+let policy_counting () =
+  let net, a, b, sa, sb = make_pair () in
+  Net.deny_export net a sa p;
+  Net.deny_export net b sb (Asn.origin_prefix 7);
+  Net.set_import_med net a sa p 5;
+  let denies, meds = Net.count_policies net in
+  check_int "denies" 2 denies;
+  check_int "meds" 1 meds;
+  let folded =
+    Net.fold_export_denies net (fun _ _ _ acc -> acc + 1) 0
+  in
+  check_int "fold over denies" 2 folded
+
+let nodes_of_as_ordering () =
+  let net = Net.create () in
+  let a0 = Net.add_node net ~asn:5 ~ip:(Asn.router_ip 5 0) in
+  let a1 = Net.add_node net ~asn:5 ~ip:(Asn.router_ip 5 1) in
+  check_bool "creation order" true (Net.nodes_of_as net 5 = [ a0; a1 ]);
+  check_bool "unknown as" true (Net.nodes_of_as net 99 = [])
+
+let duplication () =
+  let net = Net.create () in
+  let a = Net.add_node net ~asn:1 ~ip:(Asn.router_ip 1 0) in
+  let b = Net.add_node net ~asn:2 ~ip:(Asn.router_ip 2 0) in
+  let c = Net.add_node net ~asn:3 ~ip:(Asn.router_ip 3 0) in
+  let sa_b, sb_a = Net.connect net a b in
+  let sa_c, _ = Net.connect net a c in
+  (* Policies in all four directions around [a]. *)
+  Net.set_import_lpref net a sa_b 111;
+  Net.set_import_med net a sa_c p 7;
+  Net.deny_export net a sa_b p;
+  Net.deny_export net b sb_a (Asn.origin_prefix 9);
+  let a2 = Net.duplicate_node net a in
+  check_bool "same asn" true (Net.asn_of net a2 = 1);
+  check_bool "fresh ip = next index" true
+    (Ipv4.equal (Net.ip_of net a2) (Asn.router_ip 1 1));
+  check_int "same session count" 2 (List.length (Net.sessions_of net a2));
+  (* The duplicate's session i mirrors the original's session i. *)
+  check_int "peer order preserved" (Net.session_peer net a sa_b)
+    (Net.session_peer net a2 sa_b);
+  check_bool "import lpref copied" true (Net.import_lpref net a2 sa_b = Some 111);
+  check_bool "import med copied" true (Net.import_med net a2 sa_c p = Some 7);
+  check_bool "own deny copied" true (Net.export_denied net a2 sa_b p);
+  (* The peer's policies towards the duplicate mirror those towards the
+     original. *)
+  let sb_a2 =
+    match Net.find_session net b a2 with Some s -> s | None -> Alcotest.fail "no session"
+  in
+  check_bool "peer-side deny copied" true
+    (Net.export_denied net b sb_a2 (Asn.origin_prefix 9));
+  (* Policies are deep copies: changing the duplicate leaves the
+     original alone. *)
+  Net.set_import_med net a2 sa_c p 99;
+  check_bool "deep copy" true (Net.import_med net a sa_c p = Some 7)
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick construction;
+    Alcotest.test_case "duplicate sessions rejected" `Quick duplicate_sessions_rejected;
+    Alcotest.test_case "policies" `Quick policies;
+    Alcotest.test_case "policy counting" `Quick policy_counting;
+    Alcotest.test_case "nodes_of_as ordering" `Quick nodes_of_as_ordering;
+    Alcotest.test_case "duplication" `Quick duplication;
+  ]

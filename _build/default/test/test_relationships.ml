@@ -1,0 +1,111 @@
+(* Tests for valley-free relationship inference. *)
+
+open Bgp
+module Rel = Topology.Relationships
+
+let check_bool = Alcotest.(check bool)
+
+let path = Aspath.of_list
+
+(* A toy hierarchy: 1 is the high-degree top provider; 2 and 3 are its
+   customers; 4 is a customer of 2; 5 a customer of 3.  Observed paths
+   all climb to 1 and descend. *)
+let graph =
+  Topology.Asgraph.of_edges [ (1, 2); (1, 3); (2, 4); (3, 5); (1, 6); (1, 7) ]
+
+let paths =
+  [
+    path [ 4; 2; 1; 3; 5 ];
+    path [ 5; 3; 1; 2; 4 ];
+    path [ 4; 2; 1; 6 ];
+    path [ 5; 3; 1; 7 ];
+  ]
+
+let inference () =
+  let t = Rel.infer graph paths in
+  check_bool "1 provides for 2" true (Rel.rel t 1 2 = Rel.Provider_of);
+  check_bool "2 customer of 1" true (Rel.rel t 2 1 = Rel.Customer_of);
+  check_bool "2 provides for 4" true (Rel.rel t 2 4 = Rel.Provider_of);
+  check_bool "absent edge unknown" true (Rel.rel t 4 5 = Rel.Unknown)
+
+let level1_peering () =
+  let g = Topology.Asgraph.add_edge graph 8 1 in
+  let t = Rel.infer ~level1:(Asn.Set.of_list [ 1; 8 ]) g paths in
+  check_bool "declared peers" true (Rel.rel t 1 8 = Rel.Peer);
+  check_bool "symmetric" true (Rel.rel t 8 1 = Rel.Peer)
+
+let sibling_votes () =
+  (* Edge (2,3) provides transit in both directions below the top
+     (AS 1, highest degree): sibling. *)
+  let g =
+    Topology.Asgraph.of_edges
+      [ (1, 2); (1, 3); (2, 3); (3, 4); (2, 9); (1, 5); (1, 6); (1, 7) ]
+  in
+  let paths = [ path [ 5; 1; 2; 3; 4 ]; path [ 6; 1; 3; 2; 9 ] ] in
+  let t = Rel.infer g paths in
+  check_bool "sibling" true (Rel.rel t 2 3 = Rel.Sibling)
+
+let counts () =
+  let t = Rel.infer graph paths in
+  let c = Rel.counts t in
+  Alcotest.(check int)
+    "all edges classified" 6
+    (c.Rel.customer_provider + c.Rel.peer + c.Rel.sibling + c.Rel.unknown)
+
+let valley_free_check () =
+  let t = Rel.infer graph paths in
+  check_bool "observed path is valley-free" true
+    (Rel.valley_free t (path [ 4; 2; 1; 3; 5 ]));
+  (* A valley: descending to a customer and climbing back up. *)
+  check_bool "valley rejected" false (Rel.valley_free t (path [ 2; 1; 3; 1 ]))
+
+let valley_free_edge_cases () =
+  let t = Rel.infer graph paths in
+  check_bool "singleton" true (Rel.valley_free t (path [ 1 ]));
+  check_bool "empty" true (Rel.valley_free t Aspath.empty);
+  (* Unknown edges are transparent. *)
+  check_bool "unknown transparent" true (Rel.valley_free t (path [ 42; 43 ]))
+
+let flip () =
+  check_bool "flip customer" true (Rel.flip Rel.Customer_of = Rel.Provider_of);
+  check_bool "flip provider" true (Rel.flip Rel.Provider_of = Rel.Customer_of);
+  check_bool "flip peer" true (Rel.flip Rel.Peer = Rel.Peer)
+
+(* Property: on ground-truth worlds, inferred customer-provider edges
+   should mostly agree with the generator's orientation. *)
+let groundtruth_accuracy () =
+  let conf = { Netgen.Conf.tiny with Netgen.Conf.seed = 99 } in
+  let world = Netgen.Groundtruth.build conf in
+  let data = Netgen.Groundtruth.observe world in
+  let graph = Topology.Extract.graph_of_dataset data in
+  let levels = Topology.Hierarchy.classify graph in
+  let t =
+    Rel.infer ~level1:levels.Topology.Hierarchy.level1 graph
+      (Rib.all_paths data)
+  in
+  let correct = ref 0 and wrong = ref 0 in
+  Topology.Asgraph.fold_edges
+    (fun a b () ->
+      match (Rel.rel t a b, Netgen.Gentopo.true_rel world.Netgen.Groundtruth.topo a b) with
+      | Rel.Provider_of, Some `Provider | Rel.Customer_of, Some `Customer ->
+          incr correct
+      | Rel.Provider_of, Some `Customer | Rel.Customer_of, Some `Provider ->
+          incr wrong
+      | _, _ -> ())
+    graph ();
+  check_bool
+    (Printf.sprintf "orientation mostly right (%d vs %d)" !correct !wrong)
+    true
+    (!correct > 3 * !wrong)
+
+let suite =
+  [
+    Alcotest.test_case "basic inference" `Quick inference;
+    Alcotest.test_case "level-1 peering" `Quick level1_peering;
+    Alcotest.test_case "sibling votes" `Quick sibling_votes;
+    Alcotest.test_case "counts" `Quick counts;
+    Alcotest.test_case "valley-free check" `Quick valley_free_check;
+    Alcotest.test_case "valley-free edge cases" `Quick valley_free_edge_cases;
+    Alcotest.test_case "flip" `Quick flip;
+    Alcotest.test_case "ground-truth accuracy" `Slow groundtruth_accuracy;
+  ]

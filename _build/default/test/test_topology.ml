@@ -1,0 +1,164 @@
+(* Tests for Topology.Extract, Hierarchy, Diversity. *)
+
+open Bgp
+
+let check_int = Alcotest.(check int)
+
+let check_bool = Alcotest.(check bool)
+
+let op asn = { Rib.op_ip = Asn.router_ip asn 0; op_as = asn }
+
+let entry ?(o = 1) prefix_as path_list =
+  {
+    Rib.op = op o;
+    prefix = Asn.origin_prefix prefix_as;
+    path = Aspath.of_list path_list;
+  }
+
+(* A small world: 1 observes; 2,3 transit; 6 multi-homed stub behind 2
+   and 3; 9 single-homed stub behind 3. *)
+let data =
+  Rib.of_entries
+    [
+      entry 6 [ 1; 2; 6 ];
+      entry 6 [ 1; 3; 6 ];
+      entry 9 [ 1; 3; 9 ];
+      entry 2 [ 1; 2 ];
+      entry 3 [ 1; 3 ];
+    ]
+
+let extraction () =
+  let g = Topology.Extract.graph_of_dataset data in
+  check_int "nodes" 5 (Topology.Asgraph.num_nodes g);
+  check_int "edges" 5 (Topology.Asgraph.num_edges g);
+  check_bool "1-2 edge" true (Topology.Asgraph.mem_edge g 1 2);
+  check_bool "no 2-3 edge" false (Topology.Asgraph.mem_edge g 2 3)
+
+let transit_detection () =
+  let transit = Topology.Extract.transit_ases (Rib.all_paths data) in
+  check_bool "2 and 3 transit" true
+    (Asn.Set.equal transit (Asn.Set.of_list [ 2; 3 ]))
+
+let classification () =
+  let c = Topology.Extract.classify data in
+  check_bool "single-homed stub 9" true
+    (Asn.Set.mem 9 c.Topology.Extract.stubs_single_homed);
+  check_bool "multi-homed stub 6" true
+    (Asn.Set.mem 6 c.Topology.Extract.stubs_multi_homed);
+  (* AS 1 only ever observes; it is a degree-3 stub here. *)
+  check_bool "AS1 not transit" false (Asn.Set.mem 1 c.Topology.Extract.transit)
+
+let reduction () =
+  let r = Topology.Extract.reduce data in
+  check_bool "9 removed" false (Topology.Asgraph.mem_node r.Topology.Extract.core 9);
+  check_bool "6 kept (multi-homed)" true
+    (Topology.Asgraph.mem_node r.Topology.Extract.core 6);
+  (* 9's path information lives on as a path to AS 3's prefix. *)
+  let paths3 = Rib.paths_for_prefix r.Topology.Extract.data (Asn.origin_prefix 3) in
+  check_bool "transferred path" true
+    (List.exists (fun (e : Rib.entry) -> Aspath.to_list e.path = [ 1; 3 ]) paths3)
+
+(* Hierarchy: a 3-clique of high-degree ASes (1,2,3) with customers. *)
+let hier_graph =
+  Topology.Asgraph.of_edges
+    [
+      (1, 2); (1, 3); (2, 3);  (* clique *)
+      (1, 10); (1, 11); (1, 12);
+      (2, 20); (2, 21); (2, 22);
+      (3, 30); (3, 31);
+      (10, 100); (20, 200);
+    ]
+
+let tier1_inference () =
+  let t1 = Topology.Hierarchy.infer_tier1 hier_graph in
+  check_bool "clique found" true (Asn.Set.equal t1 (Asn.Set.of_list [ 1; 2; 3 ]))
+
+let tier1_with_seeds () =
+  let t1 = Topology.Hierarchy.infer_tier1 ~seeds:[ 1; 2 ] hier_graph in
+  check_bool "seeded" true (Asn.Set.equal t1 (Asn.Set.of_list [ 1; 2; 3 ]));
+  Alcotest.check_raises "non-adjacent seeds rejected"
+    (Invalid_argument "Hierarchy.infer_tier1: seeds are not a clique")
+    (fun () -> ignore (Topology.Hierarchy.infer_tier1 ~seeds:[ 10; 20 ] hier_graph))
+
+let levels () =
+  let l = Topology.Hierarchy.classify hier_graph in
+  check_int "level1" 3 (Asn.Set.cardinal l.Topology.Hierarchy.level1);
+  check_bool "customers are level2" true
+    (Asn.Set.mem 10 l.Topology.Hierarchy.level2 && Asn.Set.mem 30 l.Topology.Hierarchy.level2);
+  check_bool "far nodes are other" true
+    (Asn.Set.mem 100 l.Topology.Hierarchy.other);
+  check_int "level_of" 1 (Topology.Hierarchy.level_of l 1);
+  check_int "level_of other" 3 (Topology.Hierarchy.level_of l 100);
+  check_int "level_of unknown" 3 (Topology.Hierarchy.level_of l 999)
+
+let diversity_figure2 () =
+  let data =
+    Rib.of_entries
+      [
+        entry 6 [ 1; 2; 6 ];
+        entry 6 [ 1; 3; 6 ];
+        { Rib.op = op 1; prefix = Asn.nth_prefix 6 1; path = Aspath.of_list [ 1; 2; 6 ] };
+        entry 5 [ 1; 5 ];
+      ]
+  in
+  let hist = Topology.Diversity.pair_path_histogram data in
+  (* pair (6,1) has 2 distinct paths; pair (5,1) has 1. *)
+  check_bool "histogram" true (hist = [ (1, 1); (2, 1) ]);
+  check_bool "fraction" true
+    (abs_float (Topology.Diversity.fraction_pairs_with_diversity data -. 0.5) < 1e-9)
+
+let diversity_received () =
+  let data =
+    Rib.of_entries
+      [
+        entry 6 [ 1; 2; 4; 6 ];
+        entry 6 [ 1; 2; 5; 6 ];
+        entry ~o:3 6 [ 3; 2; 4; 6 ];
+      ]
+  in
+  let received = Topology.Diversity.received_paths data in
+  (* AS 2 receives suffixes 4-6 and 5-6 for prefix 6. *)
+  let got = Hashtbl.find received (2, Asn.origin_prefix 6) in
+  check_int "AS2 receives two" 2 (Aspath.Set.cardinal got);
+  let maxes = Topology.Diversity.max_received_diversity data in
+  check_bool "AS2 max is 2" true (List.assoc 2 maxes = 2);
+  check_bool "AS1 max is 2" true (List.assoc 1 maxes = 2)
+
+let table1_quantiles () =
+  let data =
+    Rib.of_entries
+      [ entry 6 [ 1; 2; 6 ]; entry 6 [ 1; 3; 6 ]; entry 5 [ 1; 5 ] ]
+  in
+  let q = Topology.Diversity.table1_quantiles data in
+  check_int "five quantiles" 5 (List.length q);
+  check_bool "quantiles monotone" true
+    (let vs = List.map snd q in
+     List.sort compare vs = vs)
+
+let prefixes_per_path () =
+  let data =
+    Rib.of_entries
+      [
+        entry 6 [ 1; 2; 6 ];
+        { Rib.op = op 1; prefix = Asn.nth_prefix 6 1; path = Aspath.of_list [ 1; 2; 6 ] };
+        entry 5 [ 1; 5 ];
+      ]
+  in
+  let hist = Topology.Diversity.prefixes_per_path_histogram data in
+  (* path 1-2-6 serves 2 prefixes; path 1-5 serves 1. *)
+  check_bool "histogram" true (hist = [ (1, 1); (2, 1) ])
+
+let suite =
+  [
+    Alcotest.test_case "extraction" `Quick extraction;
+    Alcotest.test_case "transit detection" `Quick transit_detection;
+    Alcotest.test_case "classification" `Quick classification;
+    Alcotest.test_case "reduction" `Quick reduction;
+    Alcotest.test_case "tier-1 inference" `Quick tier1_inference;
+    Alcotest.test_case "tier-1 with seeds" `Quick tier1_with_seeds;
+    Alcotest.test_case "levels" `Quick levels;
+    Alcotest.test_case "diversity: figure 2" `Quick diversity_figure2;
+    Alcotest.test_case "diversity: received" `Quick diversity_received;
+    Alcotest.test_case "table 1 quantiles" `Quick table1_quantiles;
+    Alcotest.test_case "prefixes per path" `Quick prefixes_per_path;
+  ]
