@@ -6,6 +6,7 @@
      --quick       run everything on a ~1/3-size world
      --scale F     world scale factor (default 1.0)
      --seed N      world seed (default 42)
+     --jobs N      simulation worker domains (default: RD_JOBS or core count)
      --sweep       add the accuracy-vs-vantage-points sweep (slow)
      --no-micro    skip the bechamel micro-benchmarks
      --micro-only  only run the micro-benchmarks *)
@@ -134,11 +135,16 @@ let experiment_train_predict prepared ~seed =
           (Topology.Asgraph.num_nodes prepared.Core.graph) );
       ("filter rules", string_of_int filters);
       ("MED ranking rules", string_of_int meds);
+      ( "simulation pool",
+        Format.asprintf "%a" Simulator.Pool.pp_stats r.Refine.Refiner.pool );
     ];
   section "F9" "training match rate per iteration (§5 convergence series)";
   Evaluation.Report.table std
     ~header:
-      [ "iteration"; "matched"; "%"; "+filters"; "+med"; "+quasi-routers"; "deletions" ]
+      [
+        "iteration"; "matched"; "%"; "+filters"; "+med"; "+quasi-routers";
+        "deletions"; "sims"; "sim wall";
+      ]
     (List.map
        (fun (h : Refine.Refiner.iter_stat) ->
          [
@@ -149,6 +155,8 @@ let experiment_train_predict prepared ~seed =
            string_of_int h.Refine.Refiner.med_rules_added;
            string_of_int h.Refine.Refiner.duplications;
            string_of_int h.Refine.Refiner.filter_deletions;
+           string_of_int h.Refine.Refiner.pool.Simulator.Pool.prefixes;
+           Printf.sprintf "%.2fs" h.Refine.Refiner.pool.Simulator.Pool.wall;
          ])
        r.Refine.Refiner.history);
   section "F8" "quasi-routers per AS after refinement (§5)";
@@ -393,6 +401,73 @@ let experiment_robustness base_conf =
     ~header:[ "seed"; "train"; "iters"; "exact"; "tie-break"; "rib-in" ]
     rows
 
+let experiment_parallel prepared =
+  (* The pool's headline: identical results, less wall-clock.  Runs the
+     same refinement + (fresh-state) evaluation at 1 worker and at 4,
+     checking bit-identical outcomes and reporting the speedup. *)
+  section "PAR" "refinement/evaluation wall-clock vs worker domains (Pool)";
+  let cores = Domain.recommended_domain_count () in
+  Format.printf "available cores: %d@." cores;
+  if cores < 2 then
+    Format.printf
+      "NOTE: single-core host — parallel speedup is impossible and extra \
+       domains only add GC-synchronisation overhead; the run below still \
+       checks result equality across job counts.@.";
+  let splits = Core.split ~seed:7 prepared in
+  let run jobs =
+    let t0 = Unix.gettimeofday () in
+    let result =
+      Core.build
+        ~options:
+          {
+            Refine.Refiner.default_options with
+            max_iterations = Some 14;
+            jobs = Some jobs;
+          }
+        prepared ~training:splits.Evaluation.Split.training
+    in
+    let t_refine = Unix.gettimeofday () -. t0 in
+    (* Fresh state table so the evaluation phase re-simulates every
+       validation prefix through the pool. *)
+    let t1 = Unix.gettimeofday () in
+    let prediction =
+      Evaluation.Predict.evaluate ~jobs result.Refine.Refiner.model
+        ~states:(Hashtbl.create 256) splits.Evaluation.Split.validation
+    in
+    let t_eval = Unix.gettimeofday () -. t1 in
+    (result, prediction, t_refine, t_eval)
+  in
+  let r1, p1, refine1, eval1 = time "PAR jobs=1" (fun () -> run 1) in
+  let r4, p4, refine4, eval4 = time "PAR jobs=4" (fun () -> run 4) in
+  let identical =
+    r1.Refine.Refiner.matched = r4.Refine.Refiner.matched
+    && r1.Refine.Refiner.iterations = r4.Refine.Refiner.iterations
+    && p1.Evaluation.Predict.totals = p4.Evaluation.Predict.totals
+    && p1.Evaluation.Predict.coverage = p4.Evaluation.Predict.coverage
+  in
+  Evaluation.Report.table std
+    ~header:[ "jobs"; "refine"; "evaluate"; "sim events" ]
+    [
+      [
+        "1";
+        Printf.sprintf "%.1fs" refine1;
+        Printf.sprintf "%.1fs" eval1;
+        string_of_int r1.Refine.Refiner.pool.Simulator.Pool.events;
+      ];
+      [
+        "4";
+        Printf.sprintf "%.1fs" refine4;
+        Printf.sprintf "%.1fs" eval4;
+        string_of_int r4.Refine.Refiner.pool.Simulator.Pool.events;
+      ];
+    ];
+  Format.printf
+    "results identical across job counts: %b@.speedup at 4 jobs: refine %.2fx, \
+     evaluate %.2fx@."
+    identical
+    (if refine4 > 0.0 then refine1 /. refine4 else 0.0)
+    (if eval4 > 0.0 then eval1 /. eval4 else 0.0)
+
 let experiment_sweep base_conf =
   (* How prediction accuracy scales with vantage points: train on a
      growing subset of the training observation points. *)
@@ -547,6 +622,11 @@ let () =
   let quick = has "--quick" in
   let scale = float_of_string (value "--scale" (if quick then "0.35" else "1.0")) in
   let seed = int_of_string (value "--seed" "42") in
+  (match int_of_string_opt (value "--jobs" "") with
+  | Some j -> Simulator.Pool.set_default_jobs j
+  | None -> ());
+  Format.printf "simulation workers: %d (RD_JOBS/--jobs to change)@."
+    (Simulator.Pool.default_jobs ());
   let t_start = Unix.gettimeofday () in
   if not (has "--micro-only") then begin
     let conf = { (Netgen.Conf.scaled scale) with Netgen.Conf.seed = seed } in
@@ -564,6 +644,7 @@ let () =
     experiment_inflation prepared;
     ignore (experiment_t2 prepared);
     ignore (experiment_train_predict prepared ~seed:7);
+    experiment_parallel prepared;
     experiment_t5 prepared ~seed:7;
     experiment_t6 prepared ~seed:7;
     let ablation_conf =

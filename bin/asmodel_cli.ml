@@ -44,9 +44,26 @@ let load_dataset path =
 
 let std = Format.std_formatter
 
+(* Simulation worker count, shared by every subcommand that simulates.
+   Precedence: --jobs flag > RD_JOBS env > Domain.recommended_domain_count. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for per-prefix simulation (default: $(b,RD_JOBS) \
+           or the machine's recommended domain count).  Results are \
+           identical for every value.")
+
+let apply_jobs = function
+  | Some j -> Simulator.Pool.set_default_jobs j
+  | None -> ()
+
 (* generate *)
 
-let generate seed scale binary out =
+let generate seed scale binary out jobs =
+  apply_jobs jobs;
   let conf = { (Netgen.Conf.scaled scale) with Netgen.Conf.seed } in
   Printf.eprintf "generating world: %s\n%!"
     (Format.asprintf "%a" Netgen.Conf.pp conf);
@@ -87,7 +104,7 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate"
        ~doc:"Generate a synthetic world and write its observed table dumps.")
-    Term.(const generate $ seed_arg $ scale_arg $ binary_arg $ out_arg)
+    Term.(const generate $ seed_arg $ scale_arg $ binary_arg $ out_arg $ jobs_arg)
 
 (* stats *)
 
@@ -196,7 +213,8 @@ let max_iter_arg =
     & opt (some int) None
     & info [ "max-iterations" ] ~docv:"N" ~doc:"Cap refinement iterations.")
 
-let build input split_seed train_fraction by_origin model_out max_iter =
+let build input split_seed train_fraction by_origin model_out max_iter jobs =
+  apply_jobs jobs;
   let data = load_datasets input in
   let options =
     { Refine.Refiner.default_options with max_iterations = max_iter }
@@ -236,7 +254,13 @@ let build input split_seed train_fraction by_origin model_out max_iter =
       ( "model",
         Format.asprintf "%a" Asmodel.Qrmodel.pp_summary r.Refine.Refiner.model
       );
+      ( "simulation pool",
+        Format.asprintf "%a" Simulator.Pool.pp_stats r.Refine.Refiner.pool );
     ];
+  if r.Refine.Refiner.pool.Simulator.Pool.non_converged > 0 then
+    Printf.eprintf
+      "warning: %d simulations hit their event budget (partial states)\n%!"
+      r.Refine.Refiner.pool.Simulator.Pool.non_converged;
   Evaluation.Report.section std "PREDICT" "validation predictions (paper 5)";
   Format.printf "%a@." Evaluation.Predict.pp exp.Core.prediction;
   (match model_out with
@@ -254,7 +278,7 @@ let build_cmd =
           predictions.")
     Term.(
       const build $ in_arg $ split_seed_arg $ train_fraction_arg $ by_origin_arg
-      $ model_out_arg $ max_iter_arg)
+      $ model_out_arg $ max_iter_arg $ jobs_arg)
 
 (* eval *)
 
@@ -264,7 +288,8 @@ let model_arg =
     & opt (some string) None
     & info [ "model" ] ~docv:"FILE" ~doc:"A model saved by 'build'.")
 
-let eval_run model_path input =
+let eval_run model_path input jobs =
+  apply_jobs jobs;
   match Asmodel.Serialize.load model_path with
   | Error msg ->
       Printf.eprintf "cannot load model: %s\n" msg;
@@ -282,7 +307,7 @@ let eval_run model_path input =
 let eval_cmd =
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a saved model against a dump file.")
-    Term.(const eval_run $ model_arg $ in_arg)
+    Term.(const eval_run $ model_arg $ in_arg $ jobs_arg)
 
 (* inspect *)
 

@@ -17,10 +17,32 @@ type coverage = {
   full : int;
 }
 
-type report = { totals : totals; coverage : coverage }
+type report = { totals : totals; coverage : coverage; pool : Simulator.Pool.stats }
 
-let evaluate model ~states data =
+let evaluate ?jobs model ~states data =
   let net = model.Qrmodel.net in
+  (* Batch phase: every prefix that will be graded but has no cached
+     state yet is simulated up front, fanned out over the domain pool.
+     Classification below then runs entirely against the cache. *)
+  let missing =
+    let seen = Hashtbl.create 256 in
+    List.filter_map
+      (fun (e : Rib.entry) ->
+        let p = e.Rib.prefix in
+        if Hashtbl.mem seen p then None
+        else begin
+          Hashtbl.add seen p ();
+          match Hashtbl.find_opt states p with
+          | Some _ -> None
+          | None -> (
+              match Qrmodel.origin_of model p with
+              | None -> None
+              | Some _ -> Some p)
+        end)
+      (Rib.entries data)
+  in
+  let pairs, pool = Simulator.Pool.simulate ?jobs ~sim:(Qrmodel.simulate model) missing in
+  List.iter (fun (p, st) -> Hashtbl.replace states p st) pairs;
   let state_of p =
     match Hashtbl.find_opt states p with
     | Some st -> Some st
@@ -95,7 +117,7 @@ let evaluate model ~states data =
       per_prefix
       { prefixes = 0; at_least_half = 0; at_least_90 = 0; full = 0 }
   in
-  { totals = !totals; coverage }
+  { totals = !totals; coverage; pool }
 
 let frac n report =
   if report.totals.cases = 0 then 0.0
@@ -130,5 +152,8 @@ let pp ppf r =
   Format.fprintf ppf
     "prefixes with >=50%% of paths matched: %5.1f%%@,\
      prefixes with >=90%% of paths matched: %5.1f%%@,\
-     prefixes with all paths matched:      %5.1f%%  (%d prefixes)@]"
-    (cpct c.at_least_half) (cpct c.at_least_90) (cpct c.full) c.prefixes
+     prefixes with all paths matched:      %5.1f%%  (%d prefixes)"
+    (cpct c.at_least_half) (cpct c.at_least_90) (cpct c.full) c.prefixes;
+  if r.pool.Simulator.Pool.prefixes > 0 then
+    Format.fprintf ppf "@,simulation: %a" Simulator.Pool.pp_stats r.pool;
+  Format.fprintf ppf "@]"

@@ -24,15 +24,24 @@ type coverage = {
   full : int;
 }
 
-type report = { totals : totals; coverage : coverage }
+type report = {
+  totals : totals;
+  coverage : coverage;
+  pool : Simulator.Pool.stats;
+      (** the batch that simulated the missing prefix states (zero
+          prefixes when everything was cached). *)
+}
 
 val evaluate :
+  ?jobs:int ->
   Asmodel.Qrmodel.t ->
   states:(Prefix.t, Simulator.Engine.state) Hashtbl.t ->
   Rib.t ->
   report
 (** Grade against pre-computed states; prefixes without a state are
-    simulated on demand and memoized into [states]. *)
+    first simulated in one parallel batch ([jobs] workers, default
+    {!Simulator.Pool.default_jobs}) and memoized into [states].  The
+    report is identical for every job count. *)
 
 val down_to_tie_break_fraction : report -> float
 (** (RIB-Out + potential RIB-Out) / cases — the paper's ">80% of test

@@ -105,6 +105,10 @@ let build conf =
     topo.Gentopo.links;
   Net.set_export_matrix net Relclass.export_ok;
   Net.set_decision_steps net Decision.full_steps;
+  (* Router-level ground truth follows the RFC: MED is only compared
+     between routes from the same neighbouring AS (RFC 4271 §9.1.2.2).
+     Quasi-router models keep the paper's always-compare ranking. *)
+  Net.set_med_scope net Decision.Same_neighbor;
   (* Prefix plan: prefix 0 of an AS is anchored at every router; a
      [multi_prefix_frac] share of ASes originate further prefixes, each
      at a random non-empty router subset, so distinct prefixes of one AS
@@ -187,8 +191,8 @@ let build conf =
       end)
     ases;
   (* Per-prefix MED noise: shifts choices among equal-length candidates
-     (always-compare MED), a cheap stand-in for the Internet's per-prefix
-     traffic engineering. *)
+     of the same neighbouring AS (RFC-scoped MED), a cheap stand-in for
+     the Internet's per-prefix traffic engineering. *)
   List.iter
     (fun asn ->
       if Random.State.float rng 1.0 < conf.Conf.med_noise_frac then begin
@@ -293,10 +297,19 @@ let simulate w prefix =
 
 let observe ?on_prefix w =
   let total = List.length w.prefix_plan in
+  (* Converging each prefix only reads the network, so the per-prefix
+     simulations fan out over the domain pool; [Pool.map] preserves
+     input order, keeping the observed dump deterministic.  The cheap
+     RIB extraction stays sequential. *)
+  let states =
+    Simulator.Pool.map
+      (fun (prefix, _origin, anchors) ->
+        Engine.run w.net ~prefix ~originators:anchors)
+      w.prefix_plan
+  in
   let entries = ref [] in
   List.iteri
-    (fun i (prefix, _origin, anchors) ->
-      let st = Engine.run w.net ~prefix ~originators:anchors in
+    (fun i ((prefix, _origin, _anchors), st) ->
       List.iter
         (fun (node, op) ->
           match Engine.best_full_path w.net st node with
@@ -306,7 +319,7 @@ let observe ?on_prefix w =
           | None -> ())
         w.obs;
       match on_prefix with Some f -> f (i + 1) total | None -> ())
-    w.prefix_plan;
+    (List.combine w.prefix_plan states);
   Rib.of_entries !entries
 
 let observation_points w = List.map snd w.obs

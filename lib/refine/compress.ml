@@ -135,6 +135,7 @@ let compact (model : Qrmodel.t) =
     pair_sessions;
   (* The model's decision configuration carries over. *)
   Net.set_decision_steps new_net (Net.decision_steps net);
+  Net.set_med_scope new_net (Net.med_scope net);
   Net.set_default_med new_net (Net.default_med net);
   let compacted =
     {

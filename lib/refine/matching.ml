@@ -54,11 +54,12 @@ let step_position steps step =
 
 let best_elimination net st asn tail =
   let steps = Net.decision_steps net in
+  let med_scope = Net.med_scope net in
   let target (r : Simulator.Rattr.t) = r.Simulator.Rattr.path = tail in
   List.fold_left
     (fun acc n ->
       let verdict =
-        Decision.classify steps ~target (Engine.candidates st net n)
+        Decision.classify ~med_scope steps ~target (Engine.candidates st net n)
       in
       match (verdict, acc) with
       | Decision.Selected, _ -> `Selected

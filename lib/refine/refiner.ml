@@ -1,6 +1,7 @@
 open Bgp
 module Net = Simulator.Net
 module Engine = Simulator.Engine
+module Pool = Simulator.Pool
 module Qrmodel = Asmodel.Qrmodel
 
 type ranking = Med_ranking | Lpref_ranking
@@ -10,6 +11,7 @@ type options = {
   max_quasi_routers : int;
   use_med : bool;
   ranking : ranking;
+  jobs : int option;
 }
 
 let default_options =
@@ -18,6 +20,7 @@ let default_options =
     max_quasi_routers = max_int;
     use_med = true;
     ranking = Med_ranking;
+    jobs = None;
   }
 
 type iter_stat = {
@@ -29,6 +32,7 @@ type iter_stat = {
   duplications : int;
   filter_deletions : int;
   prefixes_changed : int;
+  pool : Pool.stats;
 }
 
 type result = {
@@ -40,6 +44,7 @@ type result = {
   history : iter_stat list;
   states : (Prefix.t, Engine.state) Hashtbl.t;
   unstable_prefixes : int;
+  pool : Pool.stats;
 }
 
 let compare_suffix a b =
@@ -153,7 +158,34 @@ let refine ?(options = default_options) ?on_iteration model ~training =
     Hashtbl.create (List.length work)
   in
   let dirty : (Prefix.t, unit) Hashtbl.t = Hashtbl.create 64 in
+  let jobs = match options.jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
   let simulate prefix = Qrmodel.simulate model prefix in
+  (* Phased loop: the set of prefixes needing re-simulation is fixed at
+     the top of each iteration (a prefix marked dirty mid-iteration is
+     only re-simulated the NEXT iteration), so all of them can be
+     simulated in parallel against the frozen network before any policy
+     mutation happens.  [state_of] keeps a sequential fallback for
+     prefixes simulated outside the batch (defensive; the batch covers
+     the whole work list). *)
+  let pool_total = ref Pool.zero in
+  let presimulate () =
+    let missing =
+      List.filter_map
+        (fun (prefix, _) ->
+          match Hashtbl.find_opt states prefix with
+          | Some _ when not (Hashtbl.mem dirty prefix) -> None
+          | Some _ | None -> Some prefix)
+        work
+    in
+    let pairs, stats = Pool.simulate ~jobs ~sim:simulate missing in
+    List.iter
+      (fun (prefix, st) ->
+        Hashtbl.replace states prefix st;
+        Hashtbl.remove dirty prefix)
+      pairs;
+    pool_total := Pool.merge !pool_total stats;
+    stats
+  in
   let state_of prefix =
     match Hashtbl.find_opt states prefix with
     | Some st when not (Hashtbl.mem dirty prefix) -> st
@@ -164,11 +196,11 @@ let refine ?(options = default_options) ?on_iteration model ~training =
         st
   in
   let history = ref [] in
-  let matched_now = ref 0 in
   let iteration = ref 0 in
   let finished = ref false in
   while (not !finished) && !iteration < max_iterations do
     incr iteration;
+    let pool_stats = presimulate () in
     let counters = { filters = 0; meds = 0; dups = 0; deletions = 0 } in
     let matched = ref 0 in
     let prefixes_changed = ref 0 in
@@ -259,7 +291,6 @@ let refine ?(options = default_options) ?on_iteration model ~training =
           incr prefixes_changed
         end)
       work;
-    matched_now := !matched;
     let stat =
       {
         iteration = !iteration;
@@ -270,21 +301,26 @@ let refine ?(options = default_options) ?on_iteration model ~training =
         duplications = counters.dups;
         filter_deletions = counters.deletions;
         prefixes_changed = !prefixes_changed;
+        pool = pool_stats;
       }
     in
     history := stat :: !history;
     (match on_iteration with Some f -> f stat | None -> ());
     if !prefixes_changed = 0 then finished := true
   done;
-  (* Final states and final match count over fresh simulations. *)
+  (* Final states and final match count over fresh simulations, again
+     fanned out over the pool (the network no longer changes). *)
   let unstable = ref 0 in
+  let final_pairs, final_stats =
+    Pool.simulate ~jobs ~sim:simulate (List.map fst work)
+  in
+  pool_total := Pool.merge !pool_total final_stats;
   List.iter
-    (fun (prefix, _) ->
-      let st = simulate prefix in
+    (fun (prefix, st) ->
       if not (Engine.converged st) then incr unstable;
       Hashtbl.replace states prefix st;
       Hashtbl.remove dirty prefix)
-    work;
+    final_pairs;
   let final_matched = ref 0 in
   List.iter
     (fun (prefix, suffixes) ->
@@ -314,4 +350,5 @@ let refine ?(options = default_options) ?on_iteration model ~training =
     history = List.rev !history;
     states;
     unstable_prefixes = !unstable;
+    pool = !pool_total;
   }

@@ -51,6 +51,10 @@ type options = {
       (** when false, no ranking rules are added (filters only) — the
           ranking ablation.  Default: true. *)
   ranking : ranking;  (** default {!Med_ranking}. *)
+  jobs : int option;
+      (** worker count for the parallel simulation phases; default
+          {!Simulator.Pool.default_jobs} ([RD_JOBS] / domain count).
+          Results are bit-identical for every value. *)
 }
 
 val default_options : options
@@ -64,6 +68,9 @@ type iter_stat = {
   duplications : int;
   filter_deletions : int;
   prefixes_changed : int;
+  pool : Simulator.Pool.stats;
+      (** the iteration's pre-simulation batch: prefixes re-simulated,
+          engine events, budget-truncated states, wall time. *)
 }
 
 type result = {
@@ -80,6 +87,10 @@ type result = {
       (** prefixes whose final simulation hit the event budget instead
           of converging — always [0] with {!Med_ranking}, possibly
           positive with {!Lpref_ranking} (the §4.6 divergence). *)
+  pool : Simulator.Pool.stats;
+      (** cumulative simulation statistics over the whole refinement:
+          every per-iteration pre-simulation batch plus the final
+          re-simulation pass. *)
 }
 
 val refine :

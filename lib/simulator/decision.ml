@@ -12,6 +12,8 @@ let model_steps = [ Local_pref; Path_length; Med; Lowest_ip ]
 
 let full_steps = [ Local_pref; Path_length; Med; Prefer_ebgp; Igp_cost; Lowest_ip ]
 
+type med_scope = Always_compare | Same_neighbor
+
 (* Keep candidates minimizing [key]; single pass to find the minimum,
    second to filter.  Order is preserved. *)
 let keep_min key candidates =
@@ -23,11 +25,36 @@ let keep_min key candidates =
       in
       List.filter (fun r -> key r = best) candidates
 
-let survivors step candidates =
+(* The neighbouring AS a route was learned from; originated routes form
+   their own group (RFC 4271 compares MED only between routes "received
+   from the same neighboring AS"). *)
+let neighbor_as (r : Rattr.t) =
+  if Array.length r.Rattr.path = 0 then -1 else r.Rattr.path.(0)
+
+(* RFC 4271 §9.1.2.2 MED: a candidate survives unless another candidate
+   from the same neighbouring AS has a strictly lower MED.  Candidate
+   lists are small (a node's RIB-In), so the quadratic scan is fine. *)
+let med_survivors_scoped candidates =
+  match candidates with
+  | [] | [ _ ] -> candidates
+  | _ ->
+      List.filter
+        (fun r ->
+          not
+            (List.exists
+               (fun r' ->
+                 neighbor_as r' = neighbor_as r && r'.Rattr.med < r.Rattr.med)
+               candidates))
+        candidates
+
+let survivors ?(med_scope = Always_compare) step candidates =
   match step with
   | Local_pref -> keep_min (fun r -> -r.Rattr.lpref) candidates
+  | Med -> (
+      match med_scope with
+      | Always_compare -> keep_min (fun r -> r.Rattr.med) candidates
+      | Same_neighbor -> med_survivors_scoped candidates)
   | Path_length -> keep_min (fun r -> Array.length r.Rattr.path) candidates
-  | Med -> keep_min (fun r -> r.Rattr.med) candidates
   | Prefer_ebgp ->
       keep_min
         (fun r -> match r.Rattr.learned with From_ibgp -> 1 | Originated | From_ebgp -> 0)
@@ -54,19 +81,19 @@ let compare_routes steps a b =
   in
   go steps
 
-let select steps candidates =
+let select ?(med_scope = Always_compare) steps candidates =
   let rec run steps candidates =
     match (steps, candidates) with
     | _, [] -> None
     | _, [ r ] -> Some r
     | [], r :: _ -> Some r
-    | step :: rest, candidates -> run rest (survivors step candidates)
+    | step :: rest, candidates -> run rest (survivors ~med_scope step candidates)
   in
   run steps candidates
 
 type verdict = Selected | Eliminated_at of step | Tied_not_chosen | Not_present
 
-let classify steps ~target candidates =
+let classify ?(med_scope = Always_compare) steps ~target candidates =
   if not (List.exists target candidates) then Not_present
   else
     let rec run steps candidates =
@@ -76,7 +103,7 @@ let classify steps ~target candidates =
           | r :: _ when target r -> Selected
           | _ -> Tied_not_chosen)
       | step :: rest ->
-          let remaining = survivors step candidates in
+          let remaining = survivors ~med_scope step candidates in
           if List.exists target remaining then run rest remaining
           else Eliminated_at step
     in

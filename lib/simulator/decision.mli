@@ -5,12 +5,13 @@
     paper's quasi-router model uses
     [\[Local_pref; Path_length; Med; Lowest_ip\]] with always-compare
     MED, while the router-level ground truth additionally uses
-    [Prefer_ebgp] and [Igp_cost] (hot-potato routing). *)
+    [Prefer_ebgp] and [Igp_cost] (hot-potato routing) and scopes MED
+    comparison per neighbouring AS as RFC 4271 §9.1.2.2 requires. *)
 
 type step =
   | Local_pref  (** keep the highest LOCAL_PREF *)
   | Path_length  (** keep the shortest AS-path *)
-  | Med  (** keep the lowest MED; compared across all neighbours *)
+  | Med  (** keep the lowest MED; scope set by {!med_scope} *)
   | Prefer_ebgp  (** prefer eBGP-learned (and originated) over iBGP *)
   | Igp_cost  (** keep the lowest IGP cost to the egress (hot potato) *)
   | Lowest_ip  (** final tie-break: lowest announcing-router address *)
@@ -23,16 +24,36 @@ val model_steps : step list
 val full_steps : step list
 (** The complete router-level process used by the ground truth. *)
 
-val survivors : step -> Rattr.t list -> Rattr.t list
-(** Candidates remaining after one elimination step (order preserved). *)
+type med_scope =
+  | Always_compare
+      (** the paper's §4.6 MED {e ranking}: MED is compared between any
+          two routes, regardless of which neighbour announced them.
+          This deliberate deviation from the RFC is what makes the
+          refiner's per-prefix MED rules a total ranking — keep it for
+          {!model_steps}. *)
+  | Same_neighbor
+      (** RFC 4271 §9.1.2.2: MED is only comparable between routes
+          learned from the same neighbouring AS (first AS of the path;
+          originated routes form their own group).  The realistic
+          {!full_steps} process must use this scope. *)
+
+val survivors : ?med_scope:med_scope -> step -> Rattr.t list -> Rattr.t list
+(** Candidates remaining after one elimination step (order preserved).
+    [med_scope] (default {!Always_compare}) only affects the {!Med}
+    step; under {!Same_neighbor} a candidate is eliminated exactly when
+    another candidate from the same neighbouring AS has a strictly
+    lower MED. *)
 
 val compare_routes : step list -> Rattr.t -> Rattr.t -> int
-(** Total preference order induced by the elimination steps: negative
-    when the first route wins.  Running elimination equals taking the
-    lexicographic minimum under this order (ties resolved by list
-    order), which is what the engine's hot path does. *)
+(** Total preference order induced by the elimination steps under
+    {!Always_compare} MED: negative when the first route wins.  Running
+    elimination then equals taking the lexicographic minimum under this
+    order (ties resolved by list order), which is what the engine's hot
+    path does.  Under {!Same_neighbor} MED no such total order exists
+    (pairwise MED preference is not transitive across neighbours), so
+    the engine falls back to full elimination via {!select}. *)
 
-val select : step list -> Rattr.t list -> Rattr.t option
+val select : ?med_scope:med_scope -> step list -> Rattr.t list -> Rattr.t option
 (** Run all steps and return the single best route ([None] on an empty
     candidate list).  If candidates remain tied after every step the
     first in list order wins — deterministic because RIB-In order is
@@ -46,7 +67,9 @@ type verdict =
           (only possible when two sessions share an announcing IP) *)
   | Not_present  (** no candidate satisfies the target predicate *)
 
-val classify : step list -> target:(Rattr.t -> bool) -> Rattr.t list -> verdict
+val classify :
+  ?med_scope:med_scope -> step list -> target:(Rattr.t -> bool) ->
+  Rattr.t list -> verdict
 (** Where in the elimination process the target route(s) die — the
     machinery behind the paper's "potential RIB-Out match" (eliminated
     exactly at {!Lowest_ip}) and the Table 2 disagreement breakdown. *)

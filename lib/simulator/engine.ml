@@ -148,23 +148,47 @@ let run ?max_events ?on_best_change net ~prefix:pfx ~originators =
   in
   List.iter enqueue originators;
   let steps = Net.decision_steps net in
+  let med_scope = Net.med_scope net in
+  (* Neighbour-scoped MED (RFC 4271 §9.1.2.2) is not a total order over
+     candidates, so the pairwise-minimum fast path below would be wrong
+     for it: run the real elimination process instead. *)
+  let scoped_med =
+    med_scope = Decision.Same_neighbor && List.mem Decision.Med steps
+  in
+  let recompute_best_scoped u =
+    let acc = ref [] in
+    let slots = st.rib_in.(u) in
+    for i = Array.length slots - 1 downto 0 do
+      match slots.(i) with Some r -> acc := r :: !acc | None -> ()
+    done;
+    let candidates =
+      if st.originates.(u) then
+        Rattr.originated ~own_ip:(Ipv4.to_int (Net.ip_of net u)) :: !acc
+      else !acc
+    in
+    Decision.select ~med_scope steps candidates
+  in
   (* Allocation-free best computation: the elimination process equals
      the lexicographic minimum under Decision.compare_routes, first in
      RIB-In order winning ties. *)
   let recompute_best u =
-    let best = ref None in
-    if st.originates.(u) then
-      best := Some (Rattr.originated ~own_ip:(Ipv4.to_int (Net.ip_of net u)));
-    let slots = st.rib_in.(u) in
-    for i = 0 to Array.length slots - 1 do
-      match slots.(i) with
-      | None -> ()
-      | Some r -> (
-          match !best with
-          | None -> best := Some r
-          | Some b -> if Decision.compare_routes steps r b < 0 then best := Some r)
-    done;
-    !best
+    if scoped_med then recompute_best_scoped u
+    else begin
+      let best = ref None in
+      if st.originates.(u) then
+        best := Some (Rattr.originated ~own_ip:(Ipv4.to_int (Net.ip_of net u)));
+      let slots = st.rib_in.(u) in
+      for i = 0 to Array.length slots - 1 do
+        match slots.(i) with
+        | None -> ()
+        | Some r -> (
+            match !best with
+            | None -> best := Some r
+            | Some b ->
+                if Decision.compare_routes steps r b < 0 then best := Some r)
+      done;
+      !best
+    end
   in
   let process u =
     st.events <- st.events + 1;
@@ -202,7 +226,14 @@ let run ?max_events ?on_best_change net ~prefix:pfx ~originators =
   in
   let rec drain () =
     if not (Queue.is_empty queue) then
-      if st.events >= budget then st.converged <- false
+      if st.events >= budget then begin
+        st.converged <- false;
+        Logs.warn (fun m ->
+            m
+              "engine: prefix %a hit its event budget (%d events, budget %d); \
+               returning a partial, non-converged state"
+              Prefix.pp st.pfx st.events budget)
+      end
       else begin
         let u = Queue.pop queue in
         queued.(u) <- false;

@@ -53,6 +53,7 @@ type t = {
   mutable igp : int -> int -> int;
   mutable med_default : int;
   mutable steps : Decision.step list;
+  mutable m_scope : Decision.med_scope;
   mutable nsessions : int;  (* directed half-sessions *)
 }
 
@@ -81,6 +82,7 @@ let create () =
     igp = (fun _ _ -> 0);
     med_default = 100;
     steps = Decision.model_steps;
+    m_scope = Decision.Always_compare;
     nsessions = 0;
   }
 
@@ -257,6 +259,10 @@ let default_med t = t.med_default
 let set_decision_steps t steps = t.steps <- steps
 
 let decision_steps t = t.steps
+
+let set_med_scope t scope = t.m_scope <- scope
+
+let med_scope t = t.m_scope
 
 let copy_table src dst =
   Prefix.Table.reset dst;

@@ -182,6 +182,15 @@ val set_decision_steps : t -> Decision.step list -> unit
 
 val decision_steps : t -> Decision.step list
 
+val set_med_scope : t -> Decision.med_scope -> unit
+(** MED comparison scope of the decision process.  Default:
+    {!Decision.Always_compare} (the paper's §4.6 ranking semantics, the
+    right choice for quasi-router models).  Router-level ground truth
+    networks should use {!Decision.Same_neighbor} (RFC 4271
+    §9.1.2.2). *)
+
+val med_scope : t -> Decision.med_scope
+
 (** {2 Structure edits used by the refiner} *)
 
 val duplicate_node : t -> int -> int

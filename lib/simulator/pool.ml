@@ -1,0 +1,107 @@
+let override = ref None
+
+let set_default_jobs n = override := Some (max 1 n)
+
+let default_jobs () =
+  match !override with
+  | Some n -> n
+  | None -> (
+      match Sys.getenv_opt "RD_JOBS" with
+      | Some s -> (
+          match int_of_string_opt (String.trim s) with
+          | Some n when n >= 1 -> n
+          | Some _ | None -> Domain.recommended_domain_count ())
+      | None -> Domain.recommended_domain_count ())
+
+let resolve_jobs = function
+  | Some j -> max 1 j
+  | None -> default_jobs ()
+
+(* Workers claim contiguous chunks of the input from an atomic cursor
+   and write into disjoint slots of [results], so the output order (and
+   hence every caller downstream) is independent of the job count. *)
+let map ?jobs f l =
+  let input = Array.of_list l in
+  let n = Array.length input in
+  if n = 0 then []
+  else begin
+    let jobs = min (resolve_jobs jobs) n in
+    if jobs = 1 then List.map f l
+    else begin
+      let results = Array.make n None in
+      let cursor = Atomic.make 0 in
+      (* Small chunks keep the tail balanced when per-item cost varies
+         (prefix convergence times differ by orders of magnitude). *)
+      let chunk = max 1 (n / (jobs * 8)) in
+      let failure = Atomic.make None in
+      let worker () =
+        let running = ref true in
+        while !running do
+          let start = Atomic.fetch_and_add cursor chunk in
+          if start >= n || Atomic.get failure <> None then running := false
+          else begin
+            let stop = min n (start + chunk) in
+            try
+              for i = start to stop - 1 do
+                results.(i) <- Some (f input.(i))
+              done
+            with exn ->
+              ignore (Atomic.compare_and_set failure None (Some exn));
+              running := false
+          end
+        done
+      in
+      let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join domains;
+      (match Atomic.get failure with Some exn -> raise exn | None -> ());
+      Array.to_list
+        (Array.map
+           (function Some v -> v | None -> invalid_arg "Pool.map: lost slot")
+           results)
+    end
+  end
+
+type stats = {
+  jobs : int;
+  prefixes : int;
+  events : int;
+  non_converged : int;
+  wall : float;
+}
+
+let zero = { jobs = 0; prefixes = 0; events = 0; non_converged = 0; wall = 0.0 }
+
+let merge a b =
+  {
+    jobs = max a.jobs b.jobs;
+    prefixes = a.prefixes + b.prefixes;
+    events = a.events + b.events;
+    non_converged = a.non_converged + b.non_converged;
+    wall = a.wall +. b.wall;
+  }
+
+let simulate ?jobs ~sim prefixes =
+  let jobs = resolve_jobs jobs in
+  let t0 = Unix.gettimeofday () in
+  let states = map ~jobs sim prefixes in
+  let wall = Unix.gettimeofday () -. t0 in
+  let stats =
+    List.fold_left
+      (fun acc st ->
+        {
+          acc with
+          prefixes = acc.prefixes + 1;
+          events = acc.events + Engine.events st;
+          non_converged =
+            (acc.non_converged + if Engine.converged st then 0 else 1);
+        })
+      { zero with jobs; wall }
+      states
+  in
+  (List.combine prefixes states, stats)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d prefixes on %d jobs: %d events, %d non-converged, %.2fs wall"
+    s.prefixes s.jobs s.events s.non_converged s.wall

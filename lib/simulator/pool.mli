@@ -1,0 +1,59 @@
+(** Domain-based worker pool for per-prefix simulation.
+
+    Converged-state computation is embarrassingly parallel across
+    prefixes: {!Engine.run} only {e reads} the network, and each run
+    owns its private state.  The pool fans a prefix list out over OCaml
+    5 domains ([Domain] from the stdlib — no extra dependency) in
+    contiguous chunks claimed from an atomic counter, and returns the
+    results in input order, so a pool run is bit-identical to the
+    sequential loop it replaces regardless of the job count.
+
+    Callers must not mutate the network while a pool call is in flight;
+    the refiner's loop is therefore phased: parallel simulation of the
+    iteration's dirty prefixes first, sequential policy mutation after
+    (see DESIGN.md, "Parallel simulation"). *)
+
+open Bgp
+
+val default_jobs : unit -> int
+(** Worker count used when [?jobs] is not given: the value set with
+    {!set_default_jobs} if any, else the [RD_JOBS] environment variable
+    (a positive integer), else [Domain.recommended_domain_count ()]. *)
+
+val set_default_jobs : int -> unit
+(** Process-wide override, wired to the [--jobs] flags of the CLI and
+    the bench driver.  Values are clamped to at least 1. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel, order-preserving [List.map].  [jobs] defaults to
+    {!default_jobs}; with [jobs = 1] (or a short list) the input is
+    mapped in the calling domain.  If [f] raises, the first exception
+    is re-raised after all workers have stopped. *)
+
+(** {2 Simulation batches with observability} *)
+
+type stats = {
+  jobs : int;  (** worker count of the batch (max when merged) *)
+  prefixes : int;  (** prefixes simulated *)
+  events : int;  (** total engine events across the batch *)
+  non_converged : int;  (** states that hit the event budget *)
+  wall : float;  (** wall-clock seconds spent in the batch *)
+}
+
+val zero : stats
+
+val merge : stats -> stats -> stats
+(** Componentwise accumulation ([jobs] is the max, the rest sums). *)
+
+val simulate :
+  ?jobs:int ->
+  sim:(Prefix.t -> Engine.state) ->
+  Prefix.t list ->
+  (Prefix.t * Engine.state) list * stats
+(** [simulate ~sim prefixes] runs [sim] on every prefix in parallel and
+    returns the states paired with their prefixes, in input order, plus
+    the batch statistics.  Non-converged (budget-truncated) states are
+    counted in [stats.non_converged] — see {!Engine.run} — so silent
+    truncation shows up in every pool report. *)
+
+val pp_stats : Format.formatter -> stats -> unit

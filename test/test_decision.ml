@@ -30,6 +30,48 @@ let med_always_compared () =
   check_bool "lower med wins across neighbours" true
     (D.select steps [ b; a ] = Some a)
 
+let med_scoped_to_neighbor () =
+  (* RFC 4271 §9.1.2.2: under [Same_neighbor] scoping, MED only
+     compares routes learned from the same neighbouring AS (first hop
+     of the path).  Across neighbour ASes it must not decide. *)
+  let full = D.full_steps in
+  let via2 = route ~path:[| 2; 6 |] ~med:100 ~from_ip:1 () in
+  let via3 = route ~path:[| 3; 6 |] ~med:0 ~from_ip:99 () in
+  check_bool "always-compare picks the lower med" true
+    (D.select full [ via2; via3 ] = Some via3);
+  check_bool "scoped med defers to the address tie-break" true
+    (D.select ~med_scope:D.Same_neighbor full [ via2; via3 ] = Some via2);
+  (* Within one neighbour AS, MED still eliminates. *)
+  let via2' = route ~path:[| 2; 6 |] ~med:50 ~from_ip:99 () in
+  check_bool "scoped med decides within one neighbour" true
+    (D.select ~med_scope:D.Same_neighbor full [ via2; via2' ] = Some via2')
+
+let med_scope_survivors () =
+  (* The scoped Med step keeps each neighbour group's minima;
+     always-compare keeps only the global minimum. *)
+  let a2 = route ~path:[| 2; 6 |] ~med:10 () in
+  let b2 = route ~path:[| 2; 7 |] ~med:5 () in
+  let c3 = route ~path:[| 3; 6 |] ~med:100 () in
+  check_bool "per-neighbour minima survive" true
+    (D.survivors ~med_scope:D.Same_neighbor D.Med [ a2; b2; c3 ]
+    = [ b2; c3 ]);
+  check_bool "always-compare keeps the global minimum" true
+    (D.survivors D.Med [ a2; b2; c3 ] = [ b2 ])
+
+let med_scope_classify () =
+  (* A cross-neighbour route with the higher MED is eliminated at Med
+     under always-compare, but survives down to the tie-break under
+     RFC scoping. *)
+  let full = D.full_steps in
+  let target (r : R.t) = r.R.path = [| 3; 6 |] in
+  let via2 = route ~path:[| 2; 6 |] ~med:0 ~from_ip:1 () in
+  let via3 = route ~path:[| 3; 6 |] ~med:100 ~from_ip:99 () in
+  check_bool "always-compare: dies at med" true
+    (D.classify full ~target [ via2; via3 ] = D.Eliminated_at D.Med);
+  check_bool "scoped: dies only at the tie-break" true
+    (D.classify ~med_scope:D.Same_neighbor full ~target [ via2; via3 ]
+    = D.Eliminated_at D.Lowest_ip)
+
 let tie_break_lowest_ip () =
   let a = route ~from_ip:5 () in
   let b = route ~from_ip:9 () in
@@ -125,6 +167,9 @@ let suite =
     Alcotest.test_case "local-pref wins" `Quick local_pref_wins;
     Alcotest.test_case "path length wins" `Quick path_length_wins;
     Alcotest.test_case "med always compared" `Quick med_always_compared;
+    Alcotest.test_case "med scoped to neighbour" `Quick med_scoped_to_neighbor;
+    Alcotest.test_case "med scope survivors" `Quick med_scope_survivors;
+    Alcotest.test_case "med scope classify" `Quick med_scope_classify;
     Alcotest.test_case "tie-break: lowest ip" `Quick tie_break_lowest_ip;
     Alcotest.test_case "ebgp/igp steps" `Quick ebgp_and_igp_steps;
     Alcotest.test_case "empty and single" `Quick empty_and_single;

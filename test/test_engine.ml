@@ -88,6 +88,27 @@ let med_ranking () =
   check_bool "med overrides tie-break" true
     (Engine.best_full_path net st n1 = Some [| 1; 3; 4 |])
 
+let med_rfc_scope () =
+  (* Same diamond and MED rule as [med_ranking], but with RFC 4271
+     scoping: the routes at 1 come from different neighbour ASes (2 and
+     3), so MED must not decide between them and the address tie-break
+     picks AS 2 despite 3's lower MED. *)
+  let net = Net.create () in
+  let n1 = Net.add_node net ~asn:1 ~ip:(Asn.router_ip 1 0) in
+  let n2 = Net.add_node net ~asn:2 ~ip:(Asn.router_ip 2 0) in
+  let n3 = Net.add_node net ~asn:3 ~ip:(Asn.router_ip 3 0) in
+  let n4 = Net.add_node net ~asn:4 ~ip:(Asn.router_ip 4 0) in
+  ignore (Net.connect net n1 n2);
+  let s13, _ = Net.connect net n1 n3 in
+  ignore (Net.connect net n2 n4);
+  ignore (Net.connect net n3 n4);
+  Net.set_decision_steps net Simulator.Decision.full_steps;
+  Net.set_med_scope net Simulator.Decision.Same_neighbor;
+  Net.set_import_med net n1 s13 p6 0;
+  let st = Engine.run net ~prefix:p6 ~originators:[ n4 ] in
+  check_bool "cross-neighbour med ignored" true
+    (Engine.best_full_path net st n1 = Some [| 1; 2; 4 |])
+
 let loop_rejection () =
   (* Triangle: routes never loop back through the own AS. *)
   let net = Net.create () in
@@ -214,6 +235,7 @@ let suite =
     Alcotest.test_case "tie-break lowest ip" `Quick tie_break_lowest_ip;
     Alcotest.test_case "export filter blocks" `Quick export_filter_blocks;
     Alcotest.test_case "med ranking" `Quick med_ranking;
+    Alcotest.test_case "med rfc scope" `Quick med_rfc_scope;
     Alcotest.test_case "loop rejection" `Quick loop_rejection;
     Alcotest.test_case "ibgp + hot potato" `Quick ibgp_and_hot_potato;
     Alcotest.test_case "ibgp no re-export" `Quick ibgp_no_reexport;

@@ -16,6 +16,7 @@ let () =
       ("decision", Test_decision.suite);
       ("net", Test_net.suite);
       ("engine", Test_engine.suite);
+      ("pool", Test_pool.suite);
       ("netgen", Test_netgen.suite);
       ("asmodel", Test_asmodel.suite);
       ("refiner", Test_refiner.suite);
