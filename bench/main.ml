@@ -7,6 +7,7 @@
      --scale F     world scale factor (default 1.0)
      --seed N      world seed (default 42)
      --jobs N      simulation worker domains (default: RD_JOBS or core count)
+     --faults S    fault injection RATE:SEED[:full] (default: RD_FAULTS)
      --sweep       add the accuracy-vs-vantage-points sweep (slow)
      --no-micro    skip the bechamel micro-benchmarks
      --micro-only  only run the micro-benchmarks *)
@@ -516,6 +517,87 @@ let experiment_sweep base_conf =
     ~header:[ "train points"; "exact"; "tie-break"; "rib-in bound" ]
     rows
 
+let experiment_faults conf =
+  (* Resilience proof: the full refine + predict pipeline under
+     deterministic fault injection (Simulator.Faultinject).  Three runs
+     over the same world: faults off, transient faults (every injected
+     task failure recovered by the pool's sequential retry — results
+     must be bit-identical to the clean run), and full faults
+     (permanent task failures + shrunk engine budgets — the pipeline
+     must complete and report the damage as quarantine/unresolved
+     tallies instead of raising). *)
+  section "FAULT" "pipeline resilience under injected faults (RD_FAULTS)";
+  let world = Netgen.Groundtruth.build conf in
+  let data = Netgen.Groundtruth.observe world in
+  let prepared = Core.prepare data in
+  let splits = Core.split ~seed:7 prepared in
+  let validation = splits.Evaluation.Split.validation in
+  let ambient = Simulator.Faultinject.current () in
+  let run label faults =
+    Simulator.Faultinject.set faults;
+    let result =
+      time label (fun () ->
+          Core.build
+            ~options:
+              { Refine.Refiner.default_options with max_iterations = Some 14 }
+            prepared ~training:splits.Evaluation.Split.training)
+    in
+    (* Fresh state table so the prediction batch goes through the pool
+       (and hence through the injector) too. *)
+    let prediction =
+      Evaluation.Predict.evaluate result.Refine.Refiner.model
+        ~states:(Hashtbl.create 256) validation
+    in
+    (result, prediction)
+  in
+  let inject rate scope =
+    Some { Simulator.Faultinject.rate; seed = 42; scope }
+  in
+  let clean_r, clean_p = run "FAULT off" None in
+  let trans_r, trans_p =
+    run "FAULT transient 0.05:42" (inject 0.05 Simulator.Faultinject.Transient)
+  in
+  let full_r, full_p =
+    run "FAULT full 0.05:42:full" (inject 0.05 Simulator.Faultinject.Full)
+  in
+  Simulator.Faultinject.set ambient;
+  let row label (r : Refine.Refiner.result) (p : Evaluation.Predict.report) =
+    let pool = Simulator.Pool.merge r.Refine.Refiner.pool p.Evaluation.Predict.pool in
+    [
+      label;
+      Printf.sprintf "%.1f%%" (pct r.Refine.Refiner.matched r.Refine.Refiner.total);
+      string_of_int r.Refine.Refiner.quarantined_prefixes;
+      string_of_int p.Evaluation.Predict.totals.Evaluation.Predict.unresolved;
+      string_of_int pool.Simulator.Pool.retried;
+      string_of_int pool.Simulator.Pool.failed;
+      string_of_int pool.Simulator.Pool.diverged;
+    ]
+  in
+  Evaluation.Report.table std
+    ~header:
+      [ "faults"; "train"; "quarantined"; "unresolved"; "retried"; "failed";
+        "diverged" ]
+    [
+      row "off" clean_r clean_p;
+      row "0.05:42 (transient)" trans_r trans_p;
+      row "0.05:42:full" full_r full_p;
+    ];
+  let transparent =
+    clean_r.Refine.Refiner.matched = trans_r.Refine.Refiner.matched
+    && clean_r.Refine.Refiner.iterations = trans_r.Refine.Refiner.iterations
+    && clean_p.Evaluation.Predict.totals = trans_p.Evaluation.Predict.totals
+    && clean_p.Evaluation.Predict.coverage = trans_p.Evaluation.Predict.coverage
+  in
+  let trans_pool =
+    Simulator.Pool.merge trans_r.Refine.Refiner.pool
+      trans_p.Evaluation.Predict.pool
+  in
+  Format.printf
+    "transient faults recovered transparently (results = clean run): %b@.\
+     transient tasks retried: %d (want > 0)@.full-fault run completed without \
+     raising: true@."
+    transparent trans_pool.Simulator.Pool.retried
+
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -625,6 +707,14 @@ let () =
   (match int_of_string_opt (value "--jobs" "") with
   | Some j -> Simulator.Pool.set_default_jobs j
   | None -> ());
+  (match value "--faults" "" with
+  | "" -> ()
+  | s -> (
+      match Simulator.Faultinject.parse s with
+      | Ok t -> Simulator.Faultinject.set t
+      | Error msg ->
+          prerr_endline ("bad --faults: " ^ msg);
+          exit 1));
   Format.printf "simulation workers: %d (RD_JOBS/--jobs to change)@."
     (Simulator.Pool.default_jobs ());
   let t_start = Unix.gettimeofday () in
@@ -651,6 +741,7 @@ let () =
       { (Netgen.Conf.scaled (scale *. 0.35)) with Netgen.Conf.seed = seed }
     in
     experiment_ablations ablation_conf;
+    experiment_faults ablation_conf;
     experiment_robustness ablation_conf;
     if has "--sweep" then experiment_sweep ablation_conf
   end;

@@ -60,10 +60,40 @@ let apply_jobs = function
   | Some j -> Simulator.Pool.set_default_jobs j
   | None -> ()
 
+(* Deterministic fault injection (testing the pipeline's resilience).
+   Precedence: --faults flag > RD_FAULTS env. *)
+let faults_conv =
+  let parse s =
+    match Simulator.Faultinject.parse s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf = function
+    | None -> Format.pp_print_string ppf "off"
+    | Some t -> Simulator.Faultinject.pp ppf t
+  in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "faults" ] ~docv:"RATE:SEED[:full]"
+        ~doc:
+          "Inject deterministic faults into the simulation pipeline \
+           (default: $(b,RD_FAULTS)).  $(b,RATE:SEED) throws transient, \
+           retried task failures; $(b,RATE:SEED:full) adds permanent \
+           failures and shrunk engine budgets; $(b,off) disables.")
+
+let apply_faults = function
+  | Some t -> Simulator.Faultinject.set t
+  | None -> ()
+
 (* generate *)
 
-let generate seed scale binary out jobs =
+let generate seed scale binary out jobs faults =
   apply_jobs jobs;
+  apply_faults faults;
   let conf = { (Netgen.Conf.scaled scale) with Netgen.Conf.seed } in
   Printf.eprintf "generating world: %s\n%!"
     (Format.asprintf "%a" Netgen.Conf.pp conf);
@@ -104,7 +134,9 @@ let generate_cmd =
   Cmd.v
     (Cmd.info "generate"
        ~doc:"Generate a synthetic world and write its observed table dumps.")
-    Term.(const generate $ seed_arg $ scale_arg $ binary_arg $ out_arg $ jobs_arg)
+    Term.(
+      const generate $ seed_arg $ scale_arg $ binary_arg $ out_arg $ jobs_arg
+      $ faults_arg)
 
 (* stats *)
 
@@ -213,8 +245,10 @@ let max_iter_arg =
     & opt (some int) None
     & info [ "max-iterations" ] ~docv:"N" ~doc:"Cap refinement iterations.")
 
-let build input split_seed train_fraction by_origin model_out max_iter jobs =
+let build input split_seed train_fraction by_origin model_out max_iter jobs
+    faults =
   apply_jobs jobs;
+  apply_faults faults;
   let data = load_datasets input in
   let options =
     { Refine.Refiner.default_options with max_iterations = max_iter }
@@ -261,6 +295,14 @@ let build input split_seed train_fraction by_origin model_out max_iter jobs =
     Printf.eprintf
       "warning: %d simulations hit their event budget (partial states)\n%!"
       r.Refine.Refiner.pool.Simulator.Pool.non_converged;
+  if r.Refine.Refiner.quarantined_prefixes > 0 then
+    Evaluation.Report.kv std
+      [
+        ( "quarantined prefixes",
+          string_of_int r.Refine.Refiner.quarantined_prefixes );
+        ( "unstable prefixes",
+          string_of_int r.Refine.Refiner.unstable_prefixes );
+      ];
   Evaluation.Report.section std "PREDICT" "validation predictions (paper 5)";
   Format.printf "%a@." Evaluation.Predict.pp exp.Core.prediction;
   (match model_out with
@@ -278,7 +320,7 @@ let build_cmd =
           predictions.")
     Term.(
       const build $ in_arg $ split_seed_arg $ train_fraction_arg $ by_origin_arg
-      $ model_out_arg $ max_iter_arg $ jobs_arg)
+      $ model_out_arg $ max_iter_arg $ jobs_arg $ faults_arg)
 
 (* eval *)
 
@@ -288,12 +330,13 @@ let model_arg =
     & opt (some string) None
     & info [ "model" ] ~docv:"FILE" ~doc:"A model saved by 'build'.")
 
-let eval_run model_path input jobs =
+let eval_run model_path input jobs faults =
   apply_jobs jobs;
+  apply_faults faults;
   match Asmodel.Serialize.load model_path with
   | Error msg ->
       Printf.eprintf "cannot load model: %s\n" msg;
-      1
+      2
   | Ok model ->
       let data = load_datasets input in
       let data = Rib.collapse_to_origin data in
@@ -307,7 +350,7 @@ let eval_run model_path input jobs =
 let eval_cmd =
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a saved model against a dump file.")
-    Term.(const eval_run $ model_arg $ in_arg $ jobs_arg)
+    Term.(const eval_run $ model_arg $ in_arg $ jobs_arg $ faults_arg)
 
 (* inspect *)
 
@@ -321,12 +364,12 @@ let inspect model_path prefix_str =
   match Asmodel.Serialize.load model_path with
   | Error msg ->
       Printf.eprintf "cannot load model: %s\n" msg;
-      1
+      2
   | Ok model -> (
       match Prefix.of_string prefix_str with
       | None ->
           Printf.eprintf "bad prefix %S\n" prefix_str;
-          1
+          2
       | Some prefix ->
           let study = Evaluation.Casestudy.study model prefix in
           Evaluation.Casestudy.pp std study;
@@ -352,12 +395,12 @@ let trace model_path prefix_str asn_opt =
   match Asmodel.Serialize.load model_path with
   | Error msg ->
       Printf.eprintf "cannot load model: %s\n" msg;
-      1
+      2
   | Ok model -> (
       match Prefix.of_string prefix_str with
       | None ->
           Printf.eprintf "bad prefix %S\n" prefix_str;
-          1
+          2
       | Some prefix ->
           let st = Asmodel.Qrmodel.simulate model prefix in
           let net = model.Asmodel.Qrmodel.net in
@@ -391,7 +434,7 @@ let compact model_path input out =
   match Asmodel.Serialize.load model_path with
   | Error msg ->
       Printf.eprintf "cannot load model: %s\n" msg;
-      1
+      2
   | Ok model -> (
       let data = Rib.collapse_to_origin (load_datasets input) in
       match Refine.Compress.compact_verified model ~against:data with
@@ -433,7 +476,7 @@ let export_cbgp model_path out =
   match Asmodel.Serialize.load model_path with
   | Error msg ->
       Printf.eprintf "cannot load model: %s\n" msg;
-      1
+      2
   | Ok model ->
       Asmodel.Cbgp_export.save out model;
       Printf.printf "wrote C-BGP script to %s (%d lines)\n" out
@@ -458,7 +501,7 @@ let whatif model_path a b =
   match Asmodel.Serialize.load model_path with
   | Error msg ->
       Printf.eprintf "cannot load model: %s\n" msg;
-      1
+      2
   | Ok model ->
       let before =
         Asmodel.Whatif.snapshot ~on_prefix:(progress "baseline") model
@@ -503,4 +546,22 @@ let main_cmd =
       whatif_cmd;
     ]
 
-let () = exit (Cmd.eval' main_cmd)
+(* Exit codes: 0 success, 1 usage, 2 input parse, 3 simulation/runtime
+   failure.  [~catch:false] lets exceptions reach the handlers below so
+   a broken input or a persistently failing simulation produces a
+   one-line error and a meaningful code, not a backtrace. *)
+let () =
+  let code =
+    try
+      match Cmd.eval' ~catch:false main_cmd with
+      | c when c = Cmd.Exit.cli_error || c = Cmd.Exit.internal_error -> 1
+      | c -> c
+    with
+    | Sys_error msg ->
+        Printf.eprintf "asmodel: %s\n" msg;
+        2
+    | exn ->
+        Printf.eprintf "asmodel: %s\n" (Printexc.to_string exn);
+        3
+  in
+  exit code

@@ -28,6 +28,10 @@ let record_to_line r =
       "";
     ]
 
+type 'a line = Skip | Parsed of 'a | Malformed of string
+
+let line_of_result = function Ok v -> Parsed v | Error msg -> Malformed msg
+
 let parse_int name s =
   if s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s then
     match int_of_string_opt s with
@@ -102,8 +106,10 @@ let update_to_line = function
 
 let update_of_line line =
   let line = String.trim line in
-  if line = "" || line.[0] = '#' then Error "comment"
+  if line = "" || line.[0] = '#' then Skip
   else
+    line_of_result
+    @@
     let ( let* ) = Result.bind in
     match String.split_on_char '|' line with
     | "BGP4MP" :: time :: "A" :: peer_ip :: peer_as :: prefix :: path :: origin
@@ -138,16 +144,18 @@ let parse_update_lines lines =
   List.iteri
     (fun i line ->
       match update_of_line line with
-      | Ok u -> updates := u :: !updates
-      | Error "comment" -> ()
-      | Error msg -> errors := (i + 1, msg) :: !errors)
+      | Parsed u -> updates := u :: !updates
+      | Skip -> ()
+      | Malformed msg -> errors := (i + 1, msg) :: !errors)
     lines;
   (List.rev !updates, List.rev !errors)
 
 let record_of_line line =
   let line = String.trim line in
-  if line = "" || line.[0] = '#' then Error "comment"
+  if line = "" || line.[0] = '#' then Skip
   else
+    line_of_result
+    @@
     let fields = String.split_on_char '|' line in
     match fields with
     | kind :: time :: sub :: peer_ip :: peer_as :: prefix :: path :: origin
@@ -209,9 +217,9 @@ let parse_lines lines =
   List.iteri
     (fun i line ->
       match record_of_line line with
-      | Ok r -> records := r :: !records
-      | Error "comment" -> ()
-      | Error msg -> errors := (i + 1, msg) :: !errors)
+      | Parsed r -> records := r :: !records
+      | Skip -> ()
+      | Malformed msg -> errors := (i + 1, msg) :: !errors)
     lines;
   (List.rev !records, List.rev !errors)
 

@@ -30,16 +30,23 @@ type update =
   | Withdraw of { time : int; peer_ip : Ipv4.t; peer_as : Asn.t; prefix : Prefix.t }
       (** a [BGP4MP|...|W|...] line. *)
 
+type 'a line =
+  | Skip  (** a blank line or a ['#'] comment — not data, not an error. *)
+  | Parsed of 'a
+  | Malformed of string
+      (** the first malformed field, described.  Distinct from {!Skip}
+          by construction, so a genuine parse error can never be
+          mistaken for a comment and silently dropped. *)
+
 val record_to_line : record -> string
 
-val record_of_line : string -> (record, string) result
-(** Parse one line; [Error msg] describes the first malformed field.
-    Blank lines and lines starting with ['#'] yield [Error "comment"] —
-    use {!parse_lines} to skip them silently. *)
+val record_of_line : string -> record line
+(** Parse one line; {!parse_lines} aggregates whole files, skipping
+    [Skip] lines silently. *)
 
 val update_to_line : update -> string
 
-val update_of_line : string -> (update, string) result
+val update_of_line : string -> update line
 (** Parse one [BGP4MP] update line (announcement or withdrawal).
     Supporting updates is the paper's stated future work ("incorporate
     the AS-path information from BGP updates", §3.1); together with

@@ -8,6 +8,7 @@ type totals = {
   potential_rib_out : int;
   rib_in : int;
   no_rib_in : int;
+  unresolved : int;
 }
 
 type coverage = {
@@ -41,8 +42,23 @@ let evaluate ?jobs model ~states data =
         end)
       (Rib.entries data)
   in
-  let pairs, pool = Simulator.Pool.simulate ?jobs ~sim:(Qrmodel.simulate model) missing in
-  List.iter (fun (p, st) -> Hashtbl.replace states p st) pairs;
+  let pairs, pool =
+    Simulator.Pool.simulate_result ?jobs ~sim:(Qrmodel.simulate model) missing
+  in
+  (* Prefixes without a trustworthy converged state: their cases are
+     graded [unresolved] below — an explicit "the model could not
+     answer", never a false mismatch. *)
+  let unresolved_pfx : (Prefix.t, unit) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (p, r) ->
+      match r with
+      | Ok st -> Hashtbl.replace states p st
+      | Error e ->
+          Hashtbl.replace unresolved_pfx p ();
+          Logs.warn (fun m ->
+              m "predict: simulation of prefix %a failed: %a" Prefix.pp p
+                Simulator.Pool.pp_task_error e))
+    pairs;
   let state_of p =
     match Hashtbl.find_opt states p with
     | Some st -> Some st
@@ -55,7 +71,15 @@ let evaluate ?jobs model ~states data =
             Some st)
   in
   let totals =
-    ref { cases = 0; rib_out = 0; potential_rib_out = 0; rib_in = 0; no_rib_in = 0 }
+    ref
+      {
+        cases = 0;
+        rib_out = 0;
+        potential_rib_out = 0;
+        rib_in = 0;
+        no_rib_in = 0;
+        unresolved = 0;
+      }
   in
   (* Distinct paths per prefix with their verdicts, for coverage. *)
   let per_prefix : (Prefix.t, (Aspath.t * bool) list ref) Hashtbl.t =
@@ -66,41 +90,64 @@ let evaluate ?jobs model ~states data =
   in
   List.iter
     (fun (e : Rib.entry) ->
-      let key = (e.Rib.prefix, e.Rib.path) in
-      let verdict =
-        match Hashtbl.find_opt seen key with
-        | Some v -> Some v
-        | None -> (
-            match state_of e.Rib.prefix with
-            | None -> None
-            | Some st ->
-                let v = Matching.classify net st e.Rib.path in
-                Hashtbl.add seen key v;
-                let l =
-                  match Hashtbl.find_opt per_prefix e.Rib.prefix with
-                  | Some l -> l
-                  | None ->
-                      let l = ref [] in
-                      Hashtbl.add per_prefix e.Rib.prefix l;
-                      l
-                in
-                l := (e.Rib.path, v = Matching.Rib_out) :: !l;
-                Some v)
+      let p = e.Rib.prefix in
+      let unresolved =
+        Hashtbl.mem unresolved_pfx p
+        ||
+        match state_of p with
+        | Some st when not (Simulator.Engine.converged st) ->
+            (* A truncated or diverged simulation answers nothing about
+               this path; grading against its partial RIBs would report
+               false mismatches. *)
+            Hashtbl.replace unresolved_pfx p ();
+            true
+        | Some _ | None -> false
       in
-      match verdict with
-      | None -> ()
-      | Some v ->
-          let t = !totals in
-          totals :=
-            {
-              cases = t.cases + 1;
-              rib_out = (t.rib_out + if v = Matching.Rib_out then 1 else 0);
-              potential_rib_out =
-                (t.potential_rib_out
-                + if v = Matching.Potential_rib_out then 1 else 0);
-              rib_in = (t.rib_in + if v = Matching.Rib_in then 1 else 0);
-              no_rib_in = (t.no_rib_in + if v = Matching.No_rib_in then 1 else 0);
-            })
+      if unresolved then
+        totals :=
+          {
+            !totals with
+            cases = !totals.cases + 1;
+            unresolved = !totals.unresolved + 1;
+          }
+      else
+        let key = (e.Rib.prefix, e.Rib.path) in
+        let verdict =
+          match Hashtbl.find_opt seen key with
+          | Some v -> Some v
+          | None -> (
+              match state_of e.Rib.prefix with
+              | None -> None
+              | Some st ->
+                  let v = Matching.classify net st e.Rib.path in
+                  Hashtbl.add seen key v;
+                  let l =
+                    match Hashtbl.find_opt per_prefix e.Rib.prefix with
+                    | Some l -> l
+                    | None ->
+                        let l = ref [] in
+                        Hashtbl.add per_prefix e.Rib.prefix l;
+                        l
+                  in
+                  l := (e.Rib.path, v = Matching.Rib_out) :: !l;
+                  Some v)
+        in
+        match verdict with
+        | None -> ()
+        | Some v ->
+            let t = !totals in
+            totals :=
+              {
+                t with
+                cases = t.cases + 1;
+                rib_out = (t.rib_out + if v = Matching.Rib_out then 1 else 0);
+                potential_rib_out =
+                  (t.potential_rib_out
+                  + if v = Matching.Potential_rib_out then 1 else 0);
+                rib_in = (t.rib_in + if v = Matching.Rib_in then 1 else 0);
+                no_rib_in =
+                  (t.no_rib_in + if v = Matching.No_rib_in then 1 else 0);
+              })
     (Rib.entries data);
   let coverage =
     Hashtbl.fold
@@ -128,7 +175,8 @@ let down_to_tie_break_fraction r =
 
 let exact_fraction r = frac r.totals.rib_out r
 
-let rib_in_fraction r = frac (r.totals.cases - r.totals.no_rib_in) r
+let rib_in_fraction r =
+  frac (r.totals.cases - r.totals.no_rib_in - r.totals.unresolved) r
 
 let pp ppf r =
   let t = r.totals in
@@ -142,8 +190,11 @@ let pp ppf r =
      no RIB-In:               %6.1f%%@,"
     t.cases (pct t.rib_out) (pct t.potential_rib_out)
     (pct (t.rib_out + t.potential_rib_out))
-    (pct (t.cases - t.no_rib_in))
+    (pct (t.cases - t.no_rib_in - t.unresolved))
     (pct t.no_rib_in);
+  if t.unresolved > 0 then
+    Format.fprintf ppf "unresolved (no converged sim): %6.1f%%@,"
+      (pct t.unresolved);
   let c = r.coverage in
   let cpct n =
     if c.prefixes = 0 then 0.0

@@ -15,6 +15,12 @@ type totals = {
   potential_rib_out : int;
   rib_in : int;
   no_rib_in : int;
+  unresolved : int;
+      (** cases whose prefix has no converged simulation — the engine
+          returned {!Simulator.Engine.Truncated} or [Diverged], or the
+          simulation failed even after the pool's retry.  An explicit
+          "the model could not answer", never mixed into the mismatch
+          buckets (and excluded from the RIB-In upper bound). *)
 }
 
 type coverage = {

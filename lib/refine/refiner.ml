@@ -32,6 +32,7 @@ type iter_stat = {
   duplications : int;
   filter_deletions : int;
   prefixes_changed : int;
+  quarantined : int;
   pool : Pool.stats;
 }
 
@@ -44,6 +45,7 @@ type result = {
   history : iter_stat list;
   states : (Prefix.t, Engine.state) Hashtbl.t;
   unstable_prefixes : int;
+  quarantined_prefixes : int;
   pool : Pool.stats;
 }
 
@@ -168,6 +170,14 @@ let refine ?(options = default_options) ?on_iteration model ~training =
      prefixes simulated outside the batch (defensive; the batch covers
      the whole work list). *)
   let pool_total = ref Pool.zero in
+  (* Quarantine: a prefix whose simulation did not converge (budget
+     truncation, detected oscillation) or failed outright is withheld
+     from policy mutation — mutating against a partial RIB would bake
+     wrong filters into the model.  It stays dirty, so every later
+     iteration retries it against the then-current network (duplications
+     made for other prefixes can unblock it); it leaves quarantine the
+     moment a retry converges. *)
+  let quarantine : (Prefix.t, unit) Hashtbl.t = Hashtbl.create 8 in
   let presimulate () =
     let missing =
       List.filter_map
@@ -177,11 +187,26 @@ let refine ?(options = default_options) ?on_iteration model ~training =
           | Some _ | None -> Some prefix)
         work
     in
-    let pairs, stats = Pool.simulate ~jobs ~sim:simulate missing in
+    let pairs, stats = Pool.simulate_result ~jobs ~sim:simulate missing in
     List.iter
-      (fun (prefix, st) ->
-        Hashtbl.replace states prefix st;
-        Hashtbl.remove dirty prefix)
+      (fun (prefix, r) ->
+        match r with
+        | Ok st when Engine.converged st ->
+            Hashtbl.replace states prefix st;
+            Hashtbl.remove dirty prefix;
+            Hashtbl.remove quarantine prefix
+        | Ok st ->
+            Hashtbl.replace states prefix st;
+            Hashtbl.replace quarantine prefix ();
+            Logs.info (fun m ->
+                m "refiner: quarantining prefix %a (%a)" Prefix.pp prefix
+                  Engine.pp_outcome (Engine.outcome st))
+        | Error e ->
+            Hashtbl.remove states prefix;
+            Hashtbl.replace quarantine prefix ();
+            Logs.warn (fun m ->
+                m "refiner: quarantining prefix %a (simulation failed: %a)"
+                  Prefix.pp prefix Pool.pp_task_error e))
       pairs;
     pool_total := Pool.merge !pool_total stats;
     stats
@@ -206,6 +231,8 @@ let refine ?(options = default_options) ?on_iteration model ~training =
     let prefixes_changed = ref 0 in
     List.iter
       (fun (prefix, suffixes) ->
+        if Hashtbl.mem quarantine prefix then ()
+        else begin
         let st = state_of prefix in
         let reserved = Hashtbl.create 8 in
         let reserve n = Hashtbl.replace reserved n () in
@@ -289,6 +316,7 @@ let refine ?(options = default_options) ?on_iteration model ~training =
         if !changed then begin
           Hashtbl.replace dirty prefix ();
           incr prefixes_changed
+        end
         end)
       work;
     let stat =
@@ -301,6 +329,7 @@ let refine ?(options = default_options) ?on_iteration model ~training =
         duplications = counters.dups;
         filter_deletions = counters.deletions;
         prefixes_changed = !prefixes_changed;
+        quarantined = Hashtbl.length quarantine;
         pool = pool_stats;
       }
     in
@@ -311,35 +340,52 @@ let refine ?(options = default_options) ?on_iteration model ~training =
   (* Final states and final match count over fresh simulations, again
      fanned out over the pool (the network no longer changes). *)
   let unstable = ref 0 in
+  let final_quarantined = ref 0 in
   let final_pairs, final_stats =
-    Pool.simulate ~jobs ~sim:simulate (List.map fst work)
+    Pool.simulate_result ~jobs ~sim:simulate (List.map fst work)
   in
   pool_total := Pool.merge !pool_total final_stats;
   List.iter
-    (fun (prefix, st) ->
-      if not (Engine.converged st) then incr unstable;
-      Hashtbl.replace states prefix st;
-      Hashtbl.remove dirty prefix)
+    (fun (prefix, r) ->
+      match r with
+      | Ok st ->
+          if not (Engine.converged st) then begin
+            incr unstable;
+            incr final_quarantined
+          end;
+          Hashtbl.replace states prefix st;
+          Hashtbl.remove dirty prefix
+      | Error e ->
+          (* No usable state: drop any stale one so downstream consumers
+             (prediction, inspection) see the prefix as unresolved
+             rather than as a leftover of an earlier network. *)
+          incr final_quarantined;
+          Hashtbl.remove states prefix;
+          Logs.warn (fun m ->
+              m "refiner: final simulation of prefix %a failed: %a" Prefix.pp
+                prefix Pool.pp_task_error e))
     final_pairs;
   let final_matched = ref 0 in
   List.iter
     (fun (prefix, suffixes) ->
-      let st = Hashtbl.find states prefix in
-      let reserved = Hashtbl.create 8 in
-      List.iter
-        (fun suffix ->
-          let asn = suffix.(0) in
-          let tail = Array.sub suffix 1 (Array.length suffix - 1) in
-          match
-            List.filter
-              (fun n -> not (Hashtbl.mem reserved n))
-              (Matching.nodes_selecting net st asn tail)
-          with
-          | n :: _ ->
-              Hashtbl.replace reserved n ();
-              incr final_matched
-          | [] -> ())
-        suffixes)
+      match Hashtbl.find_opt states prefix with
+      | None -> () (* quarantined: its suffixes count as unmatched *)
+      | Some st ->
+          let reserved = Hashtbl.create 8 in
+          List.iter
+            (fun suffix ->
+              let asn = suffix.(0) in
+              let tail = Array.sub suffix 1 (Array.length suffix - 1) in
+              match
+                List.filter
+                  (fun n -> not (Hashtbl.mem reserved n))
+                  (Matching.nodes_selecting net st asn tail)
+              with
+              | n :: _ ->
+                  Hashtbl.replace reserved n ();
+                  incr final_matched
+              | [] -> ())
+            suffixes)
     work;
   {
     model;
@@ -350,5 +396,6 @@ let refine ?(options = default_options) ?on_iteration model ~training =
     history = List.rev !history;
     states;
     unstable_prefixes = !unstable;
+    quarantined_prefixes = !final_quarantined;
     pool = !pool_total;
   }

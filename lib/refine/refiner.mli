@@ -68,6 +68,13 @@ type iter_stat = {
   duplications : int;
   filter_deletions : int;
   prefixes_changed : int;
+  quarantined : int;
+      (** prefixes in quarantine at this iteration: their simulation was
+          {!Simulator.Engine.Truncated}, [Diverged] or failed outright,
+          so they were withheld from policy mutation (mutating against a
+          partial RIB would bake wrong filters in).  Quarantined
+          prefixes stay dirty and are retried every later iteration;
+          a converging retry lifts the quarantine. *)
   pool : Simulator.Pool.stats;
       (** the iteration's pre-simulation batch: prefixes re-simulated,
           engine events, budget-truncated states, wall time. *)
@@ -81,12 +88,20 @@ type result = {
   total : int;
   history : iter_stat list;  (** chronological. *)
   states : (Prefix.t, Simulator.Engine.state) Hashtbl.t;
-      (** final converged simulation per training prefix (fresh states
-          for every prefix, including unchanged ones). *)
+      (** final simulation per training prefix (fresh states for every
+          prefix, including unchanged ones).  Prefixes whose final
+          simulation failed persistently have {e no} entry — consumers
+          must treat a missing state as unresolved, not raise. *)
   unstable_prefixes : int;
-      (** prefixes whose final simulation hit the event budget instead
-          of converging — always [0] with {!Med_ranking}, possibly
-          positive with {!Lpref_ranking} (the §4.6 divergence). *)
+      (** prefixes whose final simulation was truncated or diverged
+          instead of converging — always [0] with {!Med_ranking},
+          possibly positive with {!Lpref_ranking} (the §4.6
+          divergence). *)
+  quarantined_prefixes : int;
+      (** prefixes without a usable converged final state: the
+          [unstable_prefixes] plus those whose simulation failed even
+          after the pool's retry.  Their training suffixes count as
+          unmatched. *)
   pool : Simulator.Pool.stats;
       (** cumulative simulation statistics over the whole refinement:
           every per-iteration pre-simulation batch plus the final

@@ -1,17 +1,31 @@
 open Bgp
 
+type outcome =
+  | Converged
+  | Truncated of { events : int; budget : int }
+  | Diverged of { cycle_len : int }
+
+let pp_outcome ppf = function
+  | Converged -> Format.pp_print_string ppf "converged"
+  | Truncated { events; budget } ->
+      Format.fprintf ppf "truncated (%d events, budget %d)" events budget
+  | Diverged { cycle_len } ->
+      Format.fprintf ppf "diverged (cycle of %d events)" cycle_len
+
 type state = {
   pfx : Prefix.t;
   rib_in : Rattr.t option array array;  (* node -> session index -> route *)
   best : Rattr.t option array;
   originates : bool array;
-  mutable converged : bool;
+  mutable outcome : outcome;
   mutable events : int;
 }
 
 let prefix st = st.pfx
 
-let converged st = st.converged
+let outcome st = st.outcome
+
+let converged st = st.outcome = Converged
 
 let events st = st.events
 
@@ -122,7 +136,43 @@ let import net st ~sender:n ~sender_ip ~peer ~peer_as ~peer_session:ps
               learned_class = ri.Net.si_class;
             })
 
-let run ?max_events ?on_best_change net ~prefix:pfx ~originators =
+(* Full-state fingerprint for the oscillation watchdog.  The transition
+   function is deterministic, so an exact repeat of (RIBs, best routes,
+   queue content and order) with work still queued proves a genuine
+   cycle.  [Hashtbl.hash] alone would be unsound here — it truncates
+   deep/wide structures such as long AS-paths — so every route is
+   folded field by field, path element by path element, into a
+   polynomial hash over the full native-int range. *)
+let fingerprint st queue queued =
+  let h = ref 0x42 in
+  let mix x = h := (!h * 1000003) lxor (x land max_int) in
+  let mix_route = function
+    | None -> mix 0x5bd1e995
+    | Some (r : Rattr.t) ->
+        mix (Array.length r.Rattr.path);
+        Array.iter mix r.Rattr.path;
+        mix r.Rattr.lpref;
+        mix r.Rattr.med;
+        mix r.Rattr.igp;
+        mix r.Rattr.from_node;
+        mix r.Rattr.from_ip;
+        mix r.Rattr.from_session;
+        mix (Hashtbl.hash r.Rattr.learned);
+        mix (Hashtbl.hash r.Rattr.learned_class)
+  in
+  Array.iter mix_route st.best;
+  Array.iter (fun slots -> Array.iter mix_route slots) st.rib_in;
+  Queue.iter (fun u -> mix (u + 0x9e3779b9)) queue;
+  Array.iter (fun q -> mix (Bool.to_int q)) queued;
+  !h
+
+(* The watchdog keeps at most this many fingerprints; real oscillation
+   cycles are tiny (the bad gadget's is < 20 events), so a bounded
+   history loses nothing while capping memory on huge budgets. *)
+let watchdog_history_cap = 4096
+
+let run ?max_events ?max_escalations ?on_best_change net ~prefix:pfx
+    ~originators =
   let n = Net.node_count net in
   let st =
     {
@@ -130,13 +180,24 @@ let run ?max_events ?on_best_change net ~prefix:pfx ~originators =
       rib_in = Array.init n (fun i -> Array.make (Net.session_count_of net i) None);
       best = Array.make n None;
       originates = Array.make n false;
-      converged = true;
+      outcome = Converged;
       events = 0;
     }
   in
   List.iter (fun o -> st.originates.(o) <- true) originators;
   let budget =
     match max_events with Some b -> b | None -> 1000 + (200 * n)
+  in
+  let budget = Faultinject.shrink_budget ~key:(Hashtbl.hash pfx) budget in
+  (* An explicit [max_events] is a caller-chosen hard cap (tests, budget
+     experiments): honour it exactly unless escalation is requested too.
+     The default budget is a heuristic, so exhausting it earns ×2 and ×4
+     retries before the run is declared truncated. *)
+  let escalations =
+    match (max_escalations, max_events) with
+    | Some k, _ -> max 0 k
+    | None, Some _ -> 0
+    | None, None -> 2
   in
   let queue = Queue.create () in
   let queued = Array.make n false in
@@ -224,24 +285,53 @@ let run ?max_events ?on_best_change net ~prefix:pfx ~originators =
           end)
     end
   in
-  let rec drain () =
+  (* Fingerprinting every event would tax the common case, so the
+     watchdog arms only once half the initial budget is spent — any run
+     that deep is already suspect, and a genuine cycle keeps repeating,
+     so arming late never misses one. *)
+  let threshold = budget / 2 in
+  let history = Hashtbl.create 64 in
+  let rec drain budget escalations_left =
     if not (Queue.is_empty queue) then
-      if st.events >= budget then begin
-        st.converged <- false;
-        Logs.warn (fun m ->
-            m
-              "engine: prefix %a hit its event budget (%d events, budget %d); \
-               returning a partial, non-converged state"
-              Prefix.pp st.pfx st.events budget)
-      end
+      if st.events >= budget then
+        if escalations_left > 0 then begin
+          Logs.debug (fun m ->
+              m "engine: prefix %a exhausted budget %d; escalating to %d"
+                Prefix.pp st.pfx budget (budget * 2));
+          drain (budget * 2) (escalations_left - 1)
+        end
+        else begin
+          st.outcome <- Truncated { events = st.events; budget };
+          Logs.warn (fun m ->
+              m
+                "engine: prefix %a hit its event budget (%d events, budget \
+                 %d); returning a partial, non-converged state"
+                Prefix.pp st.pfx st.events budget)
+        end
       else begin
         let u = Queue.pop queue in
         queued.(u) <- false;
         process u;
-        drain ()
+        if st.events >= threshold && not (Queue.is_empty queue) then
+          let fp = fingerprint st queue queued in
+          match Hashtbl.find_opt history fp with
+          | Some e0 ->
+              st.outcome <- Diverged { cycle_len = st.events - e0 };
+              Logs.warn (fun m ->
+                  m
+                    "engine: prefix %a oscillates (state repeated after %d \
+                     events, cycle length %d); returning a partial, \
+                     non-converged state"
+                    Prefix.pp st.pfx st.events (st.events - e0))
+          | None ->
+              if Hashtbl.length history >= watchdog_history_cap then
+                Hashtbl.reset history;
+              Hashtbl.add history fp st.events;
+              drain budget escalations_left
+        else drain budget escalations_left
       end
   in
-  drain ();
+  drain budget escalations;
   st
 
 let best_full_path net st n =

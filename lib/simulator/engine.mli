@@ -11,22 +11,49 @@ open Bgp
 
 type state
 
+type outcome =
+  | Converged  (** the event queue drained: a true steady state. *)
+  | Truncated of { events : int; budget : int }
+      (** the event budget (after any escalations) ran out with work
+          still queued; [events] node activations were performed against
+          a final budget of [budget].  The state is partial. *)
+  | Diverged of { cycle_len : int }
+      (** the watchdog saw the exact full state (RIBs, best routes,
+          event queue) repeat with work still queued — a genuine policy
+          oscillation, since the transition function is deterministic.
+          [cycle_len] is the number of events between the repeats. *)
+
 val run :
   ?max_events:int ->
+  ?max_escalations:int ->
   ?on_best_change:(int -> Rattr.t option -> unit) ->
   Net.t ->
   prefix:Prefix.t ->
   originators:int list ->
   state
 (** Simulate until convergence.  [max_events] (default
-    [1000 + 200 * node_count]) bounds node activations; exceeding the
-    budget flags the state as non-converged instead of looping.
+    [1000 + 200 * node_count]) bounds node activations.  When the
+    budget runs out with work still queued, the run is retried with an
+    escalating budget (×2 then ×4) up to [max_escalations] times before
+    the state is declared {!Truncated}; [max_escalations] defaults to 2
+    for the heuristic default budget and to 0 when [max_events] is
+    given explicitly (an explicit cap is a caller decision — tests and
+    budget experiments rely on it being exact).  A convergence watchdog
+    arms once half the initial budget is spent and declares
+    {!Diverged} as soon as the full simulation state repeats, cutting
+    genuine oscillations short instead of burning escalated budgets.
     [on_best_change node best] is a trace hook, called whenever a node
-    adopts a new best route. *)
+    adopts a new best route.  When {!Faultinject} is enabled in [Full]
+    scope, chosen prefixes have their initial budget shrunk to 1. *)
 
 val prefix : state -> Prefix.t
 
+val outcome : state -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
 val converged : state -> bool
+(** [converged st] is [outcome st = Converged]. *)
 
 val events : state -> int
 (** Node activations performed. *)

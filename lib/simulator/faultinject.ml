@@ -1,0 +1,105 @@
+type scope = Transient | Full
+
+type t = { rate : float; seed : int; scope : scope }
+
+exception Injected of int
+
+let () =
+  Printexc.register_printer (function
+    | Injected i -> Some (Printf.sprintf "Faultinject.Injected(task %d)" i)
+    | _ -> None)
+
+let parse s =
+  match String.trim s with
+  | "" | "0" | "off" -> Ok None
+  | s -> (
+      match String.split_on_char ':' s with
+      | [ rate ] | [ rate; _ ] | [ rate; _; _ ]
+        when float_of_string_opt rate = Some 0.0 ->
+          Ok None
+      | ([ rate; seed ] | [ rate; seed; _ ]) as fields -> (
+          let scope =
+            match fields with
+            | [ _; _; "full" ] -> Ok Full
+            | [ _; _ ] -> Ok Transient
+            | [ _; _; other ] ->
+                Error (Printf.sprintf "bad fault scope %S (want \"full\")" other)
+            | _ -> assert false
+          in
+          match (float_of_string_opt rate, int_of_string_opt seed, scope) with
+          | Some rate, Some seed, Ok scope when rate > 0.0 && rate <= 1.0 ->
+              Ok (Some { rate; seed; scope })
+          | Some _, Some _, (Ok _ as _ok) ->
+              Error (Printf.sprintf "fault rate %S not in (0,1]" rate)
+          | _, _, (Error _ as e) -> e
+          | None, _, _ -> Error (Printf.sprintf "bad fault rate %S" rate)
+          | _, None, _ -> Error (Printf.sprintf "bad fault seed %S" seed))
+      | _ -> Error (Printf.sprintf "bad RD_FAULTS syntax %S (want RATE:SEED[:full])" s))
+
+let from_env () =
+  match Sys.getenv_opt "RD_FAULTS" with
+  | None -> None
+  | Some s -> (
+      match parse s with
+      | Ok t -> t
+      | Error msg ->
+          Logs.warn (fun m -> m "ignoring RD_FAULTS: %s" msg);
+          None)
+
+let state : t option option ref = ref None
+
+let set t = state := Some t
+
+let current () =
+  match !state with
+  | Some t -> t
+  | None ->
+      let t = from_env () in
+      state := Some t;
+      t
+
+let enabled () = current () <> None
+
+(* Streams keep the three decision kinds independent: the same seed and
+   rate must not make every thrown task also a killed task. *)
+let stream_throw = 0
+
+let stream_kill = 1
+
+let stream_shrink = 2
+
+(* Deterministic in (seed, stream, key) only — no ambient RNG state, so
+   a faulted run is reproducible regardless of scheduling, job count or
+   call order. *)
+let chosen t ~stream ~rate key =
+  let st = Random.State.make [| t.seed; stream; key |] in
+  Random.State.float st 1.0 < rate
+
+let wrap_tasks ~n f =
+  match current () with
+  | None -> fun _ x -> f x
+  | Some t ->
+      let thrown = Array.make (max n 1) false in
+      fun i x ->
+        if
+          t.scope = Full
+          && chosen t ~stream:stream_kill ~rate:(t.rate /. 4.0) i
+        then raise (Injected i)
+        else if
+          chosen t ~stream:stream_throw ~rate:t.rate i && not thrown.(i)
+        then begin
+          thrown.(i) <- true;
+          raise (Injected i)
+        end
+        else f x
+
+let shrink_budget ~key budget =
+  match current () with
+  | Some ({ scope = Full; _ } as t)
+    when chosen t ~stream:stream_shrink ~rate:t.rate key ->
+      1
+  | Some _ | None -> budget
+
+let pp ppf t =
+  Format.fprintf ppf "rate %.3f, seed %d, %s" t.rate t.seed
+    (match t.scope with Transient -> "transient" | Full -> "full")

@@ -1,3 +1,5 @@
+open Bgp
+
 let override = ref None
 
 let set_default_jobs n = override := Some (max 1 n)
@@ -17,60 +19,113 @@ let resolve_jobs = function
   | Some j -> max 1 j
   | None -> default_jobs ()
 
+type task_error = { index : int; exn : exn; backtrace : string }
+
+let pp_task_error ppf e =
+  Format.fprintf ppf "task %d: %s" e.index (Printexc.to_string e.exn)
+
 (* Workers claim contiguous chunks of the input from an atomic cursor
    and write into disjoint slots of [results], so the output order (and
-   hence every caller downstream) is independent of the job count. *)
-let map ?jobs f l =
+   hence every caller downstream) is independent of the job count.  A
+   failing task writes an [Error] into its own slot and the worker moves
+   on — one pathological input no longer discards the whole batch. *)
+let map_result ?jobs ?on_recover f l =
   let input = Array.of_list l in
   let n = Array.length input in
   if n = 0 then []
   else begin
     let jobs = min (resolve_jobs jobs) n in
-    if jobs = 1 then List.map f l
+    let f = Faultinject.wrap_tasks ~n f in
+    let results = Array.make n None in
+    let run_item i =
+      match f i input.(i) with
+      | v -> results.(i) <- Some (Ok v)
+      | exception exn ->
+          let backtrace =
+            Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+          in
+          results.(i) <- Some (Error { index = i; exn; backtrace })
+    in
+    if jobs = 1 then
+      for i = 0 to n - 1 do
+        run_item i
+      done
     else begin
-      let results = Array.make n None in
       let cursor = Atomic.make 0 in
       (* Small chunks keep the tail balanced when per-item cost varies
          (prefix convergence times differ by orders of magnitude). *)
       let chunk = max 1 (n / (jobs * 8)) in
-      let failure = Atomic.make None in
       let worker () =
         let running = ref true in
         while !running do
           let start = Atomic.fetch_and_add cursor chunk in
-          if start >= n || Atomic.get failure <> None then running := false
-          else begin
+          if start >= n then running := false
+          else
             let stop = min n (start + chunk) in
-            try
-              for i = start to stop - 1 do
-                results.(i) <- Some (f input.(i))
-              done
-            with exn ->
-              ignore (Atomic.compare_and_set failure None (Some exn));
-              running := false
-          end
+            for i = start to stop - 1 do
+              run_item i
+            done
         done
       in
       let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
       worker ();
-      List.iter Domain.join domains;
-      (match Atomic.get failure with Some exn -> raise exn | None -> ());
-      Array.to_list
-        (Array.map
-           (function Some v -> v | None -> invalid_arg "Pool.map: lost slot")
-           results)
-    end
+      List.iter Domain.join domains
+    end;
+    (* One sequential retry for every failed slot, after all domains
+       have joined: rules out Domain-interaction effects and recovers
+       transient faults before anything is reported upward. *)
+    for i = 0 to n - 1 do
+      match results.(i) with
+      | Some (Ok _) -> ()
+      | Some (Error _) -> (
+          match f i input.(i) with
+          | v ->
+              results.(i) <- Some (Ok v);
+              (match on_recover with Some g -> g i | None -> ())
+          | exception exn ->
+              let backtrace =
+                Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
+              in
+              results.(i) <- Some (Error { index = i; exn; backtrace }))
+      | None -> assert false (* every slot is written by exactly one worker *)
+    done;
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
   end
+
+let map ?jobs f l =
+  List.map
+    (function
+      | Ok v -> v
+      | Error { index; exn; _ } ->
+          Logs.err (fun m ->
+              m "Pool.map: input %d failed after retry: %s" index
+                (Printexc.to_string exn));
+          raise exn)
+    (map_result ?jobs f l)
 
 type stats = {
   jobs : int;
   prefixes : int;
   events : int;
   non_converged : int;
+  diverged : int;
+  retried : int;
+  failed : int;
   wall : float;
 }
 
-let zero = { jobs = 0; prefixes = 0; events = 0; non_converged = 0; wall = 0.0 }
+let zero =
+  {
+    jobs = 0;
+    prefixes = 0;
+    events = 0;
+    non_converged = 0;
+    diverged = 0;
+    retried = 0;
+    failed = 0;
+    wall = 0.0;
+  }
 
 let merge a b =
   {
@@ -78,30 +133,63 @@ let merge a b =
     prefixes = a.prefixes + b.prefixes;
     events = a.events + b.events;
     non_converged = a.non_converged + b.non_converged;
+    diverged = a.diverged + b.diverged;
+    retried = a.retried + b.retried;
+    failed = a.failed + b.failed;
     wall = a.wall +. b.wall;
   }
 
-let simulate ?jobs ~sim prefixes =
+let simulate_result ?jobs ~sim prefixes =
   let jobs = resolve_jobs jobs in
   let t0 = Unix.gettimeofday () in
-  let states = map ~jobs sim prefixes in
+  let retried = ref 0 in
+  let results =
+    map_result ~jobs ~on_recover:(fun _ -> incr retried) sim prefixes
+  in
   let wall = Unix.gettimeofday () -. t0 in
   let stats =
     List.fold_left
-      (fun acc st ->
-        {
-          acc with
-          prefixes = acc.prefixes + 1;
-          events = acc.events + Engine.events st;
-          non_converged =
-            (acc.non_converged + if Engine.converged st then 0 else 1);
-        })
-      { zero with jobs; wall }
-      states
+      (fun acc r ->
+        let acc = { acc with prefixes = acc.prefixes + 1 } in
+        match r with
+        | Ok st ->
+            {
+              acc with
+              events = acc.events + Engine.events st;
+              non_converged =
+                (acc.non_converged + if Engine.converged st then 0 else 1);
+              diverged =
+                (acc.diverged
+                + match Engine.outcome st with
+                  | Engine.Diverged _ -> 1
+                  | Engine.Converged | Engine.Truncated _ -> 0);
+            }
+        | Error _ -> { acc with failed = acc.failed + 1 })
+      { zero with jobs; wall; retried = !retried }
+      results
   in
-  (List.combine prefixes states, stats)
+  (List.combine prefixes results, stats)
+
+let simulate ?jobs ~sim prefixes =
+  let pairs, stats = simulate_result ?jobs ~sim prefixes in
+  let pairs =
+    List.map
+      (fun (p, r) ->
+        match r with
+        | Ok st -> (p, st)
+        | Error { index; exn; _ } ->
+            Logs.err (fun m ->
+                m "Pool.simulate: prefix %a (input %d) failed after retry"
+                  Prefix.pp p index);
+            raise exn)
+      pairs
+  in
+  (pairs, stats)
 
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d prefixes on %d jobs: %d events, %d non-converged, %.2fs wall"
-    s.prefixes s.jobs s.events s.non_converged s.wall
+    s.prefixes s.jobs s.events s.non_converged s.wall;
+  if s.diverged > 0 then Format.fprintf ppf ", %d diverged" s.diverged;
+  if s.retried > 0 then Format.fprintf ppf ", %d retried" s.retried;
+  if s.failed > 0 then Format.fprintf ppf ", %d failed" s.failed

@@ -8,6 +8,14 @@
     results in input order, so a pool run is bit-identical to the
     sequential loop it replaces regardless of the job count.
 
+    Faults are isolated per task: an exception raised by one input is
+    captured in that input's own result slot, the other workers keep
+    their completed work, and every failed input is retried once
+    sequentially after all domains have joined (ruling out
+    Domain-interaction effects) before the failure is reported.  When
+    {!Faultinject} is enabled, every batch is transparently
+    instrumented with it.
+
     Callers must not mutate the network while a pool call is in flight;
     the refiner's loop is therefore phased: parallel simulation of the
     iteration's dirty prefixes first, sequential policy mutation after
@@ -24,11 +32,32 @@ val set_default_jobs : int -> unit
 (** Process-wide override, wired to the [--jobs] flags of the CLI and
     the bench driver.  Values are clamped to at least 1. *)
 
+type task_error = {
+  index : int;  (** position of the failing input in the batch *)
+  exn : exn;  (** the exception of the {e last} (retry) attempt *)
+  backtrace : string;  (** its raw backtrace, printed *)
+}
+
+val pp_task_error : Format.formatter -> task_error -> unit
+
+val map_result :
+  ?jobs:int ->
+  ?on_recover:(int -> unit) ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, task_error) result list
+(** Parallel, order-preserving, fault-isolating [List.map].  [jobs]
+    defaults to {!default_jobs}; with [jobs = 1] (or a short list) the
+    input is mapped in the calling domain.  A task that raises yields
+    [Error] in its own slot without disturbing the rest of the batch;
+    failed tasks are retried once sequentially after the parallel
+    phase, and [on_recover i] is called for each input [i] whose retry
+    succeeded. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
-(** Parallel, order-preserving [List.map].  [jobs] defaults to
-    {!default_jobs}; with [jobs = 1] (or a short list) the input is
-    mapped in the calling domain.  If [f] raises, the first exception
-    is re-raised after all workers have stopped. *)
+(** {!map_result} for callers that treat any persistent failure as
+    fatal: the first (lowest-index) input still failing after its
+    retry has its index logged and its exception re-raised. *)
 
 (** {2 Simulation batches with observability} *)
 
@@ -36,7 +65,10 @@ type stats = {
   jobs : int;  (** worker count of the batch (max when merged) *)
   prefixes : int;  (** prefixes simulated *)
   events : int;  (** total engine events across the batch *)
-  non_converged : int;  (** states that hit the event budget *)
+  non_converged : int;  (** states not {!Engine.Converged} *)
+  diverged : int;  (** the {!Engine.Diverged} subset of those *)
+  retried : int;  (** tasks recovered by the sequential retry *)
+  failed : int;  (** tasks still failing after retry *)
   wall : float;  (** wall-clock seconds spent in the batch *)
 }
 
@@ -52,8 +84,18 @@ val simulate :
   (Prefix.t * Engine.state) list * stats
 (** [simulate ~sim prefixes] runs [sim] on every prefix in parallel and
     returns the states paired with their prefixes, in input order, plus
-    the batch statistics.  Non-converged (budget-truncated) states are
-    counted in [stats.non_converged] — see {!Engine.run} — so silent
-    truncation shows up in every pool report. *)
+    the batch statistics.  Non-converged (budget-truncated or diverged)
+    states are counted in [stats.non_converged] — see {!Engine.run} —
+    so silent truncation shows up in every pool report.  Raises like
+    {!map} if a simulation fails persistently. *)
+
+val simulate_result :
+  ?jobs:int ->
+  sim:(Prefix.t -> Engine.state) ->
+  Prefix.t list ->
+  (Prefix.t * (Engine.state, task_error) result) list * stats
+(** Fault-isolating {!simulate}: per-prefix failures come back as
+    [Error] slots (counted in [stats.failed]) instead of raising, and
+    retry recoveries are counted in [stats.retried]. *)
 
 val pp_stats : Format.formatter -> stats -> unit

@@ -33,7 +33,33 @@ let bad_gadget () =
 let bad_gadget_diverges () =
   let net, o = bad_gadget () in
   let st = Engine.run net ~prefix:p0 ~originators:[ o ] in
-  check_bool "engine detects divergence" false (Engine.converged st)
+  check_bool "engine detects divergence" false (Engine.converged st);
+  (* The watchdog pins the failure down to a genuine oscillation — a
+     repeated full state — rather than a mere budget exhaustion. *)
+  (match Engine.outcome st with
+  | Engine.Diverged { cycle_len } ->
+      check_bool "positive cycle length" true (cycle_len > 0)
+  | o -> Alcotest.failf "expected Diverged, got %a" Engine.pp_outcome o);
+  (* And it fires instead of burning the x2/x4 escalated budgets. *)
+  check_bool "cut short before escalation" true (Engine.events st < 1800)
+
+let explicit_budget_truncates () =
+  (* An explicit [max_events] is exact: no escalation, outcome
+     [Truncated] with the caller's budget. *)
+  let net, o = bad_gadget () in
+  let st = Engine.run ~max_events:7 net ~prefix:p0 ~originators:[ o ] in
+  (match Engine.outcome st with
+  | Engine.Truncated { events; budget } ->
+      check_int "budget is the explicit cap" 7 budget;
+      check_int "events reported" (Engine.events st) events
+  | o -> Alcotest.failf "expected Truncated, got %a" Engine.pp_outcome o);
+  (* Opting in to escalation raises the effective cap to 7*2*2 = 28. *)
+  let st = Engine.run ~max_events:7 ~max_escalations:2 net ~prefix:p0 ~originators:[ o ] in
+  check_bool "escalated run goes past the base cap" true (Engine.events st > 7);
+  (match Engine.outcome st with
+  | Engine.Truncated { budget; _ } -> check_int "final budget escalated" 28 budget
+  | Engine.Diverged _ -> () (* the watchdog may legitimately fire first *)
+  | Engine.Converged -> Alcotest.fail "bad gadget cannot converge")
 
 let bad_gadget_stable_without_lpref () =
   (* The same topology with no preference rules converges immediately:
@@ -118,6 +144,8 @@ let med_mode_never_unstable () =
 let suite =
   [
     Alcotest.test_case "bad gadget diverges" `Quick bad_gadget_diverges;
+    Alcotest.test_case "explicit budget truncates" `Quick
+      explicit_budget_truncates;
     Alcotest.test_case "bad gadget stable without lpref" `Quick
       bad_gadget_stable_without_lpref;
     Alcotest.test_case "per-prefix lpref scoping" `Quick per_prefix_lpref_scoping;

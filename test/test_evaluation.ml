@@ -93,8 +93,11 @@ let prediction_report () =
     + r.Evaluation.Predict.totals.Evaluation.Predict.potential_rib_out
     + r.Evaluation.Predict.totals.Evaluation.Predict.rib_in
     + r.Evaluation.Predict.totals.Evaluation.Predict.no_rib_in
+    + r.Evaluation.Predict.totals.Evaluation.Predict.unresolved
   in
   check_int "verdicts partition cases" 5 sum;
+  check_int "nothing unresolved here" 0
+    r.Evaluation.Predict.totals.Evaluation.Predict.unresolved;
   check_bool "fractions ordered" true
     (Evaluation.Predict.exact_fraction r
      <= Evaluation.Predict.down_to_tie_break_fraction r

@@ -32,27 +32,31 @@ let withdraw ?(t = 0) peer origin =
 let update_line_roundtrip () =
   let a = announce ~t:99 1 6 [ 1; 7; 6 ] in
   (match Mrt.update_of_line (Mrt.update_to_line a) with
-  | Ok (Mrt.Announce r) ->
+  | Mrt.Parsed (Mrt.Announce r) ->
       check_int "time" 99 r.Mrt.time;
       check_bool "path" true (Aspath.to_list r.Mrt.path = [ 1; 7; 6 ])
-  | Ok (Mrt.Withdraw _) -> Alcotest.fail "not an announce"
-  | Error e -> Alcotest.failf "parse: %s" e);
+  | Mrt.Parsed (Mrt.Withdraw _) -> Alcotest.fail "not an announce"
+  | Mrt.Skip -> Alcotest.fail "not a comment"
+  | Mrt.Malformed e -> Alcotest.failf "parse: %s" e);
   let w = withdraw ~t:100 1 6 in
   match Mrt.update_of_line (Mrt.update_to_line w) with
-  | Ok (Mrt.Withdraw { time; peer_as; prefix; _ }) ->
+  | Mrt.Parsed (Mrt.Withdraw { time; peer_as; prefix; _ }) ->
       check_int "time" 100 time;
       check_int "peer" 1 peer_as;
       check_bool "prefix" true (Prefix.equal prefix (Asn.origin_prefix 6))
-  | Ok (Mrt.Announce _) -> Alcotest.fail "not a withdraw"
-  | Error e -> Alcotest.failf "parse: %s" e
+  | Mrt.Parsed (Mrt.Announce _) -> Alcotest.fail "not a withdraw"
+  | Mrt.Skip -> Alcotest.fail "not a comment"
+  | Mrt.Malformed e -> Alcotest.failf "parse: %s" e
+
+let is_malformed = function Mrt.Malformed _ -> true | _ -> false
 
 let update_rejects () =
   check_bool "table dump kind rejected" true
-    (Result.is_error
+    (is_malformed
        (Mrt.update_of_line
           "TABLE_DUMP2|1|B|1.2.3.4|7018|3.0.0.0/8|7018|IGP|1.2.3.4|0|0||NAG||"));
   check_bool "short withdraw rejected" true
-    (Result.is_error (Mrt.update_of_line "BGP4MP|1|W|1.2.3.4"));
+    (is_malformed (Mrt.update_of_line "BGP4MP|1|W|1.2.3.4"));
   let updates, errors =
     Mrt.parse_update_lines
       [ "# comment"; Mrt.update_to_line (withdraw 1 6); "junk" ]

@@ -1,0 +1,158 @@
+(* Tests for deterministic fault injection and the pool's recovery from
+   injected (and genuine) per-task failures. *)
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+module Fi = Simulator.Faultinject
+
+(* Every test overrides the ambient configuration and restores it, so
+   running the suite under RD_FAULTS is unaffected. *)
+let with_faults t f =
+  let saved = Fi.current () in
+  Fi.set t;
+  Fun.protect ~finally:(fun () -> Fi.set saved) f
+
+let parse_cases () =
+  check_bool "empty disables" true (Fi.parse "" = Ok None);
+  check_bool "0 disables" true (Fi.parse "0" = Ok None);
+  check_bool "off disables" true (Fi.parse "off" = Ok None);
+  check_bool "zero rate disables" true (Fi.parse "0.0:9" = Ok None);
+  check_bool "transient scope" true
+    (Fi.parse "0.05:42"
+    = Ok (Some { Fi.rate = 0.05; seed = 42; scope = Fi.Transient }));
+  check_bool "full scope" true
+    (Fi.parse " 0.5:7:full "
+    = Ok (Some { Fi.rate = 0.5; seed = 7; scope = Fi.Full }));
+  let is_error = function Error _ -> true | Ok _ -> false in
+  check_bool "missing seed rejected" true (is_error (Fi.parse "0.05"));
+  check_bool "rate above 1 rejected" true (is_error (Fi.parse "1.5:3"));
+  check_bool "negative rate rejected" true (is_error (Fi.parse "-0.1:3"));
+  check_bool "bad rate rejected" true (is_error (Fi.parse "x:3"));
+  check_bool "bad seed rejected" true (is_error (Fi.parse "0.1:x"));
+  check_bool "bad scope rejected" true (is_error (Fi.parse "0.1:3:always"));
+  check_bool "too many fields rejected" true (is_error (Fi.parse "1:2:3:4"))
+
+(* Which indices of an [n]-batch throw on first attempt, applying the
+   wrapped task in the given order. *)
+let thrown_set t n order =
+  with_faults (Some t) (fun () ->
+      let wrapped = Fi.wrap_tasks ~n Fun.id in
+      List.filter_map
+        (fun i ->
+          match wrapped i i with
+          | _ -> None
+          | exception Fi.Injected j ->
+              check_int "payload is the index" i j;
+              Some i)
+        order)
+
+let deterministic_choice () =
+  let t = { Fi.rate = 0.3; seed = 11; scope = Fi.Transient } in
+  let all = List.init 64 Fun.id in
+  let forward = thrown_set t 64 all in
+  let backward = thrown_set t 64 (List.rev all) in
+  check_bool "some tasks chosen" true (forward <> []);
+  check_bool "not all tasks chosen" true (List.length forward < 64);
+  check_bool "choice independent of order" true
+    (List.sort compare forward = List.sort compare backward);
+  let reseeded = thrown_set { t with Fi.seed = 12 } 64 all in
+  check_bool "seed changes the choice" true
+    (List.sort compare reseeded <> List.sort compare forward)
+
+let transient_retry_recovers () =
+  with_faults
+    (Some { Fi.rate = 1.0; seed = 5; scope = Fi.Transient })
+    (fun () ->
+      let wrapped = Fi.wrap_tasks ~n:8 (fun x -> x * 2) in
+      for i = 0 to 7 do
+        (match wrapped i i with
+        | _ -> Alcotest.fail "rate 1.0 must throw on first attempt"
+        | exception Fi.Injected _ -> ());
+        check_int "second attempt succeeds" (2 * i) (wrapped i i)
+      done)
+
+let full_scope_kills_and_shrinks () =
+  let t = { Fi.rate = 1.0; seed = 5; scope = Fi.Full } in
+  with_faults (Some t) (fun () ->
+      let wrapped = Fi.wrap_tasks ~n:64 Fun.id in
+      let killed = ref 0 and recovered = ref 0 in
+      for i = 0 to 63 do
+        match wrapped i i with
+        | _ -> Alcotest.fail "rate 1.0 must throw on first attempt"
+        | exception Fi.Injected _ -> (
+            match wrapped i i with
+            | _ -> incr recovered
+            | exception Fi.Injected _ -> incr killed)
+      done;
+      (* The permanent-kill sub-population runs at rate/4. *)
+      check_bool "kill sub-population exists" true (!killed > 0);
+      check_bool "most tasks still recover" true (!recovered > !killed);
+      check_int "budgets shrink to 1" 1 (Fi.shrink_budget ~key:123 1000));
+  with_faults
+    (Some { t with Fi.scope = Fi.Transient })
+    (fun () ->
+      check_int "transient scope never shrinks" 1000
+        (Fi.shrink_budget ~key:123 1000));
+  with_faults None (fun () ->
+      check_int "disabled is the identity" 1000
+        (Fi.shrink_budget ~key:123 1000))
+
+let pool_recovers_transient () =
+  with_faults
+    (Some { Fi.rate = 0.5; seed = 3; scope = Fi.Transient })
+    (fun () ->
+      let inputs = List.init 40 Fun.id in
+      let recovered = ref [] in
+      let results =
+        Simulator.Pool.map_result ~jobs:4
+          ~on_recover:(fun i -> recovered := i :: !recovered)
+          (fun x -> x * x)
+          inputs
+      in
+      check_int "all inputs answered" 40 (List.length results);
+      List.iteri
+        (fun i r ->
+          match r with
+          | Ok v -> check_int "value survives the retry" (i * i) v
+          | Error _ -> Alcotest.failf "input %d not recovered" i)
+        results;
+      check_bool "retries actually happened" true (!recovered <> []);
+      (* Pool.map gives the same answers transparently. *)
+      let plain =
+        Simulator.Pool.map ~jobs:4 (fun x -> x * x) inputs
+      in
+      check_bool "map transparent under transient faults" true
+        (plain = List.map (fun x -> x * x) inputs))
+
+let pool_reports_permanent_failure () =
+  with_faults None (fun () ->
+      let f x = if x = 2 then failwith "boom" else x in
+      let results = Simulator.Pool.map_result ~jobs:2 f [ 0; 1; 2; 3 ] in
+      (match List.nth results 2 with
+      | Error e ->
+          check_int "failing index named" 2 e.Simulator.Pool.index;
+          check_bool "exception preserved" true
+            (e.Simulator.Pool.exn = Failure "boom")
+      | Ok _ -> Alcotest.fail "index 2 must fail");
+      check_int "other slots survive the batch" 3
+        (List.length (List.filter Result.is_ok results));
+      match Simulator.Pool.map ~jobs:2 f [ 0; 1; 2; 3 ] with
+      | _ -> Alcotest.fail "map must re-raise a permanent failure"
+      | exception Failure msg ->
+          check_bool "original exception re-raised" true (msg = "boom"))
+
+let suite =
+  [
+    Alcotest.test_case "parse cases" `Quick parse_cases;
+    Alcotest.test_case "deterministic choice" `Quick deterministic_choice;
+    Alcotest.test_case "transient retry recovers" `Quick
+      transient_retry_recovers;
+    Alcotest.test_case "full scope kills and shrinks" `Quick
+      full_scope_kills_and_shrinks;
+    Alcotest.test_case "pool recovers transient faults" `Quick
+      pool_recovers_transient;
+    Alcotest.test_case "pool reports permanent failure" `Quick
+      pool_reports_permanent_failure;
+  ]

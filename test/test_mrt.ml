@@ -24,8 +24,9 @@ let sample_record =
 let roundtrip () =
   let line = Mrt.record_to_line sample_record in
   match Mrt.record_of_line line with
-  | Error e -> Alcotest.failf "parse failed: %s" e
-  | Ok r ->
+  | Mrt.Malformed e -> Alcotest.failf "parse failed: %s" e
+  | Mrt.Skip -> Alcotest.fail "a record line is not a comment"
+  | Mrt.Parsed r ->
       check_bool "time" true (r.Mrt.time = sample_record.Mrt.time);
       check_bool "peer ip" true (Ipv4.equal r.Mrt.peer_ip sample_record.Mrt.peer_ip);
       check_bool "peer as" true (r.Mrt.peer_as = sample_record.Mrt.peer_as);
@@ -39,8 +40,9 @@ let real_world_line () =
     "TABLE_DUMP2|1131867000|B|12.0.1.63|7018|3.0.0.0/8|7018 701 703|IGP|12.0.1.63|100|0|7018:5000|NAG||"
   in
   match Mrt.record_of_line line with
-  | Error e -> Alcotest.failf "parse failed: %s" e
-  | Ok r ->
+  | Mrt.Malformed e -> Alcotest.failf "parse failed: %s" e
+  | Mrt.Skip -> Alcotest.fail "a record line is not a comment"
+  | Mrt.Parsed r ->
       check_bool "peer as" true (r.Mrt.peer_as = 7018);
       check_bool "path" true (Aspath.to_list r.Mrt.path = [ 7018; 701; 703 ]);
       check_bool "community" true (r.Mrt.attrs.Attrs.communities = [ (7018, 5000) ])
@@ -65,8 +67,8 @@ let comments_skipped () =
 let malformed_fields () =
   let check_err label line =
     match Mrt.record_of_line line with
-    | Error _ -> ()
-    | Ok _ -> Alcotest.failf "%s should not parse" label
+    | Mrt.Malformed _ -> ()
+    | Mrt.Skip | Mrt.Parsed _ -> Alcotest.failf "%s should not parse" label
   in
   check_err "bad kind" "BOGUS|1|B|1.2.3.4|7018|3.0.0.0/8|7018|IGP|1.2.3.4|0|0||NAG||";
   check_err "bad subtype" "TABLE_DUMP2|1|A|1.2.3.4|7018|3.0.0.0/8|7018|IGP|1.2.3.4|0|0||NAG||";

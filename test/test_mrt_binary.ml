@@ -73,6 +73,55 @@ let truncation_is_diagnosed () =
   let _, diags2 = Mrt_binary.read_bytes "this is not MRT at all.." in
   check_bool "garbage diagnosed" true (diags2 <> [])
 
+(* Truncated-record paths: cuts mid-header, mid-record and mid-attribute
+   must each surface the documented diagnostic — never an exception. *)
+let truncation_paths () =
+  let data = Mrt_binary.write_bytes [ record 6 [ 7018; 701; 6 ] ] in
+  let u32_at s i =
+    (Char.code s.[i] lsl 24)
+    lor (Char.code s.[i + 1] lsl 16)
+    lor (Char.code s.[i + 2] lsl 8)
+    lor Char.code s.[i + 3]
+  in
+  let peer_table_len = u32_at data 8 in
+  let rib_header = 12 + peer_table_len in
+  let rib_start = rib_header + 12 in
+  (* Cut inside the second record's 12-byte MRT common header. *)
+  let parsed, diags = Mrt_binary.read_bytes (String.sub data 0 (rib_header + 6)) in
+  check_int "header cut: no RIB records" 0 (List.length parsed);
+  check_bool "header cut diagnosed" true (List.mem "trailing garbage" diags);
+  (* Cut inside the record body: the header promises more than exists. *)
+  let parsed, diags =
+    Mrt_binary.read_bytes (String.sub data 0 (String.length data - 5))
+  in
+  check_int "body cut: no RIB records" 0 (List.length parsed);
+  check_bool "body cut diagnosed" true (List.mem "truncated record body" diags);
+  (* Corrupt an attribute length so it overruns the entry's attribute
+     region: the entry is dropped with a diagnostic, parsing continues. *)
+  let plen = Char.code data.[rib_start + 4] in
+  let nbytes = (plen + 7) / 8 in
+  let attrs_off = rib_start + 4 + 1 + nbytes + 2 + 2 + 4 + 2 in
+  let corrupted = Bytes.of_string data in
+  Bytes.set corrupted (attrs_off + 2) '\xF0';
+  let parsed, diags = Mrt_binary.read_bytes (Bytes.to_string corrupted) in
+  check_int "attr overrun: entry dropped" 0 (List.length parsed);
+  check_bool "attr overrun diagnosed" true
+    (List.mem "truncated attributes" diags);
+  (* Cut inside the attributes with the MRT length patched to match: the
+     entry's declared attribute length now overruns the record body. *)
+  let cut = attrs_off + 3 in
+  let body_len = cut - rib_start in
+  let patched = Bytes.of_string (String.sub data 0 cut) in
+  List.iteri
+    (fun i shift ->
+      Bytes.set patched (rib_header + 8 + i)
+        (Char.chr ((body_len lsr shift) land 0xFF)))
+    [ 24; 16; 8; 0 ];
+  let parsed, diags = Mrt_binary.read_bytes (Bytes.to_string patched) in
+  check_int "attribute cut: no RIB records" 0 (List.length parsed);
+  check_bool "attribute cut diagnosed" true
+    (List.mem "truncated RIB record" diags)
+
 let unknown_types_skipped () =
   (* A record of MRT type 16 (BGP4MP) must be skipped gracefully. *)
   let b = Buffer.create 32 in
@@ -158,6 +207,7 @@ let suite =
     Alcotest.test_case "groups by prefix" `Quick groups_by_prefix;
     Alcotest.test_case "empty input" `Quick empty_input;
     Alcotest.test_case "truncation diagnosed" `Quick truncation_is_diagnosed;
+    Alcotest.test_case "truncation paths" `Quick truncation_paths;
     Alcotest.test_case "unknown types skipped" `Quick unknown_types_skipped;
     Alcotest.test_case "file roundtrip and detection" `Quick
       file_roundtrip_and_detection;

@@ -37,13 +37,22 @@ let map_propagates_exceptions () =
      with Failure msg -> msg = "boom")
 
 let stats_merge () =
-  let a = { Pool.jobs = 4; prefixes = 3; events = 10; non_converged = 1; wall = 0.5 } in
-  let b = { Pool.jobs = 2; prefixes = 2; events = 7; non_converged = 0; wall = 0.25 } in
+  let a =
+    { Pool.jobs = 4; prefixes = 3; events = 10; non_converged = 1;
+      diverged = 1; retried = 2; failed = 1; wall = 0.5 }
+  in
+  let b =
+    { Pool.jobs = 2; prefixes = 2; events = 7; non_converged = 0;
+      diverged = 0; retried = 1; failed = 0; wall = 0.25 }
+  in
   let m = Pool.merge a b in
   check_int "jobs is max" 4 m.Pool.jobs;
   check_int "prefixes sum" 5 m.Pool.prefixes;
   check_int "events sum" 17 m.Pool.events;
   check_int "non-converged sum" 1 m.Pool.non_converged;
+  check_int "diverged sum" 1 m.Pool.diverged;
+  check_int "retried sum" 3 m.Pool.retried;
+  check_int "failed sum" 1 m.Pool.failed;
   check_bool "wall sums" true (abs_float (m.Pool.wall -. 0.75) < 1e-9)
 
 (* A line network 1-2-3 whose far end originates each prefix; with a
