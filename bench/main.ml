@@ -8,6 +8,9 @@
      --seed N      world seed (default 42)
      --jobs N      simulation worker domains (default: RD_JOBS or core count)
      --faults S    fault injection RATE:SEED[:full] (default: RD_FAULTS)
+     --warm M      warm-start mode off|on|verify (default: RD_WARM or on)
+     --warm-only   only run the WARM cold-vs-warm experiment (fast CI path)
+     --json FILE   machine-readable results (default: BENCH.json)
      --sweep       add the accuracy-vs-vantage-points sweep (slow)
      --no-micro    skip the bechamel micro-benchmarks
      --micro-only  only run the micro-benchmarks *)
@@ -18,10 +21,16 @@ let std = Format.std_formatter
 
 let section = Evaluation.Report.section std
 
+(* Wall-clock of every [time]d block, in execution order — the
+   per-section series of BENCH.json. *)
+let timings : (string * float) list ref = ref []
+
 let time label f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
-  Format.printf "[%s: %.1fs]@." label (Unix.gettimeofday () -. t0);
+  let dt = Unix.gettimeofday () -. t0 in
+  timings := (label, dt) :: !timings;
+  Format.printf "[%s: %.1fs]@." label dt;
   r
 
 let pct a b = if b = 0 then 0.0 else 100.0 *. float_of_int a /. float_of_int b
@@ -598,6 +607,184 @@ let experiment_faults conf =
      raising: true@."
     transparent trans_pool.Simulator.Pool.retried
 
+type warm_report = {
+  cold_wall : float;
+  cold_events : int;
+  cold_alloc : float;
+  warm_wall : float;
+  warm_events : int;
+  warm_alloc : float;
+  warm_stats : Simulator.Warm.stats;
+  identical : bool;
+  verify_stats : Simulator.Warm.stats;
+  pool : Simulator.Pool.stats;
+}
+
+let experiment_warm prepared =
+  (* The tentpole measurement: the same refinement run cold
+     (RD_WARM=off), warm (every re-simulation resumes from the previous
+     fixed point) and in verify mode (cold and warm side by side, any
+     divergence counted).  Cold and warm run at jobs=1 so engine events
+     and Gc.allocated_bytes (a per-domain counter) are directly
+     comparable; verify runs at the ambient job count to exercise the
+     parallel path. *)
+  section "WARM" "warm-start re-simulation vs cold (RD_WARM)";
+  let splits = Core.split ~seed:7 prepared in
+  let training = splits.Evaluation.Split.training in
+  let run label mode jobs =
+    let prior = Simulator.Warm.current () in
+    Simulator.Warm.set mode;
+    Simulator.Warm.reset_stats ();
+    Fun.protect
+      ~finally:(fun () -> Simulator.Warm.set prior)
+      (fun () ->
+        let a0 = Gc.allocated_bytes () in
+        let t0 = Unix.gettimeofday () in
+        let result =
+          time label (fun () ->
+              Core.build
+                ~options:
+                  {
+                    Refine.Refiner.default_options with
+                    max_iterations = Some 14;
+                    jobs;
+                  }
+                prepared ~training)
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        let alloc = Gc.allocated_bytes () -. a0 in
+        (result, wall, alloc, Simulator.Warm.stats ()))
+  in
+  let cold_r, cold_wall, cold_alloc, _ =
+    run "WARM cold jobs=1" Simulator.Warm.Off (Some 1)
+  in
+  let warm_r, warm_wall, warm_alloc, warm_stats =
+    run "WARM warm jobs=1" Simulator.Warm.On (Some 1)
+  in
+  let verify_r, _, _, verify_stats =
+    run "WARM verify" Simulator.Warm.Verify None
+  in
+  let identical =
+    cold_r.Refine.Refiner.matched = warm_r.Refine.Refiner.matched
+    && cold_r.Refine.Refiner.iterations = warm_r.Refine.Refiner.iterations
+    && cold_r.Refine.Refiner.matched = verify_r.Refine.Refiner.matched
+  in
+  let cold_events = cold_r.Refine.Refiner.pool.Simulator.Pool.events in
+  let warm_events = warm_r.Refine.Refiner.pool.Simulator.Pool.events in
+  let ratio a b = if b = 0 then 0.0 else float_of_int a /. float_of_int b in
+  Evaluation.Report.table std
+    ~header:[ "mode"; "refine wall"; "engine events"; "allocated bytes" ]
+    [
+      [
+        "cold";
+        Printf.sprintf "%.1fs" cold_wall;
+        string_of_int cold_events;
+        Printf.sprintf "%.0f" cold_alloc;
+      ];
+      [
+        "warm";
+        Printf.sprintf "%.1fs" warm_wall;
+        string_of_int warm_events;
+        Printf.sprintf "%.0f" warm_alloc;
+      ];
+    ];
+  Format.printf
+    "warm/cold event ratio: %.2f (%d warm resumes, %d cold runs)@.results \
+     identical across modes: %b@.verify: %d pairs compared, %d divergences \
+     (want 0)@."
+    (ratio warm_events cold_events)
+    warm_stats.Simulator.Warm.warm_runs warm_stats.Simulator.Warm.cold_runs
+    identical verify_stats.Simulator.Warm.verified
+    verify_stats.Simulator.Warm.divergences;
+  {
+    cold_wall;
+    cold_events;
+    cold_alloc;
+    warm_wall;
+    warm_events;
+    warm_alloc;
+    warm_stats;
+    identical;
+    verify_stats;
+    pool =
+      Simulator.Pool.merge cold_r.Refine.Refiner.pool
+        warm_r.Refine.Refiner.pool;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable results (hand-rolled JSON; no extra dependency)    *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_num f =
+  if Float.is_nan f || Float.is_integer f then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6f" f
+
+let write_bench_json path ~scale ~seed ~jobs warm =
+  let b = Buffer.create 4096 in
+  let field k v = Printf.bprintf b "  %S: %s,\n" k v in
+  Buffer.add_string b "{\n";
+  field "scale" (json_num scale);
+  field "seed" (string_of_int seed);
+  field "jobs" (string_of_int jobs);
+  Printf.bprintf b "  \"sections\": [\n";
+  let sections = List.rev !timings in
+  List.iteri
+    (fun i (label, wall) ->
+      Printf.bprintf b "    {\"label\": \"%s\", \"wall_s\": %.3f}%s\n"
+        (json_escape label) wall
+        (if i = List.length sections - 1 then "" else ","))
+    sections;
+  Printf.bprintf b "  ],\n";
+  (match warm with
+  | None -> Printf.bprintf b "  \"warm\": null\n"
+  | Some w ->
+      Printf.bprintf b "  \"warm\": {\n";
+      Printf.bprintf b "    \"cold\": {\"wall_s\": %.3f, \"events\": %d, \"allocated_bytes\": %.0f},\n"
+        w.cold_wall w.cold_events w.cold_alloc;
+      Printf.bprintf b "    \"warm\": {\"wall_s\": %.3f, \"events\": %d, \"allocated_bytes\": %.0f},\n"
+        w.warm_wall w.warm_events w.warm_alloc;
+      Printf.bprintf b "    \"event_ratio\": %s,\n"
+        (json_num
+           (if w.cold_events = 0 then 0.0
+            else float_of_int w.warm_events /. float_of_int w.cold_events));
+      Printf.bprintf b "    \"wall_ratio\": %s,\n"
+        (json_num (if w.cold_wall > 0.0 then w.warm_wall /. w.cold_wall else 0.0));
+      Printf.bprintf b "    \"warm_runs\": %d,\n"
+        w.warm_stats.Simulator.Warm.warm_runs;
+      Printf.bprintf b "    \"cold_runs\": %d,\n"
+        w.warm_stats.Simulator.Warm.cold_runs;
+      Printf.bprintf b "    \"identical_results\": %b,\n" w.identical;
+      Printf.bprintf b "    \"verified\": %d,\n"
+        w.verify_stats.Simulator.Warm.verified;
+      Printf.bprintf b "    \"divergences\": %d,\n"
+        w.verify_stats.Simulator.Warm.divergences;
+      Printf.bprintf b
+        "    \"pool\": {\"prefixes\": %d, \"events\": %d, \"non_converged\": \
+         %d, \"retried\": %d, \"failed\": %d, \"wall_s\": %.3f}\n"
+        w.pool.Simulator.Pool.prefixes w.pool.Simulator.Pool.events
+        w.pool.Simulator.Pool.non_converged w.pool.Simulator.Pool.retried
+        w.pool.Simulator.Pool.failed w.pool.Simulator.Pool.wall;
+      Printf.bprintf b "  }\n");
+  Buffer.add_string b "}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc b;
+  close_out oc;
+  Format.printf "wrote %s@." path
+
 (* ------------------------------------------------------------------ *)
 (* Micro-benchmarks                                                    *)
 (* ------------------------------------------------------------------ *)
@@ -715,10 +902,19 @@ let () =
       | Error msg ->
           prerr_endline ("bad --faults: " ^ msg);
           exit 1));
+  (match value "--warm" "" with
+  | "" -> ()
+  | s -> (
+      match Simulator.Warm.parse s with
+      | Ok m -> Simulator.Warm.set m
+      | Error msg ->
+          prerr_endline ("bad --warm: " ^ msg);
+          exit 1));
   Format.printf "simulation workers: %d (RD_JOBS/--jobs to change)@."
     (Simulator.Pool.default_jobs ());
   let t_start = Unix.gettimeofday () in
-  if not (has "--micro-only") then begin
+  let warm_report = ref None in
+  let build_world () =
     let conf = { (Netgen.Conf.scaled scale) with Netgen.Conf.seed = seed } in
     section "WORLD" "synthetic ground truth (DESIGN.md 2)";
     Format.printf "%a@." Netgen.Conf.pp conf;
@@ -730,11 +926,20 @@ let () =
     Format.printf "prepared: %a@.core graph: %a@."
       Topology.Extract.pp_classification prepared.Core.classification
       Topology.Asgraph.pp_stats prepared.Core.graph;
+    (data, prepared)
+  in
+  if has "--warm-only" then begin
+    let _data, prepared = build_world () in
+    warm_report := Some (experiment_warm prepared)
+  end
+  else if not (has "--micro-only") then begin
+    let data, prepared = build_world () in
     experiment_f2_t1 data;
     experiment_inflation prepared;
     ignore (experiment_t2 prepared);
     ignore (experiment_train_predict prepared ~seed:7);
     experiment_parallel prepared;
+    warm_report := Some (experiment_warm prepared);
     experiment_t5 prepared ~seed:7;
     experiment_t6 prepared ~seed:7;
     let ablation_conf =
@@ -745,5 +950,10 @@ let () =
     experiment_robustness ablation_conf;
     if has "--sweep" then experiment_sweep ablation_conf
   end;
-  if not (has "--no-micro") then micro ();
+  if (not (has "--no-micro")) && not (has "--warm-only") then micro ();
+  write_bench_json
+    (value "--json" "BENCH.json")
+    ~scale ~seed
+    ~jobs:(Simulator.Pool.default_jobs ())
+    !warm_report;
   Format.printf "@.[total: %.1fs]@." (Unix.gettimeofday () -. t_start)

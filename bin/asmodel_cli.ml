@@ -89,6 +89,33 @@ let apply_faults = function
   | Some t -> Simulator.Faultinject.set t
   | None -> ()
 
+(* Warm-start re-simulation in the refinement loop.
+   Precedence: --warm flag > RD_WARM env > on. *)
+let warm_conv =
+  let parse s =
+    match Simulator.Warm.parse s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf m = Format.pp_print_string ppf (Simulator.Warm.mode_to_string m) in
+  Arg.conv (parse, print)
+
+let warm_arg =
+  Arg.(
+    value
+    & opt (some warm_conv) None
+    & info [ "warm" ] ~docv:"off|on|verify"
+        ~doc:
+          "Warm-start re-simulation in the refinement loop (default: \
+           $(b,RD_WARM) or $(b,on)).  $(b,on) resumes each changed prefix \
+           from its previous converged state; $(b,verify) runs cold and \
+           warm side by side and reports any divergence; $(b,off) always \
+           simulates from scratch.")
+
+let apply_warm = function
+  | Some m -> Simulator.Warm.set m
+  | None -> ()
+
 (* generate *)
 
 let generate seed scale binary out jobs faults =
@@ -246,9 +273,10 @@ let max_iter_arg =
     & info [ "max-iterations" ] ~docv:"N" ~doc:"Cap refinement iterations.")
 
 let build input split_seed train_fraction by_origin model_out max_iter jobs
-    faults =
+    faults warm =
   apply_jobs jobs;
   apply_faults faults;
+  apply_warm warm;
   let data = load_datasets input in
   let options =
     { Refine.Refiner.default_options with max_iterations = max_iter }
@@ -290,7 +318,15 @@ let build input split_seed train_fraction by_origin model_out max_iter jobs
       );
       ( "simulation pool",
         Format.asprintf "%a" Simulator.Pool.pp_stats r.Refine.Refiner.pool );
+      ( "warm starts",
+        Format.asprintf "%a" Simulator.Warm.pp_stats (Simulator.Warm.stats ())
+      );
     ];
+  (let ws = Simulator.Warm.stats () in
+   if ws.Simulator.Warm.divergences > 0 then
+     Printf.eprintf
+       "warning: %d warm-start divergences detected (cold results were used)\n%!"
+       ws.Simulator.Warm.divergences);
   if r.Refine.Refiner.pool.Simulator.Pool.non_converged > 0 then
     Printf.eprintf
       "warning: %d simulations hit their event budget (partial states)\n%!"
@@ -320,7 +356,7 @@ let build_cmd =
           predictions.")
     Term.(
       const build $ in_arg $ split_seed_arg $ train_fraction_arg $ by_origin_arg
-      $ model_out_arg $ max_iter_arg $ jobs_arg $ faults_arg)
+      $ model_out_arg $ max_iter_arg $ jobs_arg $ faults_arg $ warm_arg)
 
 (* eval *)
 

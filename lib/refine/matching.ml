@@ -25,7 +25,7 @@ let nodes_selecting net st asn tail =
   List.filter
     (fun n ->
       match Engine.best st n with
-      | Some r -> r.Simulator.Rattr.path = tail
+      | Some r -> Simulator.Rattr.same_path r.Simulator.Rattr.path tail
       | None -> false)
     (Net.nodes_of_as net asn)
 
@@ -34,7 +34,9 @@ let nodes_receiving net st asn tail =
     (fun n ->
       let sessions =
         List.filter_map
-          (fun (s, r) -> if r.Simulator.Rattr.path = tail then Some s else None)
+          (fun (s, r) ->
+            if Simulator.Rattr.same_path r.Simulator.Rattr.path tail then Some s
+            else None)
           (Engine.rib_in st n)
       in
       (* The originated route counts as "received" only through RIB-In
@@ -43,19 +45,22 @@ let nodes_receiving net st asn tail =
       if sessions = [] then None else Some (n, sessions))
     (Net.nodes_of_as net asn)
 
-(* Position of a step in the decision sequence; later = closer to
-   selection, hence a better grade for the observed route. *)
-let step_position steps step =
-  let rec go i = function
-    | [] -> -1
-    | s :: rest -> if s = step then i else go (i + 1) rest
-  in
-  go 0 steps
-
 let best_elimination net st asn tail =
   let steps = Net.decision_steps net in
   let med_scope = Net.med_scope net in
-  let target (r : Simulator.Rattr.t) = r.Simulator.Rattr.path = tail in
+  (* Step positions (later = closer to selection, hence a better grade
+     for the observed route) and the final step are fixed for the whole
+     fold: compute them once instead of rescanning the step list for
+     every candidate node. *)
+  let positions = List.mapi (fun i s -> (s, i)) steps in
+  let position s =
+    match List.assoc_opt s positions with Some i -> i | None -> -1
+  in
+  let last_pos = List.length steps - 1 in
+  let last_step = lazy (List.nth steps last_pos) in
+  let target (r : Simulator.Rattr.t) =
+    Simulator.Rattr.same_path r.Simulator.Rattr.path tail
+  in
   List.fold_left
     (fun acc n ->
       let verdict =
@@ -65,20 +70,15 @@ let best_elimination net st asn tail =
       | Decision.Selected, _ -> `Selected
       | _, `Selected -> `Selected
       | Decision.Eliminated_at step, `Eliminated best ->
-          if step_position steps step > step_position steps best then
-            `Eliminated step
+          if position step > position best then `Eliminated step
           else `Eliminated best
       | Decision.Eliminated_at step, `None -> `Eliminated step
       | Decision.Tied_not_chosen, `Eliminated best ->
           (* Losing an in-order tie is as close as losing the last
              step. *)
-          if
-            step_position steps best
-            < List.length steps - 1
-          then `Eliminated (List.nth steps (List.length steps - 1))
+          if position best < last_pos then `Eliminated (Lazy.force last_step)
           else `Eliminated best
-      | Decision.Tied_not_chosen, `None ->
-          `Eliminated (List.nth steps (List.length steps - 1))
+      | Decision.Tied_not_chosen, `None -> `Eliminated (Lazy.force last_step)
       | Decision.Not_present, acc -> acc)
     `None (Net.nodes_of_as net asn)
 

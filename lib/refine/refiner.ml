@@ -2,6 +2,7 @@ open Bgp
 module Net = Simulator.Net
 module Engine = Simulator.Engine
 module Pool = Simulator.Pool
+module Warm = Simulator.Warm
 module Qrmodel = Asmodel.Qrmodel
 
 type ranking = Med_ranking | Lpref_ranking
@@ -68,6 +69,10 @@ let training_suffixes data =
             add 0 set)
           [] entries
         |> List.sort_uniq compare_suffix
+        (* The tail (suffix minus its head AS) is what every matching
+           and policy step consumes; slice it once here instead of on
+           every iteration of the refinement loop. *)
+        |> List.map (fun s -> (s, Array.sub s 1 (Array.length s - 1)))
       in
       (prefix, set) :: acc)
     (Rib.by_prefix data) []
@@ -148,7 +153,7 @@ let refine ?(options = default_options) ?on_iteration model ~training =
   let max_len =
     List.fold_left
       (fun acc (_, sfx) ->
-        List.fold_left (fun acc s -> max acc (Array.length s)) acc sfx)
+        List.fold_left (fun acc (s, _) -> max acc (Array.length s)) acc sfx)
       1 work
   in
   let max_iterations =
@@ -161,7 +166,57 @@ let refine ?(options = default_options) ?on_iteration model ~training =
   in
   let dirty : (Prefix.t, unit) Hashtbl.t = Hashtbl.create 64 in
   let jobs = match options.jobs with Some j -> max 1 j | None -> Pool.default_jobs () in
-  let simulate prefix = Qrmodel.simulate model prefix in
+  let warm_mode = Warm.current () in
+  let simulate_cold prefix =
+    Warm.note_cold ();
+    Qrmodel.simulate model prefix
+  in
+  (* Warm-start closure, run from pool worker domains.  The [states]
+     table and the network's touched sets are only read here — all
+     writes happen in the sequential phases between pool calls — so the
+     concurrent lookups are safe.  A prefix resumes from its previous
+     state whenever that state converged at the network's current
+     generation ({!Engine.resumable}); the first iteration, quarantined
+     prefixes and any round that changed the structure (duplications)
+     fall back to a cold run. *)
+  let simulate prefix =
+    match warm_mode with
+    | Warm.Off -> simulate_cold prefix
+    | Warm.On -> (
+        match Hashtbl.find_opt states prefix with
+        | Some prev when Engine.resumable net prev ->
+            Warm.note_warm ();
+            Engine.resume net ~prev ~touched:(Net.touched_nodes net prefix)
+        | _ -> simulate_cold prefix)
+    | Warm.Verify -> (
+        match Hashtbl.find_opt states prefix with
+        | Some prev when Engine.resumable net prev ->
+            Warm.note_warm ();
+            let warm =
+              Engine.resume net ~prev ~touched:(Net.touched_nodes net prefix)
+            in
+            let cold = simulate_cold prefix in
+            Warm.note_verified ();
+            let diverged =
+              if Engine.converged cold <> Engine.converged warm then true
+              else
+                Engine.converged cold && not (Engine.same_state cold warm)
+            in
+            if diverged then begin
+              Warm.note_divergence ();
+              Logs.err (fun m ->
+                  m
+                    "refiner: warm-start divergence on prefix %a (cold %a \
+                     fp=%x, warm %a fp=%x)"
+                    Prefix.pp prefix Engine.pp_outcome (Engine.outcome cold)
+                    (Engine.state_fingerprint cold)
+                    Engine.pp_outcome (Engine.outcome warm)
+                    (Engine.state_fingerprint warm))
+            end;
+            (* The cold state is ground truth either way. *)
+            cold
+        | _ -> simulate_cold prefix)
+  in
   (* Phased loop: the set of prefixes needing re-simulation is fixed at
      the top of each iteration (a prefix marked dirty mid-iteration is
      only re-simulated the NEXT iteration), so all of them can be
@@ -190,6 +245,10 @@ let refine ?(options = default_options) ?on_iteration model ~training =
     let pairs, stats = Pool.simulate_result ~jobs ~sim:simulate missing in
     List.iter
       (fun (prefix, r) ->
+        (* The new state (or quarantine entry) reflects every policy
+           edit recorded so far: drain the touched set so the next warm
+           resume replays only future edits. *)
+        Net.clear_touched net prefix;
         match r with
         | Ok st when Engine.converged st ->
             Hashtbl.replace states prefix st;
@@ -215,9 +274,22 @@ let refine ?(options = default_options) ?on_iteration model ~training =
     match Hashtbl.find_opt states prefix with
     | Some st when not (Hashtbl.mem dirty prefix) -> st
     | Some _ | None ->
+        (* Sequential fallback outside the batch.  Unlike the batch it
+           runs in the mutating phase, so it must apply the same
+           quarantine bookkeeping: a non-converged state here would
+           otherwise feed policy mutation with a partial RIB.  Callers
+           re-check the quarantine after calling. *)
         let st = simulate prefix in
+        Net.clear_touched net prefix;
         Hashtbl.replace states prefix st;
         Hashtbl.remove dirty prefix;
+        if Engine.converged st then Hashtbl.remove quarantine prefix
+        else begin
+          Hashtbl.replace quarantine prefix ();
+          Logs.info (fun m ->
+              m "refiner: quarantining prefix %a (%a)" Prefix.pp prefix
+                Engine.pp_outcome (Engine.outcome st))
+        end;
         st
   in
   let history = ref [] in
@@ -234,14 +306,16 @@ let refine ?(options = default_options) ?on_iteration model ~training =
         if Hashtbl.mem quarantine prefix then ()
         else begin
         let st = state_of prefix in
+        (* [state_of]'s fallback may just have quarantined the prefix. *)
+        if Hashtbl.mem quarantine prefix then ()
+        else begin
         let reserved = Hashtbl.create 8 in
         let reserve n = Hashtbl.replace reserved n () in
         let unreserved n = not (Hashtbl.mem reserved n) in
         let changed = ref false in
         List.iter
-          (fun suffix ->
+          (fun (suffix, tail) ->
             let asn = suffix.(0) in
-            let tail = Array.sub suffix 1 (Array.length suffix - 1) in
             if not (Topology.Asgraph.mem_node model.Qrmodel.graph asn) then ()
             else if Array.length tail = 0 then begin
               (* The origin itself: every quasi-router originates. *)
@@ -317,6 +391,7 @@ let refine ?(options = default_options) ?on_iteration model ~training =
           Hashtbl.replace dirty prefix ();
           incr prefixes_changed
         end
+        end
         end)
       work;
     let stat =
@@ -347,6 +422,7 @@ let refine ?(options = default_options) ?on_iteration model ~training =
   pool_total := Pool.merge !pool_total final_stats;
   List.iter
     (fun (prefix, r) ->
+      Net.clear_touched net prefix;
       match r with
       | Ok st ->
           if not (Engine.converged st) then begin
@@ -373,9 +449,8 @@ let refine ?(options = default_options) ?on_iteration model ~training =
       | Some st ->
           let reserved = Hashtbl.create 8 in
           List.iter
-            (fun suffix ->
+            (fun (suffix, tail) ->
               let asn = suffix.(0) in
-              let tail = Array.sub suffix 1 (Array.length suffix - 1) in
               match
                 List.filter
                   (fun n -> not (Hashtbl.mem reserved n))

@@ -120,7 +120,9 @@ val refine :
     reduction applied, {!Topology.Extract.reduce}).  Paths containing
     ASes outside the model graph are skipped and counted as unmatched. *)
 
-val training_suffixes : Rib.t -> (Prefix.t * int array list) list
+val training_suffixes : Rib.t -> (Prefix.t * (int array * int array) list) list
 (** The work list the refiner matches: for each prefix, every distinct
-    suffix of every observed path, sorted shortest (closest to the
-    origin) first.  Exposed for inspection and tests. *)
+    suffix of every observed path paired with its tail (the suffix
+    minus its leading AS — precomputed because every matching and
+    policy step consumes it), sorted shortest (closest to the origin)
+    first.  Exposed for inspection and tests. *)

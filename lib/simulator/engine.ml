@@ -14,6 +14,7 @@ let pp_outcome ppf = function
 
 type state = {
   pfx : Prefix.t;
+  gen : int;  (* Net.generation at run time; gates warm resumption *)
   rib_in : Rattr.t option array array;  (* node -> session index -> route *)
   best : Rattr.t option array;
   originates : bool array;
@@ -136,59 +137,111 @@ let import net st ~sender:n ~sender_ip ~peer ~peer_as ~peer_session:ps
               learned_class = ri.Net.si_class;
             })
 
+(* Re-export node [u]'s current best over every session, importing at
+   each peer and enqueueing peers whose RIB-In changed.  Shared between
+   the per-event processing and the warm-start replay of touched
+   nodes. *)
+let push_exports net st enqueue u best' =
+  let ebgp_path =
+    match best' with
+    | None -> [||]
+    | Some (r : Rattr.t) ->
+        Intern.prepend ~own_as:(Net.asn_of net u) r.Rattr.path
+  in
+  let own_ip = Ipv4.to_int (Net.ip_of net u) in
+  Net.iter_sessions net u (fun s _peer ->
+      let si = Net.session_info net u s in
+      let peer = si.Net.si_peer in
+      let adv = compute_export net st u s si best' ~ebgp_path in
+      let ps = si.Net.si_reverse in
+      let ri = Net.session_info net peer ps in
+      let imported =
+        import net st ~sender:u ~sender_ip:own_ip ~peer
+          ~peer_as:(Net.asn_of net peer) ~peer_session:ps ri adv
+      in
+      if not (Rattr.same_advertisement st.rib_in.(peer).(ps) imported)
+      then begin
+        st.rib_in.(peer).(ps) <- imported;
+        enqueue peer
+      end)
+
+let mix_route mix = function
+  | None -> mix 0x5bd1e995
+  | Some (r : Rattr.t) ->
+      mix (Intern.path_hash r.Rattr.path);
+      mix r.Rattr.lpref;
+      mix r.Rattr.med;
+      mix r.Rattr.igp;
+      mix r.Rattr.from_node;
+      mix r.Rattr.from_ip;
+      mix r.Rattr.from_session;
+      mix (Hashtbl.hash r.Rattr.learned);
+      mix (Hashtbl.hash r.Rattr.learned_class)
+
 (* Full-state fingerprint for the oscillation watchdog.  The transition
    function is deterministic, so an exact repeat of (RIBs, best routes,
    queue content and order) with work still queued proves a genuine
    cycle.  [Hashtbl.hash] alone would be unsound here — it truncates
    deep/wide structures such as long AS-paths — so every route is
-   folded field by field, path element by path element, into a
-   polynomial hash over the full native-int range. *)
+   folded field by field into a polynomial hash over the full
+   native-int range, with paths contributing their (memoized) full-width
+   content hash ({!Intern.path_hash}). *)
 let fingerprint st queue queued =
   let h = ref 0x42 in
   let mix x = h := (!h * 1000003) lxor (x land max_int) in
-  let mix_route = function
-    | None -> mix 0x5bd1e995
-    | Some (r : Rattr.t) ->
-        mix (Array.length r.Rattr.path);
-        Array.iter mix r.Rattr.path;
-        mix r.Rattr.lpref;
-        mix r.Rattr.med;
-        mix r.Rattr.igp;
-        mix r.Rattr.from_node;
-        mix r.Rattr.from_ip;
-        mix r.Rattr.from_session;
-        mix (Hashtbl.hash r.Rattr.learned);
-        mix (Hashtbl.hash r.Rattr.learned_class)
-  in
-  Array.iter mix_route st.best;
-  Array.iter (fun slots -> Array.iter mix_route slots) st.rib_in;
+  Array.iter (mix_route mix) st.best;
+  Array.iter (fun slots -> Array.iter (mix_route mix) slots) st.rib_in;
   Queue.iter (fun u -> mix (u + 0x9e3779b9)) queue;
   Array.iter (fun q -> mix (Bool.to_int q)) queued;
   !h
+
+(* Routing-content fingerprint (no queue): what warm-vs-cold
+   verification compares.  Identical final best routes and RIB-Ins give
+   identical fingerprints regardless of how the fixed point was
+   reached. *)
+let state_fingerprint st =
+  let h = ref 0x42 in
+  let mix x = h := (!h * 1000003) lxor (x land max_int) in
+  Array.iter (mix_route mix) st.best;
+  Array.iter (fun slots -> Array.iter (mix_route mix) slots) st.rib_in;
+  !h
+
+let same_state a b =
+  a.pfx = b.pfx
+  && Array.length a.best = Array.length b.best
+  && (let ok = ref true in
+      Array.iteri
+        (fun i r -> if not (Rattr.same_advertisement r b.best.(i)) then ok := false)
+        a.best;
+      Array.iteri
+        (fun i slots ->
+          let slots' = b.rib_in.(i) in
+          if Array.length slots <> Array.length slots' then ok := false
+          else
+            Array.iteri
+              (fun s r ->
+                if not (Rattr.same_advertisement r slots'.(s)) then ok := false)
+              slots)
+        a.rib_in;
+      !ok)
 
 (* The watchdog keeps at most this many fingerprints; real oscillation
    cycles are tiny (the bad gadget's is < 20 events), so a bounded
    history loses nothing while capping memory on huge budgets. *)
 let watchdog_history_cap = 4096
 
-let run ?max_events ?max_escalations ?on_best_change net ~prefix:pfx
-    ~originators =
-  let n = Net.node_count net in
-  let st =
-    {
-      pfx;
-      rib_in = Array.init n (fun i -> Array.make (Net.session_count_of net i) None);
-      best = Array.make n None;
-      originates = Array.make n false;
-      outcome = Converged;
-      events = 0;
-    }
-  in
-  List.iter (fun o -> st.originates.(o) <- true) originators;
+(* Shared drain core: seed the queue (cold start: the originators; warm
+   start: peers disturbed by replayed exports), then process nodes
+   until the queue empties, the budget (after escalations) runs out, or
+   the watchdog proves a cycle.  [seed ~enqueue ~replay] fills the
+   initial queue; [replay u] re-exports [u]'s current best, charging
+   one event. *)
+let exec ?max_events ?max_escalations ?on_best_change net st ~seed =
+  let n = Array.length st.best in
   let budget =
     match max_events with Some b -> b | None -> 1000 + (200 * n)
   in
-  let budget = Faultinject.shrink_budget ~key:(Hashtbl.hash pfx) budget in
+  let budget = Faultinject.shrink_budget ~key:(Hashtbl.hash st.pfx) budget in
   (* An explicit [max_events] is a caller-chosen hard cap (tests, budget
      experiments): honour it exactly unless escalation is requested too.
      The default budget is a heuristic, so exhausting it earns ×2 and ×4
@@ -207,7 +260,6 @@ let run ?max_events ?max_escalations ?on_best_change net ~prefix:pfx
       Queue.push u queue
     end
   in
-  List.iter enqueue originators;
   let steps = Net.decision_steps net in
   let med_scope = Net.med_scope net in
   (* Neighbour-scoped MED (RFC 4271 §9.1.2.2) is not a total order over
@@ -257,34 +309,14 @@ let run ?max_events ?max_escalations ?on_best_change net ~prefix:pfx
     if not (Rattr.same_advertisement st.best.(u) best') then begin
       st.best.(u) <- best';
       (match on_best_change with Some f -> f u best' | None -> ());
-      let ebgp_path =
-        match best' with
-        | None -> [||]
-        | Some r ->
-            let own = Net.asn_of net u in
-            let len = Array.length r.Rattr.path in
-            let out = Array.make (len + 1) own in
-            Array.blit r.Rattr.path 0 out 1 len;
-            out
-      in
-      let own_ip = Ipv4.to_int (Net.ip_of net u) in
-      Net.iter_sessions net u (fun s _peer ->
-          let si = Net.session_info net u s in
-          let peer = si.Net.si_peer in
-          let adv = compute_export net st u s si best' ~ebgp_path in
-          let ps = si.Net.si_reverse in
-          let ri = Net.session_info net peer ps in
-          let imported =
-            import net st ~sender:u ~sender_ip:own_ip ~peer
-              ~peer_as:(Net.asn_of net peer) ~peer_session:ps ri adv
-          in
-          if not (Rattr.same_advertisement st.rib_in.(peer).(ps) imported)
-          then begin
-            st.rib_in.(peer).(ps) <- imported;
-            enqueue peer
-          end)
+      push_exports net st enqueue u best'
     end
   in
+  let replay u =
+    st.events <- st.events + 1;
+    push_exports net st enqueue u st.best.(u)
+  in
+  seed ~enqueue ~replay;
   (* Fingerprinting every event would tax the common case, so the
      watchdog arms only once half the initial budget is spent — any run
      that deep is already suspect, and a genuine cycle keeps repeating,
@@ -333,6 +365,55 @@ let run ?max_events ?max_escalations ?on_best_change net ~prefix:pfx
   in
   drain budget escalations;
   st
+
+let run ?max_events ?max_escalations ?on_best_change net ~prefix:pfx
+    ~originators =
+  let n = Net.node_count net in
+  let st =
+    {
+      pfx;
+      gen = Net.generation net;
+      rib_in = Array.init n (fun i -> Array.make (Net.session_count_of net i) None);
+      best = Array.make n None;
+      originates = Array.make n false;
+      outcome = Converged;
+      events = 0;
+    }
+  in
+  List.iter (fun o -> st.originates.(o) <- true) originators;
+  exec ?max_events ?max_escalations ?on_best_change net st
+    ~seed:(fun ~enqueue ~replay:_ -> List.iter enqueue originators)
+
+let resumable net prev =
+  converged prev
+  && prev.gen = Net.generation net
+  && Array.length prev.best = Net.node_count net
+
+let resume ?max_events ?max_escalations ?on_best_change net ~prev ~touched =
+  if not (resumable net prev) then
+    invalid_arg "Engine.resume: previous state is not resumable";
+  let st =
+    {
+      pfx = prev.pfx;
+      gen = prev.gen;
+      rib_in = Array.map Array.copy prev.rib_in;
+      best = Array.copy prev.best;
+      originates = Array.copy prev.originates;
+      outcome = Converged;
+      events = 0;
+    }
+  in
+  let n = Array.length st.best in
+  exec ?max_events ?max_escalations ?on_best_change net st
+    ~seed:(fun ~enqueue ~replay ->
+      (* Replay every touched node's exports unconditionally: peers
+         whose RIB-In changes under the new policy enqueue themselves;
+         the touched node itself re-runs its decision process whenever
+         a replayed import disturbs it.  An unchanged advertisement is
+         suppressed by [same_advertisement], so a no-op policy edit
+         costs one event and drains immediately. *)
+      ignore enqueue;
+      List.iter (fun u -> if u >= 0 && u < n then replay u) touched)
 
 let best_full_path net st n =
   match best st n with

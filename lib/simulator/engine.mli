@@ -46,6 +46,42 @@ val run :
     adopts a new best route.  When {!Faultinject} is enabled in [Full]
     scope, chosen prefixes have their initial budget shrunk to 1. *)
 
+val resumable : Net.t -> state -> bool
+(** Can a previous run of this prefix seed a warm restart on [net]?
+    True when the state converged, was computed at the network's
+    current {!Net.generation} (no structural or network-wide change
+    since), and covers every node. *)
+
+val resume :
+  ?max_events:int ->
+  ?max_escalations:int ->
+  ?on_best_change:(int -> Rattr.t option -> unit) ->
+  Net.t ->
+  prev:state ->
+  touched:int list ->
+  state
+(** Warm-start re-simulation: copy the previous converged state, replay
+    the exports of every node in [touched] (one event each) so the
+    per-prefix policy edits recorded since [prev] take effect, and
+    drain to the new fixed point.  [prev] is not mutated.  Under the
+    model's policies (uniform import preference, filters, MED ranking
+    with {!Decision.Always_compare}) the per-prefix instance has a
+    unique stable state and converges from any starting point, so the
+    warm fixed point equals the cold one — [RD_WARM=verify] checks
+    this on every run.  Budget, escalation and watchdog semantics match
+    {!run}.  Raises [Invalid_argument] when [not (resumable net prev)];
+    callers decide cold fallback via {!resumable}. *)
+
+val state_fingerprint : state -> int
+(** Full-width hash of the routing content (best routes and RIB-Ins,
+    no event-queue component): equal final states hash equally however
+    they were reached.  The warm-vs-cold verification key. *)
+
+val same_state : state -> state -> bool
+(** Structural equality of routing content: same prefix, same per-node
+    best routes and RIB-Ins ({!Rattr.same_advertisement} slot by
+    slot). *)
+
 val prefix : state -> Prefix.t
 
 val outcome : state -> outcome

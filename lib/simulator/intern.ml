@@ -1,0 +1,99 @@
+(* Domain-local hash-consing of AS-path arrays.
+
+   Per-prefix simulation creates the same few hundred distinct AS paths
+   over and over (one prepend per best change, re-imported at every
+   peer), and every downstream consumer — RIB-In update suppression,
+   the refiner's suffix matching, the oscillation watchdog — compares
+   them structurally.  Interning maps each path to one canonical array
+   so that (a) repeated prepends of the same best route allocate
+   nothing, and (b) comparisons can take a physical-equality fast path
+   before falling back to structural equality.
+
+   Domain safety: the tables live in [Domain.DLS], so worker domains of
+   {!Pool} never share mutable state and need no locks.  Canonical
+   identity is therefore {e per domain} — two domains may intern the
+   same path into different arrays — which is why every comparison
+   keeps the structural fallback ([==] first is an optimisation, never
+   the definition).  Pool workers are short-lived (one batch), so their
+   tables are reclaimed with them. *)
+
+module Tbl = Hashtbl.Make (struct
+  type t = int array
+
+  let equal (a : int array) b = a == b || a = b
+
+  (* [Hashtbl.hash] truncates long structures; fine for a table (the
+     [equal] above resolves collisions), unlike for fingerprints. *)
+  let hash (a : int array) = Hashtbl.hash a
+end)
+
+(* Caps keep a pathological workload (millions of distinct paths in one
+   domain) from growing the tables without bound; resetting only costs
+   future hits, never correctness. *)
+let table_cap = 1 lsl 16
+
+let paths_key : int array Tbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Tbl.create 1024)
+
+let empty_path : int array = [||]
+
+let path (p : int array) =
+  if Array.length p = 0 then empty_path
+  else
+    let tbl = Domain.DLS.get paths_key in
+    match Tbl.find_opt tbl p with
+    | Some q -> q
+    | None ->
+        if Tbl.length tbl >= table_cap then Tbl.reset tbl;
+        Tbl.add tbl p p;
+        p
+
+module PrependTbl = Hashtbl.Make (struct
+  type t = int * int array
+
+  let equal ((as1, p1) : t) (as2, p2) = as1 = as2 && (p1 == p2 || p1 = p2)
+
+  let hash ((own_as, p) : t) = Hashtbl.hash (own_as, Hashtbl.hash p)
+end)
+
+let prepends_key : int array PrependTbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> PrependTbl.create 1024)
+
+let prepend ~own_as (p : int array) =
+  let tbl = Domain.DLS.get prepends_key in
+  let key = (own_as, p) in
+  match PrependTbl.find_opt tbl key with
+  | Some q -> q
+  | None ->
+      let len = Array.length p in
+      let out = Array.make (len + 1) own_as in
+      Array.blit p 0 out 1 len;
+      let out = path out in
+      if PrependTbl.length tbl >= table_cap then PrependTbl.reset tbl;
+      PrependTbl.add tbl key out;
+      out
+
+(* Full-width polynomial hash over every element — the watchdog
+   fingerprint needs the whole path folded in ([Hashtbl.hash] truncates
+   deep/wide values), and interning makes the result worth caching:
+   each distinct path is folded once per domain, later fingerprints of
+   the same (canonical) array are a table hit. *)
+let fold_path_hash (p : int array) =
+  let h = ref (Array.length p) in
+  Array.iter (fun x -> h := (!h * 1000003) lxor (x land max_int)) p;
+  !h
+
+let hashes_key : int Tbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Tbl.create 1024)
+
+let path_hash (p : int array) =
+  if Array.length p = 0 then 0
+  else
+    let tbl = Domain.DLS.get hashes_key in
+    match Tbl.find_opt tbl p with
+    | Some h -> h
+    | None ->
+        let h = fold_path_hash p in
+        if Tbl.length tbl >= table_cap then Tbl.reset tbl;
+        Tbl.add tbl p h;
+        h

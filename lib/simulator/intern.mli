@@ -1,0 +1,24 @@
+(** Domain-local hash-consing of AS-path arrays.
+
+    The engine funnels every path it creates through this module so
+    that identical paths within a domain share one canonical array:
+    repeated eBGP prepends of the same best route allocate nothing, and
+    path comparisons can try physical equality before structural
+    equality.  Tables live in [Domain.DLS] — no locks, no sharing
+    between {!Pool} workers — so canonical identity is per-domain and
+    callers must always keep a structural fallback. *)
+
+val path : int array -> int array
+(** [path p] is the canonical array equal to [p] in the current domain
+    (possibly [p] itself).  The empty path is a global constant. *)
+
+val prepend : own_as:int -> int array -> int array
+(** [prepend ~own_as p] is the canonical array for [own_as] consed onto
+    [p] — the eBGP export prepend — memoized per [(own_as, p)], so the
+    common case (re-exporting an unchanged best route) allocates
+    nothing. *)
+
+val path_hash : int array -> int
+(** Full-width polynomial hash over {e every} element (unlike
+    [Hashtbl.hash], which truncates), cached per canonical array.
+    Suitable for the engine's oscillation-watchdog fingerprint. *)

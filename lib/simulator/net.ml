@@ -55,6 +55,14 @@ type t = {
   mutable steps : Decision.step list;
   mutable m_scope : Decision.med_scope;
   mutable nsessions : int;  (* directed half-sessions *)
+  (* Change tracking for warm-start re-simulation (Engine.resume):
+     [generation] counts structural or network-wide mutations (nodes,
+     sessions, global knobs) — any bump invalidates every prior state;
+     [touched] records, per prefix, the nodes whose per-prefix policy
+     changed since the set was last drained — the frontier a resumed
+     run replays. *)
+  mutable generation : int;
+  touched : (int, unit) Hashtbl.t Prefix.Table.t;
 }
 
 let dummy_session =
@@ -84,9 +92,38 @@ let create () =
     steps = Decision.model_steps;
     m_scope = Decision.Always_compare;
     nsessions = 0;
+    generation = 0;
+    touched = Prefix.Table.create 64;
   }
 
+let generation t = t.generation
+
+let bump_generation t = t.generation <- t.generation + 1
+
+let note_touched t p n =
+  let set =
+    match Prefix.Table.find_opt t.touched p with
+    | Some set -> set
+    | None ->
+        let set = Hashtbl.create 8 in
+        Prefix.Table.add t.touched p set;
+        set
+  in
+  Hashtbl.replace set n ()
+
+let touched_nodes t p =
+  match Prefix.Table.find_opt t.touched p with
+  | None -> []
+  | Some set ->
+      (* Sorted so warm replay order — and hence event order — is
+         deterministic regardless of hash-table iteration order. *)
+      Hashtbl.fold (fun n () acc -> n :: acc) set []
+      |> List.sort_uniq compare
+
+let clear_touched t p = Prefix.Table.remove t.touched p
+
 let add_node t ~asn ~ip =
+  bump_generation t;
   let id =
     Vec.push t.nodes { asn; ip; sessions = Vec.create dummy_session }
   in
@@ -136,6 +173,7 @@ let connect ?(kind = Ebgp) ?(class_ab = class_none) ?(class_ba = class_none) t
   if a = b then invalid_arg "Net.connect: self session";
   if find_session t a b <> None then
     invalid_arg "Net.connect: session already exists";
+  bump_generation t;
   let sa = fresh_session ~peer:b ~kind ~s_class:class_ab in
   let sb = fresh_session ~peer:a ~kind ~s_class:class_ba in
   let ia = Vec.push (node t a).sessions sa in
@@ -189,36 +227,61 @@ let session_reverse t n s = (session t n s).peer_session
 
 let session_class t n s = (session t n s).s_class
 
-let set_import_lpref t n s v = (session t n s).lpref_in <- Some v
+let set_import_lpref t n s v =
+  bump_generation t;
+  (session t n s).lpref_in <- Some v
 
 let import_lpref t n s = (session t n s).lpref_in
 
-let set_rr_client t n s v = (session t n s).rr_client <- v
+let set_rr_client t n s v =
+  bump_generation t;
+  (session t n s).rr_client <- v
 
 let rr_client t n s = (session t n s).rr_client
 
-let set_carry_lpref t n s v = (session t n s).carry_lpref <- v
+let set_carry_lpref t n s v =
+  bump_generation t;
+  (session t n s).carry_lpref <- v
 
 let carry_lpref t n s = (session t n s).carry_lpref
 
+(* Import-side policy changes are recorded against the *sender*: the
+   receiver cannot re-derive the pre-policy advertisement from its
+   RIB-In, so a warm restart replays the sending peer's exports and the
+   import runs again under the new policy. *)
 let set_import_lpref_for t n s p v =
-  Prefix.Table.replace (session t n s).lpref_in_pfx p v
+  let ss = session t n s in
+  note_touched t p ss.peer;
+  Prefix.Table.replace ss.lpref_in_pfx p v
 
 let clear_import_lpref_for t n s p =
-  Prefix.Table.remove (session t n s).lpref_in_pfx p
+  let ss = session t n s in
+  note_touched t p ss.peer;
+  Prefix.Table.remove ss.lpref_in_pfx p
 
 let import_lpref_for t n s p =
   Prefix.Table.find_opt (session t n s).lpref_in_pfx p
 
-let set_import_med t n s p v = Prefix.Table.replace (session t n s).med_in p v
+let set_import_med t n s p v =
+  let ss = session t n s in
+  note_touched t p ss.peer;
+  Prefix.Table.replace ss.med_in p v
 
-let clear_import_med t n s p = Prefix.Table.remove (session t n s).med_in p
+let clear_import_med t n s p =
+  let ss = session t n s in
+  note_touched t p ss.peer;
+  Prefix.Table.remove ss.med_in p
 
 let import_med t n s p = Prefix.Table.find_opt (session t n s).med_in p
 
-let deny_export t n s p = Prefix.Table.replace (session t n s).deny_out p ()
+(* Export-side changes are re-evaluated at the exporting node itself. *)
+let deny_export t n s p =
+  note_touched t p n;
+  Prefix.Table.replace (session t n s).deny_out p ()
 
-let allow_export t n s p = Prefix.Table.remove (session t n s).deny_out p
+let allow_export t n s p =
+  note_touched t p n;
+  Prefix.Table.remove (session t n s).deny_out p
 
 let export_denied t n s p = Prefix.Table.mem (session t n s).deny_out p
 
@@ -244,23 +307,33 @@ let count_policies t =
     t.nodes;
   (!denies, !meds)
 
-let set_export_matrix t f = t.export_ok <- f
+let set_export_matrix t f =
+  bump_generation t;
+  t.export_ok <- f
 
 let export_matrix t ~learned_class ~to_class = t.export_ok ~learned_class ~to_class
 
-let set_igp_cost t f = t.igp <- f
+let set_igp_cost t f =
+  bump_generation t;
+  t.igp <- f
 
 let igp_cost t a b = t.igp a b
 
-let set_default_med t v = t.med_default <- v
+let set_default_med t v =
+  bump_generation t;
+  t.med_default <- v
 
 let default_med t = t.med_default
 
-let set_decision_steps t steps = t.steps <- steps
+let set_decision_steps t steps =
+  bump_generation t;
+  t.steps <- steps
 
 let decision_steps t = t.steps
 
-let set_med_scope t scope = t.m_scope <- scope
+let set_med_scope t scope =
+  bump_generation t;
+  t.m_scope <- scope
 
 let med_scope t = t.m_scope
 

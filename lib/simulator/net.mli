@@ -199,4 +199,30 @@ val duplicate_node : t -> int -> int
     sides) and deep-copied policies in both directions, so the copy has
     the same RIB-In as the original (paper §4.6).  Returns the new id. *)
 
+(** {2 Change tracking for warm-start re-simulation}
+
+    Mutations are classified for {!Engine.resume}: structural and
+    network-wide changes ([add_node], [connect], [duplicate_node],
+    [set_export_matrix], [set_igp_cost], [set_default_med],
+    [set_decision_steps], [set_med_scope], [set_import_lpref],
+    [set_rr_client], [set_carry_lpref]) bump the generation counter,
+    invalidating every previously captured state; per-prefix policy
+    edits record a touched node in that prefix's set instead.
+    Import-side edits ([set_import_med], [clear_import_med],
+    [set_import_lpref_for], [clear_import_lpref_for]) record the
+    {e sending peer} — a resumed run replays the sender's exports so
+    the import policy is re-applied; export-side edits ([deny_export],
+    [allow_export]) record the exporting node itself. *)
+
+val generation : t -> int
+(** Bumped on every structural or network-wide mutation. *)
+
+val touched_nodes : t -> Prefix.t -> int list
+(** Nodes whose per-prefix policy changed since the last
+    {!clear_touched}, sorted ascending (deterministic replay order). *)
+
+val clear_touched : t -> Prefix.t -> unit
+(** Drain the prefix's touched set, typically right after capturing the
+    converged state that reflects those changes. *)
+
 val pp_summary : Format.formatter -> t -> unit

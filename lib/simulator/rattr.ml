@@ -35,13 +35,19 @@ let full_path ~own_as r =
   Array.blit r.path 0 out 1 n;
   out
 
+(* Paths flowing through the engine are interned (Intern.path), so the
+   physical check settles the common case without walking the array;
+   the structural fallback keeps the comparison correct for arrays from
+   other domains or built by callers directly. *)
+let same_path (a : int array) b = a == b || a = b
+
 let same_advertisement a b =
   match (a, b) with
   | None, None -> true
   | Some _, None | None, Some _ -> false
   | Some a, Some b ->
       a.from_node = b.from_node
-      && a.path = b.path
+      && same_path a.path b.path
       && a.lpref = b.lpref
       && a.med = b.med
       && a.igp = b.igp

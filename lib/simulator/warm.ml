@@ -1,0 +1,77 @@
+type mode = Off | On | Verify
+
+let mode_to_string = function Off -> "off" | On -> "on" | Verify -> "verify"
+
+let parse s =
+  match String.lowercase_ascii (String.trim s) with
+  | "off" | "0" | "cold" -> Ok Off
+  | "on" | "1" | "warm" -> Ok On
+  | "verify" | "check" -> Ok Verify
+  | other ->
+      Error (Printf.sprintf "bad warm-start mode %S (want off|on|verify)" other)
+
+let from_env () =
+  match Sys.getenv_opt "RD_WARM" with
+  | None -> On
+  | Some s -> (
+      match parse s with
+      | Ok m -> m
+      | Error msg ->
+          Logs.warn (fun m -> m "ignoring RD_WARM: %s" msg);
+          On)
+
+let state : mode option ref = ref None
+
+let set m = state := Some m
+
+let current () =
+  match !state with
+  | Some m -> m
+  | None ->
+      let m = from_env () in
+      state := Some m;
+      m
+
+(* Counters are atomics because the refiner's simulation closures run
+   them from pool worker domains. *)
+let warm_runs_c = Atomic.make 0
+
+let cold_runs_c = Atomic.make 0
+
+let verified_c = Atomic.make 0
+
+let divergences_c = Atomic.make 0
+
+let note_warm () = Atomic.incr warm_runs_c
+
+let note_cold () = Atomic.incr cold_runs_c
+
+let note_verified () = Atomic.incr verified_c
+
+let note_divergence () = Atomic.incr divergences_c
+
+type stats = {
+  warm_runs : int;
+  cold_runs : int;
+  verified : int;
+  divergences : int;
+}
+
+let stats () =
+  {
+    warm_runs = Atomic.get warm_runs_c;
+    cold_runs = Atomic.get cold_runs_c;
+    verified = Atomic.get verified_c;
+    divergences = Atomic.get divergences_c;
+  }
+
+let reset_stats () =
+  Atomic.set warm_runs_c 0;
+  Atomic.set cold_runs_c 0;
+  Atomic.set verified_c 0;
+  Atomic.set divergences_c 0
+
+let pp_stats ppf s =
+  Format.fprintf ppf "%d warm, %d cold" s.warm_runs s.cold_runs;
+  if s.verified > 0 then
+    Format.fprintf ppf ", %d verified (%d divergences)" s.verified s.divergences

@@ -1,0 +1,59 @@
+(** Warm-start re-simulation knob and counters.
+
+    The refinement loop re-simulates every changed prefix each
+    iteration; with warm starts on, a prefix whose network is
+    structurally unchanged resumes from its previous converged state
+    and drains only the policy deltas ({!Engine.resume}) instead of
+    re-flooding from the originators.  This module holds the
+    process-wide mode — [RD_WARM] environment variable or the [--warm]
+    flags — and the run counters the bench reports.
+
+    Modes: [Off] always simulates cold; [On] resumes whenever a usable
+    prior state exists (falling back to cold otherwise); [Verify] runs
+    cold {e and} warm side by side, compares the final states, counts
+    any divergence, and returns the cold result — the equivalence
+    safety net CI runs. *)
+
+type mode = Off | On | Verify
+
+val parse : string -> (mode, string) result
+(** Accepts [off]/[0], [on]/[1], [verify]. *)
+
+val mode_to_string : mode -> string
+
+val set : mode -> unit
+(** Process-wide override, wired to the [--warm] flags. *)
+
+val current : unit -> mode
+(** The value set with {!set} if any, else [RD_WARM], else [On]. *)
+
+(** {2 Counters}
+
+    Incremented from pool worker domains (atomics); reset per
+    measurement with {!reset_stats}. *)
+
+val note_warm : unit -> unit
+(** A prefix was resumed from its prior state. *)
+
+val note_cold : unit -> unit
+(** A prefix was simulated from scratch (mode [Off], no usable prior
+    state, or the cold half of a [Verify] pair). *)
+
+val note_verified : unit -> unit
+(** A cold/warm pair was compared. *)
+
+val note_divergence : unit -> unit
+(** A compared pair differed — a warm-start correctness violation. *)
+
+type stats = {
+  warm_runs : int;
+  cold_runs : int;
+  verified : int;
+  divergences : int;
+}
+
+val stats : unit -> stats
+
+val reset_stats : unit -> unit
+
+val pp_stats : Format.formatter -> stats -> unit

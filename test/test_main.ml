@@ -17,6 +17,7 @@ let () =
       ("net", Test_net.suite);
       ("engine", Test_engine.suite);
       ("pool", Test_pool.suite);
+      ("warm", Test_warm.suite);
       ("faultinject", Test_faultinject.suite);
       ("netgen", Test_netgen.suite);
       ("asmodel", Test_asmodel.suite);

@@ -73,8 +73,15 @@ let training_suffixes_worklist () =
   (* suffixes of 1-4 and 1-5-4: [4], [1;4], [5;4], [1;5;4] *)
   check_int "distinct suffixes" 4 (List.length p4_suffixes);
   check_bool "sorted shortest first" true
-    (let lens = List.map Array.length p4_suffixes in
-     List.sort compare lens = lens)
+    (let lens = List.map (fun (s, _) -> Array.length s) p4_suffixes in
+     List.sort compare lens = lens);
+  (* The precomputed tail is the suffix minus its head AS. *)
+  List.iter
+    (fun (s, tail) ->
+      check_int "tail length" (Array.length s - 1) (Array.length tail);
+      check_bool "tail content" true
+        (tail = Array.sub s 1 (Array.length s - 1)))
+    p4_suffixes
 
 (* -- refinement on the Figure 5 scenario -- *)
 

@@ -1,0 +1,345 @@
+(* Tests for warm-start re-simulation: Net change tracking,
+   Engine.resume equivalence with cold runs (hand-built and randomized),
+   AS-path interning, and the refiner under each RD_WARM mode. *)
+
+open Bgp
+module Net = Simulator.Net
+module Engine = Simulator.Engine
+module Intern = Simulator.Intern
+module Warm = Simulator.Warm
+module Qrmodel = Asmodel.Qrmodel
+module Refiner = Refine.Refiner
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let p = Asn.origin_prefix 4
+
+(* -- Net change tracking -- *)
+
+let line () =
+  (* 1 -- 2 -- 3 *)
+  let net = Net.create () in
+  let a = Net.add_node net ~asn:1 ~ip:(Asn.router_ip 1 0) in
+  let b = Net.add_node net ~asn:2 ~ip:(Asn.router_ip 2 0) in
+  let c = Net.add_node net ~asn:3 ~ip:(Asn.router_ip 3 0) in
+  let sab, _sba = Net.connect net a b in
+  let sbc, _scb = Net.connect net b c in
+  (net, a, b, c, sab, sbc)
+
+let touched_tracking () =
+  let net, a, b, _c, sab, sbc = line () in
+  check_bool "initially empty" true (Net.touched_nodes net p = []);
+  (* Import-side edits record the sending peer, not the receiver. *)
+  Net.set_import_med net a sab p 0;
+  check_bool "med import touches sender" true (Net.touched_nodes net p = [ b ]);
+  Net.clear_import_med net a sab p;
+  Net.set_import_lpref_for net a sab p 200;
+  Net.clear_import_lpref_for net a sab p;
+  check_bool "still just the sender (dedup)" true
+    (Net.touched_nodes net p = [ b ]);
+  (* Export-side edits record the exporting node itself. *)
+  Net.deny_export net b sbc p;
+  check_bool "deny touches exporter, sorted" true
+    (Net.touched_nodes net p = [ a; b ] || Net.touched_nodes net p = [ b ]);
+  check_bool "sorted ascending" true
+    (let l = Net.touched_nodes net p in
+     List.sort compare l = l);
+  Net.allow_export net b sbc p;
+  (* Other prefixes are untouched. *)
+  check_bool "per-prefix isolation" true
+    (Net.touched_nodes net (Asn.origin_prefix 9) = []);
+  Net.clear_touched net p;
+  check_bool "cleared" true (Net.touched_nodes net p = [])
+
+let generation_tracking () =
+  let net, a, _b, c, sab, _ = line () in
+  let g0 = Net.generation net in
+  (* Per-prefix policy edits leave the generation alone. *)
+  Net.set_import_med net a sab p 0;
+  Net.deny_export net a sab p;
+  check_int "policy edits keep generation" g0 (Net.generation net);
+  (* Structural and network-wide edits bump it. *)
+  let d = Net.add_node net ~asn:9 ~ip:(Asn.router_ip 9 0) in
+  check_bool "add_node bumps" true (Net.generation net > g0);
+  let g1 = Net.generation net in
+  ignore (Net.connect net c d);
+  check_bool "connect bumps" true (Net.generation net > g1);
+  let g2 = Net.generation net in
+  Net.set_default_med net 50;
+  Net.set_decision_steps net (Net.decision_steps net);
+  Net.set_import_lpref net a sab 120;
+  check_bool "global knobs bump" true (Net.generation net > g2);
+  let g3 = Net.generation net in
+  ignore (Net.duplicate_node net a);
+  check_bool "duplicate_node bumps" true (Net.generation net > g3)
+
+(* -- Engine.resume equivalence on a hand-built scenario -- *)
+
+(* Figure 5-style diamond: AS 1 reaches AS 4 directly and via AS 5. *)
+let diamond_graph =
+  Topology.Asgraph.of_edges [ (1, 2); (1, 4); (1, 5); (2, 3); (3, 4); (4, 5) ]
+
+let check_equivalent label cold warm =
+  check_bool (label ^ ": same outcome") true
+    (Engine.converged cold = Engine.converged warm);
+  check_bool (label ^ ": same state") true (Engine.same_state cold warm);
+  check_int
+    (label ^ ": same fingerprint")
+    (Engine.state_fingerprint cold)
+    (Engine.state_fingerprint warm)
+
+let resume_after_policy_change () =
+  let m = Qrmodel.initial diamond_graph in
+  let net = m.Qrmodel.net in
+  let prev = Qrmodel.simulate m p in
+  check_bool "cold converged" true (Engine.converged prev);
+  Net.clear_touched net p;
+  (* Make AS 1 prefer the longer route via 5: MED 0 on the session from
+     5, and filter the direct announcement 4 -> 1. *)
+  let n1 = List.hd (Net.nodes_of_as net 1) in
+  let n4 = List.hd (Net.nodes_of_as net 4) in
+  let s15 =
+    match Net.find_session net n1 (List.hd (Net.nodes_of_as net 5)) with
+    | Some s -> s
+    | None -> Alcotest.fail "no session 1-5"
+  in
+  let s41 =
+    match Net.find_session net n4 n1 with
+    | Some s -> s
+    | None -> Alcotest.fail "no session 4-1"
+  in
+  Net.set_import_med net n1 s15 p 0;
+  Net.deny_export net n4 s41 p;
+  check_bool "still resumable" true (Engine.resumable net prev);
+  let touched = Net.touched_nodes net p in
+  check_bool "touched nonempty" true (touched <> []);
+  let warm = Engine.resume net ~prev ~touched in
+  let cold = Qrmodel.simulate m p in
+  check_equivalent "policy change" cold warm;
+  (* The new fixed point actually changed: AS 1 now selects 1-5-4. *)
+  check_bool "longer path selected" true
+    (List.mem [| 1; 5; 4 |] (Engine.selected_paths net warm 1))
+
+let resume_after_filter_removal () =
+  let m = Qrmodel.initial diamond_graph in
+  let net = m.Qrmodel.net in
+  let n4 = List.hd (Net.nodes_of_as net 4) in
+  let n1 = List.hd (Net.nodes_of_as net 1) in
+  let s41 =
+    match Net.find_session net n4 n1 with
+    | Some s -> s
+    | None -> Alcotest.fail "no session 4-1"
+  in
+  Net.deny_export net n4 s41 p;
+  let prev = Qrmodel.simulate m p in
+  Net.clear_touched net p;
+  Net.allow_export net n4 s41 p;
+  let warm = Engine.resume net ~prev ~touched:(Net.touched_nodes net p) in
+  let cold = Qrmodel.simulate m p in
+  check_equivalent "filter removal" cold warm;
+  check_bool "direct path back" true
+    (List.mem [| 1; 4 |] (Engine.selected_paths net warm 1))
+
+let resume_noop_is_free () =
+  let m = Qrmodel.initial diamond_graph in
+  let net = m.Qrmodel.net in
+  let prev = Qrmodel.simulate m p in
+  Net.clear_touched net p;
+  let warm = Engine.resume net ~prev ~touched:[] in
+  check_int "no events" 0 (Engine.events warm);
+  check_equivalent "no-op" prev warm;
+  (* A replayed node whose advertisements are unchanged costs exactly
+     its replay event and disturbs nothing. *)
+  let n4 = List.hd (Net.nodes_of_as net 4) in
+  let warm2 = Engine.resume net ~prev ~touched:[ n4 ] in
+  check_int "one replay event" 1 (Engine.events warm2);
+  check_equivalent "unchanged replay" prev warm2
+
+let warm_locality () =
+  (* A 30-AS chain: a policy tweak at the far end disturbs only its
+     neighbourhood, so the warm drain executes a handful of events
+     while a cold run re-floods the whole chain. *)
+  let graph = Topology.Asgraph.of_edges (List.init 29 (fun i -> (i + 1, i + 2))) in
+  let m = Qrmodel.initial graph in
+  let net = m.Qrmodel.net in
+  let prefix = Asn.origin_prefix 1 in
+  let prev = Qrmodel.simulate m prefix in
+  Net.clear_touched net prefix;
+  let n30 = List.hd (Net.nodes_of_as net 30) in
+  let s = fst (List.hd (Net.sessions_of net n30)) in
+  Net.set_import_med net n30 s prefix 0;
+  let warm = Engine.resume net ~prev ~touched:(Net.touched_nodes net prefix) in
+  let cold = Qrmodel.simulate m prefix in
+  check_equivalent "chain" cold warm;
+  check_bool "warm executes far fewer events" true
+    (Engine.events warm * 5 < Engine.events cold)
+
+let resumable_guards () =
+  let m = Qrmodel.initial diamond_graph in
+  let net = m.Qrmodel.net in
+  let prev = Qrmodel.simulate m p in
+  check_bool "fresh state is resumable" true (Engine.resumable net prev);
+  (* A truncated state is not. *)
+  let truncated = Qrmodel.simulate ~max_events:1 m p in
+  check_bool "truncated not resumable" false (Engine.resumable net truncated);
+  (* A structural change invalidates prior states. *)
+  ignore (Net.duplicate_node net (List.hd (Net.nodes_of_as net 1)));
+  check_bool "stale generation not resumable" false (Engine.resumable net prev);
+  Alcotest.check_raises "resume refuses stale state"
+    (Invalid_argument "Engine.resume: previous state is not resumable")
+    (fun () -> ignore (Engine.resume net ~prev ~touched:[]))
+
+(* -- AS-path interning -- *)
+
+let interning () =
+  let a = Intern.path [| 3; 2; 1 |] in
+  let b = Intern.path [| 3; 2; 1 |] in
+  check_bool "equal paths share one array" true (a == b);
+  check_bool "content preserved" true (a = [| 3; 2; 1 |]);
+  let e = Intern.path [||] in
+  check_bool "empty is the shared atom" true (e == Intern.path [||]);
+  let pr = Intern.prepend ~own_as:7 a in
+  check_bool "prepend content" true (pr = [| 7; 3; 2; 1 |]);
+  check_bool "prepend memoized" true (pr == Intern.prepend ~own_as:7 b);
+  check_bool "prepend interned" true (pr == Intern.path [| 7; 3; 2; 1 |]);
+  check_int "hash agrees with fresh array"
+    (Intern.path_hash a)
+    (Intern.path_hash [| 3; 2; 1 |]);
+  check_bool "hash separates lengths" true
+    (Intern.path_hash [| 1 |] <> Intern.path_hash [| 1; 1 |])
+
+(* -- randomized warm/cold equivalence -- *)
+
+(* Random connected graph plus a script of per-prefix policy edits;
+   warm resumption after the edits must land on the cold fixed point. *)
+let gen_scenario =
+  QCheck.Gen.(
+    let* n = int_range 3 12 in
+    let* tree_choices = list_repeat (n - 1) (int_bound 1_000_000) in
+    let* extra = int_range 0 n in
+    let* extra_pairs =
+      list_repeat extra (pair (int_bound 1_000_000) (int_bound 1_000_000))
+    in
+    let* edits = list_size (int_range 1 6) (int_bound 1_000_000) in
+    let edges =
+      List.mapi (fun i r -> (2 + i, 1 + (r mod (i + 1)))) tree_choices
+      @ List.map (fun (a, b) -> (1 + (a mod n), 1 + (b mod n))) extra_pairs
+    in
+    return (Topology.Asgraph.of_edges edges, edits))
+
+let arb_scenario =
+  QCheck.make
+    ~print:(fun (g, edits) ->
+      Printf.sprintf "edges=%s edits=%s"
+        (String.concat ","
+           (List.map
+              (fun (a, b) -> Printf.sprintf "%d-%d" a b)
+              (Topology.Asgraph.edges g)))
+        (String.concat "," (List.map string_of_int edits)))
+    gen_scenario
+
+let apply_random_edit net prefix r =
+  let n = r mod Net.node_count net in
+  let nsess = Net.session_count_of net n in
+  if nsess = 0 then ()
+  else
+    let s = r / 7 mod nsess in
+    match r / 3 mod 4 with
+    | 0 -> Net.set_import_med net n s prefix 0
+    | 1 -> Net.deny_export net n s prefix
+    | 2 -> Net.allow_export net n s prefix
+    | _ -> Net.clear_import_med net n s prefix
+
+let prop_warm_equals_cold =
+  QCheck.Test.make ~name:"warm resume reaches the cold fixed point" ~count:100
+    arb_scenario
+    (fun (graph, edits) ->
+      let m = Qrmodel.initial graph in
+      let net = m.Qrmodel.net in
+      let prefix = fst (List.hd m.Qrmodel.prefixes) in
+      let prev = Qrmodel.simulate m prefix in
+      Net.clear_touched net prefix;
+      List.iter (apply_random_edit net prefix) edits;
+      let warm =
+        Engine.resume net ~prev ~touched:(Net.touched_nodes net prefix)
+      in
+      let cold = Qrmodel.simulate m prefix in
+      Engine.converged cold && Engine.converged warm
+      && Engine.same_state cold warm
+      && Engine.state_fingerprint cold = Engine.state_fingerprint warm
+      && List.for_all
+           (fun node ->
+             Simulator.Rattr.same_advertisement (Engine.best cold node)
+               (Engine.best warm node))
+           (List.init (Net.node_count net) Fun.id))
+
+(* -- the refiner under each mode -- *)
+
+let fig5_training =
+  let op asn = { Rib.op_ip = Asn.router_ip asn 0; op_as = asn } in
+  let entry o origin path_list =
+    {
+      Rib.op = op o;
+      prefix = Asn.origin_prefix origin;
+      path = Aspath.of_list path_list;
+    }
+  in
+  Rib.of_entries
+    [ entry 1 3 [ 1; 2; 3 ]; entry 1 4 [ 1; 4 ]; entry 1 4 [ 1; 5; 4 ] ]
+
+let refine_in mode =
+  let prior = Warm.current () in
+  Warm.set mode;
+  Fun.protect
+    ~finally:(fun () -> Warm.set prior)
+    (fun () ->
+      let m = Qrmodel.initial diamond_graph in
+      Refiner.refine m ~training:fig5_training)
+
+let refiner_mode_equivalence () =
+  let off = refine_in Warm.Off in
+  let on = refine_in Warm.On in
+  check_bool "off converged" true off.Refiner.converged;
+  check_bool "on converged" true on.Refiner.converged;
+  check_int "same matched" off.Refiner.matched on.Refiner.matched;
+  check_int "same total" off.Refiner.total on.Refiner.total;
+  check_int "same iterations" off.Refiner.iterations on.Refiner.iterations;
+  (* Same final routing, state by state. *)
+  Hashtbl.iter
+    (fun prefix st_off ->
+      match Hashtbl.find_opt on.Refiner.states prefix with
+      | None -> Alcotest.fail "state missing under warm mode"
+      | Some st_on ->
+          check_int "same final fingerprint"
+            (Engine.state_fingerprint st_off)
+            (Engine.state_fingerprint st_on))
+    off.Refiner.states
+
+let refiner_verify_clean () =
+  Warm.reset_stats ();
+  let r = refine_in Warm.Verify in
+  check_bool "verify converged" true r.Refiner.converged;
+  let s = Warm.stats () in
+  check_bool "some pairs compared" true (s.Warm.verified > 0);
+  check_int "zero divergences" 0 s.Warm.divergences;
+  Warm.reset_stats ()
+
+let suite =
+  [
+    Alcotest.test_case "touched tracking" `Quick touched_tracking;
+    Alcotest.test_case "generation tracking" `Quick generation_tracking;
+    Alcotest.test_case "resume after policy change" `Quick
+      resume_after_policy_change;
+    Alcotest.test_case "resume after filter removal" `Quick
+      resume_after_filter_removal;
+    Alcotest.test_case "no-op resume is free" `Quick resume_noop_is_free;
+    Alcotest.test_case "warm locality on a chain" `Quick warm_locality;
+    Alcotest.test_case "resumable guards" `Quick resumable_guards;
+    Alcotest.test_case "path interning" `Quick interning;
+    QCheck_alcotest.to_alcotest prop_warm_equals_cold;
+    Alcotest.test_case "refiner mode equivalence" `Quick
+      refiner_mode_equivalence;
+    Alcotest.test_case "refiner verify is clean" `Quick refiner_verify_clean;
+  ]
