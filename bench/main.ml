@@ -259,8 +259,14 @@ let experiment_train_predict prepared ~seed =
            ( "fit exact",
              string_of_bool outcome.Refine.Incremental.result.Refine.Refiner.converged );
            ("new quasi-routers", string_of_int outcome.Refine.Incremental.new_quasi_routers);
-           ("new filters", string_of_int outcome.Refine.Incremental.new_filters);
-           ("new MED rules", string_of_int outcome.Refine.Incremental.new_med_rules);
+           ( "filters added/removed",
+             Printf.sprintf "+%d/-%d"
+               outcome.Refine.Incremental.filters.Refine.Incremental.added
+               outcome.Refine.Incremental.filters.Refine.Incremental.removed );
+           ( "MED rules added/removed",
+             Printf.sprintf "+%d/-%d"
+               outcome.Refine.Incremental.med_rules.Refine.Incremental.added
+               outcome.Refine.Incremental.med_rules.Refine.Incremental.removed );
            ( "training sample still exact",
              Printf.sprintf "%d/%d" check.Refine.Verify.exact
                check.Refine.Verify.checked );
@@ -711,6 +717,72 @@ let experiment_warm prepared =
         warm_r.Refine.Refiner.pool;
   }
 
+type check_report = {
+  off_wall : float;
+  on_wall : float;
+  overhead_ratio : float;
+  off_vs_warm : float;
+  check_violations : int;
+  lint_errors : int;
+}
+
+let experiment_check prepared (warm : warm_report) =
+  (* RD_CHECK must be free when off: the same refinement workload as
+     the WARM warm run (warm starts, jobs=1, 14 iterations), with the
+     mutation hook uninstalled (twice, min — the gate is a ratio of two
+     single-sample wall clocks) and installed.  The off-vs-warm-bench
+     ratio is the CI gate; the on run doubles as an end-to-end exercise
+     of the checker (zero violations) and of the lint on the refined
+     model (zero errors). *)
+  section "CHECK" "mutation-discipline checker overhead (RD_CHECK)";
+  let splits = Core.split ~seed:7 prepared in
+  let training = splits.Evaluation.Split.training in
+  let run label mode =
+    let prior_check = Analysis.Ownership.current () in
+    let prior_warm = Simulator.Warm.current () in
+    Analysis.Ownership.set mode;
+    Simulator.Warm.set Simulator.Warm.On;
+    Fun.protect
+      ~finally:(fun () ->
+        Analysis.Ownership.set prior_check;
+        Simulator.Warm.set prior_warm)
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let result =
+          time label (fun () ->
+              Core.build
+                ~options:
+                  {
+                    Refine.Refiner.default_options with
+                    max_iterations = Some 14;
+                    jobs = Some 1;
+                  }
+                prepared ~training)
+        in
+        (result, Unix.gettimeofday () -. t0))
+  in
+  let _, off1 = run "CHECK off jobs=1 (1/2)" Analysis.Ownership.Off in
+  let _, off2 = run "CHECK off jobs=1 (2/2)" Analysis.Ownership.Off in
+  let off_wall = Float.min off1 off2 in
+  Analysis.Ownership.reset ();
+  let on_r, on_wall = run "CHECK on jobs=1" Analysis.Ownership.On in
+  let check_violations = Analysis.Ownership.violation_count () in
+  let lint_errors =
+    Analysis.Report.error_count (Analysis.Lint.check on_r.Refine.Refiner.model)
+  in
+  Analysis.Ownership.reset ();
+  let overhead_ratio = if off_wall > 0.0 then on_wall /. off_wall else 0.0 in
+  let off_vs_warm =
+    if warm.warm_wall > 0.0 then off_wall /. warm.warm_wall else 0.0
+  in
+  Format.printf
+    "RD_CHECK=off wall: %.2fs (min of 2; %.2fx of the WARM warm run — want \
+     <= 1.02)@.RD_CHECK=on wall: %.2fs (%.2fx of off)@.violations recorded \
+     under RD_CHECK=on: %d (want 0)@.lint errors on the refined model: %d \
+     (want 0)@."
+    off_wall off_vs_warm on_wall overhead_ratio check_violations lint_errors;
+  { off_wall; on_wall; overhead_ratio; off_vs_warm; check_violations; lint_errors }
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results (hand-rolled JSON; no extra dependency)    *)
 (* ------------------------------------------------------------------ *)
@@ -733,7 +805,7 @@ let json_num f =
   if Float.is_nan f || Float.is_integer f then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.6f" f
 
-let write_bench_json path ~scale ~seed ~jobs warm =
+let write_bench_json path ~scale ~seed ~jobs warm check =
   let b = Buffer.create 4096 in
   let field k v = Printf.bprintf b "  %S: %s,\n" k v in
   Buffer.add_string b "{\n";
@@ -750,7 +822,7 @@ let write_bench_json path ~scale ~seed ~jobs warm =
     sections;
   Printf.bprintf b "  ],\n";
   (match warm with
-  | None -> Printf.bprintf b "  \"warm\": null\n"
+  | None -> Printf.bprintf b "  \"warm\": null,\n"
   | Some w ->
       Printf.bprintf b "  \"warm\": {\n";
       Printf.bprintf b "    \"cold\": {\"wall_s\": %.3f, \"events\": %d, \"allocated_bytes\": %.0f},\n"
@@ -778,6 +850,19 @@ let write_bench_json path ~scale ~seed ~jobs warm =
         w.pool.Simulator.Pool.prefixes w.pool.Simulator.Pool.events
         w.pool.Simulator.Pool.non_converged w.pool.Simulator.Pool.retried
         w.pool.Simulator.Pool.failed w.pool.Simulator.Pool.wall;
+      Printf.bprintf b "  },\n");
+  (match check with
+  | None -> Printf.bprintf b "  \"check\": null\n"
+  | Some c ->
+      Printf.bprintf b "  \"check\": {\n";
+      Printf.bprintf b "    \"off_wall_s\": %.3f,\n" c.off_wall;
+      Printf.bprintf b "    \"on_wall_s\": %.3f,\n" c.on_wall;
+      Printf.bprintf b "    \"overhead_on_vs_off\": %s,\n"
+        (json_num c.overhead_ratio);
+      Printf.bprintf b "    \"off_vs_warm_ratio\": %s,\n"
+        (json_num c.off_vs_warm);
+      Printf.bprintf b "    \"violations\": %d,\n" c.check_violations;
+      Printf.bprintf b "    \"lint_errors\": %d\n" c.lint_errors;
       Printf.bprintf b "  }\n");
   Buffer.add_string b "}\n";
   let oc = open_out path in
@@ -928,9 +1013,15 @@ let () =
       Topology.Asgraph.pp_stats prepared.Core.graph;
     (data, prepared)
   in
+  let check_report = ref None in
+  let warm_and_check prepared =
+    let warm = experiment_warm prepared in
+    warm_report := Some warm;
+    check_report := Some (experiment_check prepared warm)
+  in
   if has "--warm-only" then begin
     let _data, prepared = build_world () in
-    warm_report := Some (experiment_warm prepared)
+    warm_and_check prepared
   end
   else if not (has "--micro-only") then begin
     let data, prepared = build_world () in
@@ -939,7 +1030,7 @@ let () =
     ignore (experiment_t2 prepared);
     ignore (experiment_train_predict prepared ~seed:7);
     experiment_parallel prepared;
-    warm_report := Some (experiment_warm prepared);
+    warm_and_check prepared;
     experiment_t5 prepared ~seed:7;
     experiment_t6 prepared ~seed:7;
     let ablation_conf =
@@ -955,5 +1046,5 @@ let () =
     (value "--json" "BENCH.json")
     ~scale ~seed
     ~jobs:(Simulator.Pool.default_jobs ())
-    !warm_report;
+    !warm_report !check_report;
   Format.printf "@.[total: %.1fs]@." (Unix.gettimeofday () -. t_start)

@@ -525,6 +525,34 @@ let export_cbgp_cmd =
        ~doc:"Render a saved model as a C-BGP script (the paper's simulator).")
     Term.(const export_cbgp $ model_arg $ cbgp_out_arg)
 
+(* lint *)
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ] ~doc:"Treat warnings as fatal (exit 4 on any finding).")
+
+let lint model_path strict =
+  match Asmodel.Serialize.load model_path with
+  | Error msg ->
+      Printf.eprintf "cannot load model: %s\n" msg;
+      2
+  | Ok model ->
+      let report = Analysis.Lint.check model in
+      Format.printf "%a@." Analysis.Report.pp report;
+      let errors = Analysis.Report.error_count report in
+      let warns = Analysis.Report.warn_count report in
+      if errors > 0 || (strict && warns > 0) then 4 else 0
+
+let lint_cmd =
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically validate a saved model: session symmetry, AS \
+          membership, reachability, shadowed/orphan/conflicting policy \
+          rules, dispute-wheel risk.  Exits 4 when any Error is found.")
+    Term.(const lint $ model_arg $ strict_arg)
+
 (* whatif *)
 
 let as_a_arg =
@@ -579,13 +607,15 @@ let main_cmd =
       trace_cmd;
       compact_cmd;
       export_cbgp_cmd;
+      lint_cmd;
       whatif_cmd;
     ]
 
 (* Exit codes: 0 success, 1 usage, 2 input parse, 3 simulation/runtime
-   failure.  [~catch:false] lets exceptions reach the handlers below so
-   a broken input or a persistently failing simulation produces a
-   one-line error and a meaningful code, not a backtrace. *)
+   failure, 4 lint findings.  [~catch:false] lets exceptions reach the
+   handlers below so a broken input or a persistently failing
+   simulation produces a one-line error and a meaningful code, not a
+   backtrace. *)
 let () =
   let code =
     try

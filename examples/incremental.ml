@@ -57,11 +57,14 @@ let () =
   (* Fit the new observations. *)
   let outcome = Refine.Incremental.add_observations model held_data in
   Format.printf
-    "incremental fit: exact=%b, +%d quasi-routers, +%d filters, +%d MED rules@."
+    "incremental fit: exact=%b, +%d quasi-routers, filters +%d/-%d, MED rules \
+     +%d/-%d@."
     outcome.Refine.Incremental.result.Refine.Refiner.converged
     outcome.Refine.Incremental.new_quasi_routers
-    outcome.Refine.Incremental.new_filters
-    outcome.Refine.Incremental.new_med_rules;
+    outcome.Refine.Incremental.filters.Refine.Incremental.added
+    outcome.Refine.Incremental.filters.Refine.Incremental.removed
+    outcome.Refine.Incremental.med_rules.Refine.Incremental.added
+    outcome.Refine.Incremental.med_rules.Refine.Incremental.removed;
 
   (* Nothing else regressed: the original training data still matches. *)
   let regression =

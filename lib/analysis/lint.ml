@@ -1,0 +1,5 @@
+let check_net net = Report.of_findings (Rules.structural net)
+
+let check model =
+  Report.of_findings
+    (Rules.structural model.Asmodel.Qrmodel.net @ Rules.policy model)

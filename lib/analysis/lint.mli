@@ -1,0 +1,11 @@
+(** Lint entry points: run every rule family over a model.
+
+    Pure static analysis — no simulation is run, so linting is cheap
+    enough for CI and for the refiner's post-run self-check. *)
+
+val check_net : Simulator.Net.t -> Report.t
+(** Structural rules only (no origin-table context). *)
+
+val check : Asmodel.Qrmodel.t -> Report.t
+(** Structural and policy rules.  A freshly refined model is expected
+    to be clean of [Error]s; [asmodel lint] exits non-zero otherwise. *)

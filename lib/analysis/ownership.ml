@@ -1,0 +1,147 @@
+module Net = Simulator.Net
+module Pool = Simulator.Pool
+
+type mode = Off | On
+
+let parse s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "off" | "0" | "false" -> Some Off
+  | "on" | "1" | "true" -> Some On
+  | _ -> None
+
+let mode_to_string = function Off -> "off" | On -> "on"
+
+type violation = {
+  rule : string;
+  domain : int;
+  in_batch : bool;
+  detail : string;
+}
+
+(* Per-net audit state, keyed by physical identity.  The list is
+   bounded: RD_CHECK is a debug knob and each entry pins its net, so a
+   long run creating many nets must not grow (or retain) without
+   limit. *)
+type entry = { net : Net.t; owner : int; mutable last_gen : int }
+
+let max_tracked = 256
+
+let mutex = Mutex.create ()
+
+let recorded : violation list ref = ref []
+
+let nrecorded = Atomic.make 0
+
+let tracked : entry list ref = ref []
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+let record net m =
+  let domain = (Domain.self () :> int) in
+  let in_batch = Pool.batch_active () in
+  Mutex.protect mutex (fun () ->
+      let add rule detail =
+        recorded := { rule; domain; in_batch; detail } :: !recorded;
+        Atomic.incr nrecorded
+      in
+      let rule =
+        match m with
+        | Net.Structural { rule; _ } | Net.Policy { rule; _ } -> rule
+      in
+      let entry =
+        match List.find_opt (fun e -> e.net == net) !tracked with
+        | Some e -> e
+        | None ->
+            let e = { net; owner = domain; last_gen = min_int } in
+            tracked := e :: take (max_tracked - 1) !tracked;
+            e
+      in
+      if entry.owner <> domain then
+        add rule
+          (Printf.sprintf
+             "cross-domain mutation: net first mutated by domain %d, now \
+              mutated by domain %d"
+             entry.owner domain);
+      if in_batch then
+        add rule "mutation while a Pool batch is in flight";
+      match m with
+      | Net.Structural { generation; _ } ->
+          if generation <= entry.last_gen then
+            add rule
+              (Printf.sprintf
+                 "structural mutation did not bump the generation (still %d)"
+                 generation);
+          entry.last_gen <- max generation entry.last_gen
+      | Net.Policy { prefix; node; _ } ->
+          (* Reading the touched table is only safe from the owning
+             domain outside a batch; under violation conditions the
+             ownership finding above already fired. *)
+          if
+            (not in_batch) && entry.owner = domain
+            && not (List.mem node (Net.touched_nodes net prefix))
+          then
+            add rule
+              (Printf.sprintf
+                 "per-prefix mutation did not record node %d in the touched \
+                  set of %s"
+                 node
+                 (Format.asprintf "%a" Bgp.Prefix.pp prefix)))
+
+let state = ref None
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    Net.set_mutation_hook (Some record)
+  end
+
+let uninstall () =
+  if !installed then begin
+    installed := false;
+    Net.set_mutation_hook None
+  end
+
+let set m =
+  state := Some m;
+  match m with On -> install () | Off -> uninstall ()
+
+let from_env () =
+  match Sys.getenv_opt "RD_CHECK" with
+  | None -> Off
+  | Some s -> (
+      match parse s with
+      | Some m -> m
+      | None ->
+          Logs.warn (fun f ->
+              f "RD_CHECK=%S not understood (want off|on); checker stays off" s);
+          Off)
+
+let current () =
+  match !state with
+  | Some m -> m
+  | None ->
+      let m = from_env () in
+      set m;
+      m
+
+let ensure () = ignore (current ())
+
+let violations () = Mutex.protect mutex (fun () -> List.rev !recorded)
+
+let violation_count () = Atomic.get nrecorded
+
+let reset () =
+  Mutex.protect mutex (fun () ->
+      recorded := [];
+      Atomic.set nrecorded 0;
+      tracked := [])
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] domain %d%s: %s" v.rule v.domain
+    (if v.in_batch then " (in batch)" else "")
+    v.detail

@@ -1,0 +1,60 @@
+open Bgp
+
+type severity = Error | Warn
+
+type location =
+  | Network
+  | Node of int
+  | Session of int * int
+  | Prefix_loc of Prefix.t
+  | Node_prefix of int * Prefix.t
+  | Session_prefix of int * int * Prefix.t
+
+type finding = {
+  severity : severity;
+  rule : string;
+  location : location;
+  message : string;
+  hint : string;
+}
+
+type t = { items : finding list }
+
+let of_findings fs =
+  let sev = function Error -> 0 | Warn -> 1 in
+  { items = List.stable_sort (fun a b -> compare (sev a.severity) (sev b.severity)) fs }
+
+let findings t = t.items
+
+let error_count t =
+  List.length (List.filter (fun f -> f.severity = Error) t.items)
+
+let warn_count t =
+  List.length (List.filter (fun f -> f.severity = Warn) t.items)
+
+let is_clean t = error_count t = 0
+
+let find_rule t rule = List.filter (fun f -> f.rule = rule) t.items
+
+let has_rule t rule = find_rule t rule <> []
+
+let pp_location ppf = function
+  | Network -> Format.pp_print_string ppf "network"
+  | Node n -> Format.fprintf ppf "node %d" n
+  | Session (n, s) -> Format.fprintf ppf "node %d session %d" n s
+  | Prefix_loc p -> Format.fprintf ppf "prefix %a" Prefix.pp p
+  | Node_prefix (n, p) -> Format.fprintf ppf "node %d prefix %a" n Prefix.pp p
+  | Session_prefix (n, s, p) ->
+      Format.fprintf ppf "node %d session %d prefix %a" n s Prefix.pp p
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s[%s] %a: %s@,  hint: %s"
+    (match f.severity with Error -> "error" | Warn -> "warn")
+    f.rule pp_location f.location f.message f.hint
+
+let pp ppf t =
+  Format.pp_open_vbox ppf 0;
+  List.iter (fun f -> Format.fprintf ppf "%a@," pp_finding f) t.items;
+  Format.fprintf ppf "lint: %d error(s), %d warning(s)" (error_count t)
+    (warn_count t);
+  Format.pp_close_box ppf ()

@@ -1,0 +1,427 @@
+open Bgp
+module Net = Simulator.Net
+module Relclass = Simulator.Relclass
+module Qrmodel = Asmodel.Qrmodel
+
+let finding severity rule location message hint =
+  { Report.severity; rule; location; message; hint }
+
+(* --- structural ------------------------------------------------------ *)
+
+(* Mirror halves of a classed session must be relationship duals: my
+   customer is your provider, peers/siblings/unknowns are symmetric,
+   and classless halves come in pairs (the agnostic model). *)
+let classes_dual c1 c2 =
+  (c1 = Net.class_none && c2 = Net.class_none)
+  || (c1 = Relclass.customer && c2 = Relclass.provider)
+  || (c1 = Relclass.provider && c2 = Relclass.customer)
+  || (c1 = c2 && (c1 = Relclass.peer || c1 = Relclass.sibling || c1 = Relclass.unknown))
+
+let session_rules net acc =
+  let acc = ref acc in
+  let add f = acc := f :: !acc in
+  let nodes = Net.node_count net in
+  for n = 0 to nodes - 1 do
+    let seen_peers = Hashtbl.create 8 in
+    for s = 0 to Net.session_count_of net n - 1 do
+      let si = Net.session_info net n s in
+      let loc = Report.Session (n, s) in
+      if si.si_peer < 0 || si.si_peer >= nodes then
+        add
+          (finding Error "session-peer-range" loc
+             (Printf.sprintf "peer id %d outside [0,%d)" si.si_peer nodes)
+             "drop the half-session or rebuild it with Net.connect")
+      else begin
+        if si.si_peer = n then
+          add
+            (finding Error "session-self" loc
+               (Printf.sprintf "node %d has a session to itself" n)
+               "Net.connect refuses self sessions; remove this half");
+        if Hashtbl.mem seen_peers si.si_peer then
+          add
+            (finding Error "session-duplicate" loc
+               (Printf.sprintf "second session from node %d to peer %d" n
+                  si.si_peer)
+               "merge the parallel sessions; the engine assumes at most one")
+        else Hashtbl.add seen_peers si.si_peer ();
+        let r = si.si_reverse in
+        if r < 0 || r >= Net.session_count_of net si.si_peer then
+          add
+            (finding Error "session-asymmetric" loc
+               (Printf.sprintf "reverse index %d dangling at peer %d" r
+                  si.si_peer)
+               "recreate the session with Net.connect so both halves exist")
+        else begin
+          let mi = Net.session_info net si.si_peer r in
+          if mi.si_peer <> n then
+            add
+              (finding Error "session-asymmetric" loc
+                 (Printf.sprintf
+                    "mirror half (node %d session %d) points at node %d, not \
+                     back at %d"
+                    si.si_peer r mi.si_peer n)
+                 "fix the peer_session indices so the mirror points back")
+          else if mi.si_reverse <> s then
+            add
+              (finding Error "session-asymmetric" loc
+                 (Printf.sprintf
+                    "reverse pointer does not round-trip (peer's reverse is \
+                     %d, expected %d)"
+                    mi.si_reverse s)
+                 "fix the peer_session indices so the mirror points back")
+          else if n < si.si_peer then begin
+            (* Intact mirror: properties of the session as a whole,
+               reported once from the lower node id. *)
+            if mi.si_kind <> si.si_kind then
+              add
+                (finding Error "session-kind-mismatch" loc
+                   (Printf.sprintf "halves disagree on kind (%s vs %s)"
+                      (match si.si_kind with Net.Ebgp -> "ebgp" | Net.Ibgp -> "ibgp")
+                      (match mi.si_kind with Net.Ebgp -> "ebgp" | Net.Ibgp -> "ibgp"))
+                   "both halves of a session must share eBGP/iBGP kind");
+            if not (classes_dual si.si_class mi.si_class) then
+              add
+                (finding Warn "session-class-mismatch" loc
+                   (Printf.sprintf
+                      "relationship classes %d/%d are not duals (expected \
+                       customer/provider, peer/peer, sibling/sibling or both \
+                       unclassed)"
+                      si.si_class mi.si_class)
+                   "relationship inference should assign dual classes to the \
+                    two halves")
+          end
+        end
+      end
+    done
+  done;
+  !acc
+
+let membership_rules net acc =
+  let acc = ref acc in
+  let add f = acc := f :: !acc in
+  let nodes = Net.node_count net in
+  let seen_as = Hashtbl.create 64 in
+  let partition = ref 0 in
+  for n = 0 to nodes - 1 do
+    let asn = Net.asn_of net n in
+    let members = Net.nodes_of_as net asn in
+    if not (List.mem n members) then
+      add
+        (finding Error "as-membership" (Node n)
+           (Printf.sprintf "node %d missing from nodes_of_as AS%d" n asn)
+           "re-register the node; nodes_of_as must list every node of the AS");
+    if not (Hashtbl.mem seen_as asn) then begin
+      Hashtbl.add seen_as asn ();
+      partition := !partition + List.length members;
+      let ids = Hashtbl.create 8 in
+      List.iter
+        (fun id ->
+          if id < 0 || id >= nodes then
+            add
+              (finding Error "as-membership" Network
+                 (Printf.sprintf "AS%d lists stale node id %d (outside [0,%d))"
+                    asn id nodes)
+                 "nodes_of_as must only hold live node ids")
+          else begin
+            if Net.asn_of net id <> asn then
+              add
+                (finding Error "as-membership" (Node id)
+                   (Printf.sprintf "AS%d lists node %d which belongs to AS%d"
+                      asn id (Net.asn_of net id))
+                   "a node must appear only under its own AS");
+            if Hashtbl.mem ids id then
+              add
+                (finding Error "as-membership" (Node id)
+                   (Printf.sprintf "node %d listed twice under AS%d" id asn)
+                   "deduplicate the AS's node list")
+            else Hashtbl.add ids id ()
+          end)
+        members
+    end
+  done;
+  if !partition <> nodes then
+    add
+      (finding Error "as-membership-count" Network
+         (Printf.sprintf
+            "AS node lists cover %d node(s) but the net has %d — the AS \
+             partition is broken"
+            !partition nodes)
+         "every node must appear in exactly one nodes_of_as list");
+  let half_sessions = ref 0 in
+  for n = 0 to nodes - 1 do
+    half_sessions := !half_sessions + Net.session_count_of net n
+  done;
+  if !half_sessions <> Net.session_count net then
+    add
+      (finding Error "session-count" Network
+         (Printf.sprintf
+            "cached half-session count %d but nodes carry %d half-session(s)"
+            (Net.session_count net) !half_sessions)
+         "keep nsessions in sync when adding sessions");
+  !acc
+
+let structural net = List.rev (membership_rules net (session_rules net []))
+
+(* --- policy ---------------------------------------------------------- *)
+
+(* BFS over sessions from an origin AS's quasi-routers; [reach.(n)]
+   bounds where the prefix's routes can possibly propagate (policies
+   only restrict further).  Shared by the reachability and
+   shadowed-filter rules via a per-origin cache. *)
+let reachable_from net origin_nodes =
+  let reach = Array.make (max 1 (Net.node_count net)) false in
+  let q = Queue.create () in
+  List.iter
+    (fun n ->
+      if n >= 0 && n < Array.length reach && not reach.(n) then begin
+        reach.(n) <- true;
+        Queue.add n q
+      end)
+    origin_nodes;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Net.iter_sessions net u (fun _ peer ->
+        if peer >= 0 && peer < Array.length reach && not reach.(peer) then begin
+          reach.(peer) <- true;
+          Queue.add peer q
+        end)
+  done;
+  reach
+
+let reach_cache net =
+  let cache = Hashtbl.create 16 in
+  fun asn ->
+    match Hashtbl.find_opt cache asn with
+    | Some r -> r
+    | None ->
+        let r = reachable_from net (Net.nodes_of_as net asn) in
+        Hashtbl.add cache asn r;
+        r
+
+let reachability model =
+  let net = model.Qrmodel.net in
+  let reach_of = reach_cache net in
+  let seen_origin = Hashtbl.create 16 in
+  let acc = ref [] in
+  List.iter
+    (fun (p, origin) ->
+      match Net.nodes_of_as net origin with
+      | [] ->
+          acc :=
+            finding Error "origin-missing" (Prefix_loc p)
+              (Printf.sprintf
+                 "origin AS%d has no quasi-router; the prefix can never be \
+                  originated"
+                 origin)
+              "add a quasi-router for the AS or drop the prefix from the plan"
+            :: !acc
+      | _ when Hashtbl.mem seen_origin origin -> ()
+      | origin_nodes ->
+          Hashtbl.add seen_origin origin ();
+          let reach = reach_of origin in
+          let unreached = ref [] in
+          Array.iteri (fun n r -> if not r then unreached := n :: !unreached) reach;
+          (match List.rev !unreached with
+          | [] -> ()
+          | n :: _ as l ->
+              acc :=
+                finding Warn "unreachable" (Node n)
+                  (Printf.sprintf
+                     "%d node(s) (first: node %d) unreachable from AS%d's %d \
+                      originator(s) — its routes can never arrive there"
+                     (List.length l) n origin (List.length origin_nodes))
+                  "connect the components or expect No-RIB-In mismatches there"
+                :: !acc))
+    model.Qrmodel.prefixes;
+  List.rev !acc
+
+let filters model =
+  let net = model.Qrmodel.net in
+  let reach_of = reach_cache net in
+  (* Universe of relationship classes in use, for the redundant-filter
+     probe: a deny is dead weight if the export matrix already blocks
+     every possible learned class (including origination, -1) toward
+     the session's class. *)
+  let classes = Hashtbl.create 8 in
+  for n = 0 to Net.node_count net - 1 do
+    for s = 0 to Net.session_count_of net n - 1 do
+      Hashtbl.replace classes (Net.session_class net n s) ()
+    done
+  done;
+  let learned_universe = -1 :: Hashtbl.fold (fun c () l -> c :: l) classes [] in
+  let fs =
+    Net.fold_export_denies net
+      (fun n s p acc ->
+        let loc = Report.Session_prefix (n, s, p) in
+        match Qrmodel.origin_of model p with
+        | None ->
+            finding Warn "orphan-deny" loc
+              (Printf.sprintf "deny filter for prefix %s absent from the \
+                               origin table"
+                 (Format.asprintf "%a" Prefix.pp p))
+              "remove the filter or add the prefix to the model's plan"
+            :: acc
+        | Some origin ->
+            let acc =
+              if
+                Net.nodes_of_as net origin <> []
+                && not (reach_of origin).(n)
+              then
+                finding Warn "shadowed-deny" loc
+                  (Printf.sprintf
+                     "node %d is unreachable from origin AS%d, so this deny \
+                      can never match"
+                     n origin)
+                  "remove the filter; it is shadowed by the missing \
+                   connectivity"
+                :: acc
+              else acc
+            in
+            if
+              Net.session_kind net n s = Net.Ebgp
+              && List.for_all
+                   (fun lc ->
+                     not
+                       (Net.export_matrix net ~learned_class:lc
+                          ~to_class:(Net.session_class net n s)))
+                   learned_universe
+            then
+              finding Warn "redundant-deny" loc
+                (Printf.sprintf
+                   "the export matrix already blocks every learned class \
+                    toward class %d — the per-prefix deny is redundant"
+                   (Net.session_class net n s))
+                "drop the filter; the coarser relationship rule covers it"
+              :: acc
+            else acc)
+      []
+  in
+  List.rev fs
+
+let rankings model =
+  let net = model.Qrmodel.net in
+  let orphan rule kind (n, s, p) =
+    finding Warn rule (Session_prefix (n, s, p))
+      (Printf.sprintf "%s rule for prefix %s absent from the origin table" kind
+         (Format.asprintf "%a" Prefix.pp p))
+      "remove the rule or add the prefix to the model's plan"
+  in
+  let meds =
+    Net.fold_import_meds net
+      (fun n s p _v acc ->
+        if Qrmodel.origin_of model p = None then
+          orphan "orphan-med" "MED" (n, s, p) :: acc
+        else acc)
+      []
+  in
+  let lprefs =
+    Net.fold_import_lprefs net
+      (fun n s p _v acc ->
+        let acc =
+          if Qrmodel.origin_of model p = None then
+            orphan "orphan-lpref" "LOCAL_PREF" (n, s, p) :: acc
+          else acc
+        in
+        if Net.import_med net n s p <> None then
+          finding Error "lpref-med-conflict" (Session_prefix (n, s, p))
+            (Printf.sprintf
+               "both a per-prefix LOCAL_PREF and a per-prefix MED override \
+                on node %d session %d — LOCAL_PREF decides first and the MED \
+                rule is dead, which no refiner mode produces"
+               n s)
+            "keep one ranking mechanism per (node, session, prefix)"
+          :: acc
+        else acc)
+      []
+  in
+  List.rev_append meds (List.rev lprefs)
+
+(* Dispute-wheel risk (§4.6): per-prefix LOCAL_PREF overrides above the
+   session's baseline preference mean "this AS ranks routes via that
+   neighbour above its default choice".  A directed cycle in that
+   relation is the Bad-Gadget shape — the reason the paper abandoned
+   lpref-for ranking.  Carried preferences (sibling sessions) cannot
+   invert mutually, so carry_lpref edges are skipped. *)
+let dispute model =
+  let net = model.Qrmodel.net in
+  let graphs : (Asn.t, (Asn.t, unit) Hashtbl.t) Hashtbl.t Prefix.Table.t =
+    Prefix.Table.create 16
+  in
+  Net.fold_import_lprefs net
+    (fun n s p v () ->
+      let si = Net.session_info net n s in
+      let from_as = Net.asn_of net n in
+      let to_as =
+        if si.si_peer >= 0 && si.si_peer < Net.node_count net then
+          Some (Net.asn_of net si.si_peer)
+        else None
+      in
+      match to_as with
+      | Some to_as
+        when to_as <> from_as && si.si_kind = Net.Ebgp && (not si.si_carry)
+             && v > Option.value si.si_lpref ~default:100 ->
+          let g =
+            match Prefix.Table.find_opt graphs p with
+            | Some g -> g
+            | None ->
+                let g = Hashtbl.create 8 in
+                Prefix.Table.add graphs p g;
+                g
+          in
+          let succs =
+            match Hashtbl.find_opt g from_as with
+            | Some t -> t
+            | None ->
+                let t = Hashtbl.create 4 in
+                Hashtbl.add g from_as t;
+                t
+          in
+          Hashtbl.replace succs to_as ()
+      | _ -> ())
+    ();
+  let find_cycle g =
+    (* 0 = unvisited, 1 = on stack, 2 = done *)
+    let color = Hashtbl.create 16 in
+    let cycle = ref None in
+    let rec dfs path asn =
+      match Hashtbl.find_opt color asn with
+      | Some 2 -> ()
+      | Some 1 ->
+          if !cycle = None then begin
+            let rec cut = function
+              | [] -> []
+              | x :: _ when x = asn -> [ x ]
+              | x :: tl -> x :: cut tl
+            in
+            cycle := Some (asn :: List.rev (cut path))
+          end
+      | _ ->
+          Hashtbl.replace color asn 1;
+          (match Hashtbl.find_opt g asn with
+          | Some succs -> Hashtbl.iter (fun nxt () -> dfs (asn :: path) nxt) succs
+          | None -> ());
+          Hashtbl.replace color asn 2
+    in
+    Hashtbl.iter (fun asn _ -> if !cycle = None then dfs [] asn) g;
+    !cycle
+  in
+  let acc = ref [] in
+  Prefix.Table.iter
+    (fun p g ->
+      match find_cycle g with
+      | None -> ()
+      | Some cycle ->
+          acc :=
+            finding Warn "dispute-wheel" (Prefix_loc p)
+              (Printf.sprintf
+                 "per-prefix LOCAL_PREF rankings form a preference cycle %s — \
+                  the §4.6 divergence hazard"
+                 (String.concat " > "
+                    (List.map (fun a -> "AS" ^ string_of_int a) cycle)))
+              "break the cycle or use MED ranking (the paper's fix)"
+            :: !acc)
+    graphs;
+  List.sort compare !acc
+
+let policy model =
+  reachability model @ filters model @ rankings model @ dispute model

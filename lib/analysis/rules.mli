@@ -1,0 +1,45 @@
+(** The lint rule families.
+
+    {b Structural} rules need only a {!Simulator.Net.t} and check the
+    invariants every safe construction maintains: session symmetry
+    ([session_reverse] round-trips, mirror halves agree on kind and are
+    class-duals), no self or duplicate sessions, AS membership (every
+    node appears in its AS's [nodes_of_as] exactly once and the
+    partition covers the net), and the cached half-session count.
+
+    {b Policy} rules need the {!Asmodel.Qrmodel.t} context (origin
+    table, prefix plan): per-prefix rules keyed on unknown prefixes,
+    deny filters that can never match (node unreachable from the
+    prefix's origin, or the export matrix already blocks the session),
+    conflicting per-prefix LOCAL_PREF-vs-MED overrides, origin ASes
+    with no quasi-router, nodes unreachable from an origin, and a
+    dispute-wheel risk detector over per-prefix LOCAL_PREF rankings
+    (the §4.6 divergence hazard).
+
+    Rule ids are stable strings; see the implementation of each
+    function for the exact list.  {!Lint} composes them. *)
+
+val structural : Simulator.Net.t -> Report.finding list
+(** [session-peer-range], [session-self], [session-duplicate],
+    [session-asymmetric], [session-kind-mismatch],
+    [session-class-mismatch], [as-membership], [as-membership-count],
+    [session-count]. *)
+
+val reachability : Asmodel.Qrmodel.t -> Report.finding list
+(** [origin-missing] (Error), [unreachable] (Warn, one per origin
+    AS). *)
+
+val filters : Asmodel.Qrmodel.t -> Report.finding list
+(** [orphan-deny], [shadowed-deny], [redundant-deny] (all Warn). *)
+
+val rankings : Asmodel.Qrmodel.t -> Report.finding list
+(** [orphan-med], [orphan-lpref] (Warn); [lpref-med-conflict]
+    (Error). *)
+
+val dispute : Asmodel.Qrmodel.t -> Report.finding list
+(** [dispute-wheel] (Warn): a directed cycle in some prefix's
+    "AS prefers routes via AS" relation induced by per-prefix
+    LOCAL_PREF overrides above the session baseline. *)
+
+val policy : Asmodel.Qrmodel.t -> Report.finding list
+(** {!reachability} @ {!filters} @ {!rankings} @ {!dispute}. *)

@@ -11,11 +11,20 @@
 
 open Bgp
 
+type delta = { added : int; removed : int }
+(** Signed rule churn: rules present after but not before ([added])
+    and vice versa ([removed]) — both non-negative.  A raw count
+    difference would conflate the two (and go negative when the
+    refiner deletes more filters than it places). *)
+
+val net_delta : delta -> int
+(** [added - removed]; may be negative. *)
+
 type outcome = {
   result : Refiner.result;  (** refinement restricted to the new data *)
   new_quasi_routers : int;
-  new_filters : int;
-  new_med_rules : int;
+  filters : delta;  (** per-prefix export deny rules *)
+  med_rules : delta;  (** per-prefix import MED rules *)
 }
 
 val add_observations :
@@ -25,5 +34,5 @@ val add_observations :
   outcome
 (** [add_observations model data] fits the model to the given (cleaned,
     collapsed) observations, which may concern prefixes the model never
-    trained on, and reports what had to grow.  The model is extended in
-    place. *)
+    trained on, and reports what had to grow — and what was deleted.
+    The model is extended in place. *)

@@ -29,6 +29,24 @@ let nodes_selecting net st asn tail =
       | None -> false)
     (Net.nodes_of_as net asn)
 
+(* Compare a best path against the suffix [arr.(off) ..] in place: the
+   suffix walk of [Verify.blocking_as] probes every position of a path,
+   and slicing the tail out per position would cost O(n²) allocation. *)
+let path_matches_at (p : int array) arr ~off =
+  let n = Array.length arr - off in
+  Array.length p = n
+  &&
+  let rec go i = i >= n || (p.(i) = arr.(off + i) && go (i + 1)) in
+  go 0
+
+let nodes_selecting_at net st asn arr ~tail_at =
+  List.filter
+    (fun n ->
+      match Engine.best st n with
+      | Some r -> path_matches_at r.Simulator.Rattr.path arr ~off:tail_at
+      | None -> false)
+    (Net.nodes_of_as net asn)
+
 let nodes_receiving net st asn tail =
   List.filter_map
     (fun n ->

@@ -33,6 +33,18 @@ val nodes_selecting :
 (** Quasi-routers of the AS whose best route carries exactly this tail
     (empty tail: the originated route). *)
 
+val nodes_selecting_at :
+  Simulator.Net.t ->
+  Simulator.Engine.state ->
+  Asn.t ->
+  int array ->
+  tail_at:int ->
+  int list
+(** [nodes_selecting_at net st asn arr ~tail_at] is
+    [nodes_selecting net st asn (Array.sub arr tail_at ...)] without
+    materializing the suffix — for callers walking every suffix of one
+    path. *)
+
 val nodes_receiving :
   Simulator.Net.t -> Simulator.Engine.state -> Asn.t -> int array ->
   (int * int list) list

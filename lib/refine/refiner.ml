@@ -145,6 +145,11 @@ let apply_policies net counters ~options ~prefix ~receiver ~desired_sessions
     rib_entries
 
 let refine ?(options = default_options) ?on_iteration model ~training =
+  (* Honour RD_CHECK: resolve the mode once (installing the
+     mutation-discipline hook when on) and remember the violation
+     watermark so the self-check below only reports this run's. *)
+  Analysis.Ownership.ensure ();
+  let violations_before = Analysis.Ownership.violation_count () in
   let net = model.Qrmodel.net in
   let work = training_suffixes training in
   let total =
@@ -462,6 +467,25 @@ let refine ?(options = default_options) ?on_iteration model ~training =
               | [] -> ())
             suffixes)
     work;
+  (* Post-refinement self-check (RD_CHECK=on): surface any mutation-
+     discipline violations recorded during this run and lint the model
+     we just built — a malformed refined model means the run's results
+     cannot be trusted, so it is reported loudly (but not raised: the
+     checker observes, callers and CI decide). *)
+  (if Analysis.Ownership.current () = Analysis.Ownership.On then begin
+     let fresh =
+       Analysis.Ownership.violation_count () - violations_before
+     in
+     if fresh > 0 then
+       Logs.err (fun m ->
+           m "refiner: %d mutation-discipline violation(s) during refinement"
+             fresh);
+     let report = Analysis.Lint.check model in
+     if not (Analysis.Report.is_clean report) then
+       Logs.err (fun m ->
+           m "refiner: refined model fails lint:@.%a" Analysis.Report.pp
+             report)
+   end);
   {
     model;
     iterations = !iteration;

@@ -98,7 +98,31 @@ let create () =
 
 let generation t = t.generation
 
+(* Mutation instrumentation for the Analysis subsystem.  The hook is a
+   single global ref so that the RD_CHECK=off cost at every mutator is
+   one load and a branch — no allocation, no indirect call.  Structural
+   events fire after the generation bump and carry the post-bump value;
+   policy events carry the same node the touched-set bookkeeping
+   recorded, so a checker can audit both invariants. *)
+type mutation =
+  | Structural of { rule : string; generation : int }
+  | Policy of { rule : string; prefix : Prefix.t; node : int }
+
+let mutation_hook : (t -> mutation -> unit) option ref = ref None
+
+let set_mutation_hook h = mutation_hook := h
+
 let bump_generation t = t.generation <- t.generation + 1
+
+let notify_structural t rule =
+  match !mutation_hook with
+  | None -> ()
+  | Some f -> f t (Structural { rule; generation = t.generation })
+
+let notify_policy t rule p node =
+  match !mutation_hook with
+  | None -> ()
+  | Some f -> f t (Policy { rule; prefix = p; node })
 
 let note_touched t p n =
   let set =
@@ -130,6 +154,7 @@ let add_node t ~asn ~ip =
   (match Hashtbl.find_opt t.by_as asn with
   | Some l -> l := id :: !l
   | None -> Hashtbl.add t.by_as asn (ref [ id ]));
+  notify_structural t "add-node";
   id
 
 let node_count t = Vec.length t.nodes
@@ -181,6 +206,7 @@ let connect ?(kind = Ebgp) ?(class_ab = class_none) ?(class_ba = class_none) t
   sa.peer_session <- ib;
   sb.peer_session <- ia;
   t.nsessions <- t.nsessions + 2;
+  notify_structural t "connect";
   (ia, ib)
 
 let sessions_of t n =
@@ -229,19 +255,22 @@ let session_class t n s = (session t n s).s_class
 
 let set_import_lpref t n s v =
   bump_generation t;
-  (session t n s).lpref_in <- Some v
+  (session t n s).lpref_in <- Some v;
+  notify_structural t "set-import-lpref"
 
 let import_lpref t n s = (session t n s).lpref_in
 
 let set_rr_client t n s v =
   bump_generation t;
-  (session t n s).rr_client <- v
+  (session t n s).rr_client <- v;
+  notify_structural t "set-rr-client"
 
 let rr_client t n s = (session t n s).rr_client
 
 let set_carry_lpref t n s v =
   bump_generation t;
-  (session t n s).carry_lpref <- v
+  (session t n s).carry_lpref <- v;
+  notify_structural t "set-carry-lpref"
 
 let carry_lpref t n s = (session t n s).carry_lpref
 
@@ -252,12 +281,14 @@ let carry_lpref t n s = (session t n s).carry_lpref
 let set_import_lpref_for t n s p v =
   let ss = session t n s in
   note_touched t p ss.peer;
-  Prefix.Table.replace ss.lpref_in_pfx p v
+  Prefix.Table.replace ss.lpref_in_pfx p v;
+  notify_policy t "set-import-lpref-for" p ss.peer
 
 let clear_import_lpref_for t n s p =
   let ss = session t n s in
   note_touched t p ss.peer;
-  Prefix.Table.remove ss.lpref_in_pfx p
+  Prefix.Table.remove ss.lpref_in_pfx p;
+  notify_policy t "clear-import-lpref-for" p ss.peer
 
 let import_lpref_for t n s p =
   Prefix.Table.find_opt (session t n s).lpref_in_pfx p
@@ -265,23 +296,27 @@ let import_lpref_for t n s p =
 let set_import_med t n s p v =
   let ss = session t n s in
   note_touched t p ss.peer;
-  Prefix.Table.replace ss.med_in p v
+  Prefix.Table.replace ss.med_in p v;
+  notify_policy t "set-import-med" p ss.peer
 
 let clear_import_med t n s p =
   let ss = session t n s in
   note_touched t p ss.peer;
-  Prefix.Table.remove ss.med_in p
+  Prefix.Table.remove ss.med_in p;
+  notify_policy t "clear-import-med" p ss.peer
 
 let import_med t n s p = Prefix.Table.find_opt (session t n s).med_in p
 
 (* Export-side changes are re-evaluated at the exporting node itself. *)
 let deny_export t n s p =
   note_touched t p n;
-  Prefix.Table.replace (session t n s).deny_out p ()
+  Prefix.Table.replace (session t n s).deny_out p ();
+  notify_policy t "deny-export" p n
 
 let allow_export t n s p =
   note_touched t p n;
-  Prefix.Table.remove (session t n s).deny_out p
+  Prefix.Table.remove (session t n s).deny_out p;
+  notify_policy t "allow-export" p n
 
 let export_denied t n s p = Prefix.Table.mem (session t n s).deny_out p
 
@@ -291,6 +326,27 @@ let fold_export_denies t f init =
     (fun n nd ->
       Vec.iteri
         (fun si s -> Prefix.Table.iter (fun p () -> acc := f n si p !acc) s.deny_out)
+        nd.sessions)
+    t.nodes;
+  !acc
+
+let fold_import_meds t f init =
+  let acc = ref init in
+  Vec.iteri
+    (fun n nd ->
+      Vec.iteri
+        (fun si s -> Prefix.Table.iter (fun p v -> acc := f n si p v !acc) s.med_in)
+        nd.sessions)
+    t.nodes;
+  !acc
+
+let fold_import_lprefs t f init =
+  let acc = ref init in
+  Vec.iteri
+    (fun n nd ->
+      Vec.iteri
+        (fun si s ->
+          Prefix.Table.iter (fun p v -> acc := f n si p v !acc) s.lpref_in_pfx)
         nd.sessions)
     t.nodes;
   !acc
@@ -309,31 +365,36 @@ let count_policies t =
 
 let set_export_matrix t f =
   bump_generation t;
-  t.export_ok <- f
+  t.export_ok <- f;
+  notify_structural t "set-export-matrix"
 
 let export_matrix t ~learned_class ~to_class = t.export_ok ~learned_class ~to_class
 
 let set_igp_cost t f =
   bump_generation t;
-  t.igp <- f
+  t.igp <- f;
+  notify_structural t "set-igp-cost"
 
 let igp_cost t a b = t.igp a b
 
 let set_default_med t v =
   bump_generation t;
-  t.med_default <- v
+  t.med_default <- v;
+  notify_structural t "set-default-med"
 
 let default_med t = t.med_default
 
 let set_decision_steps t steps =
   bump_generation t;
-  t.steps <- steps
+  t.steps <- steps;
+  notify_structural t "set-decision-steps"
 
 let decision_steps t = t.steps
 
 let set_med_scope t scope =
   bump_generation t;
-  t.m_scope <- scope
+  t.m_scope <- scope;
+  notify_structural t "set-med-scope"
 
 let med_scope t = t.m_scope
 
@@ -384,3 +445,34 @@ let pp_summary ppf t =
   let denies, meds = count_policies t in
   Format.fprintf ppf "%d nodes, %d sessions, %d ASes, %d filters, %d med rules"
     (node_count t) (t.nsessions / 2) (Hashtbl.length t.by_as) denies meds
+
+(* Deliberate invariant violations for the Analysis test suite.  Every
+   safe constructor ([connect], [duplicate_node]) maintains session
+   symmetry and AS membership, so the only way to exercise the lint's
+   Error paths is to corrupt a net on purpose.  Generations are still
+   bumped (a corrupted net must not warm-resume), but no mutation event
+   fires — these are not real mutators. *)
+module Unsafe = struct
+  let push_half_session t n ~peer ?(kind = Ebgp) ?(s_class = class_none)
+      ?(peer_session = -1) () =
+    bump_generation t;
+    let s = fresh_session ~peer ~kind ~s_class in
+    s.peer_session <- peer_session;
+    let i = Vec.push (node t n).sessions s in
+    t.nsessions <- t.nsessions + 1;
+    i
+
+  let set_peer_session t n s v =
+    bump_generation t;
+    (session t n s).peer_session <- v
+
+  let set_session_count t v =
+    bump_generation t;
+    t.nsessions <- v
+
+  let detach_from_as t n =
+    bump_generation t;
+    match Hashtbl.find_opt t.by_as (asn_of t n) with
+    | Some l -> l := List.filter (fun id -> id <> n) !l
+    | None -> ()
+end

@@ -152,6 +152,15 @@ val export_denied : t -> int -> int -> Prefix.t -> bool
 val fold_export_denies : t -> (int -> int -> Prefix.t -> 'a -> 'a) -> 'a -> 'a
 (** Fold over all (node, session, prefix) deny rules. *)
 
+val fold_import_meds :
+  t -> (int -> int -> Prefix.t -> int -> 'a -> 'a) -> 'a -> 'a
+(** Fold over all (node, session, prefix, med) import-MED rules. *)
+
+val fold_import_lprefs :
+  t -> (int -> int -> Prefix.t -> int -> 'a -> 'a) -> 'a -> 'a
+(** Fold over all (node, session, prefix, lpref) per-prefix LOCAL_PREF
+    rules. *)
+
 val count_policies : t -> int * int
 (** [(deny_rules, med_rules)] across the network. *)
 
@@ -225,4 +234,56 @@ val clear_touched : t -> Prefix.t -> unit
 (** Drain the prefix's touched set, typically right after capturing the
     converged state that reflects those changes. *)
 
+(** {2 Mutation instrumentation}
+
+    Every mutator reports itself through an optional global hook so the
+    Analysis subsystem can audit mutation discipline ([RD_CHECK]):
+    which domain mutates which net, whether a mutation raced a
+    {!Pool} batch, and whether the warm-start bookkeeping above was
+    maintained.  With no hook installed the cost per mutation is one
+    load and a branch. *)
+
+type mutation =
+  | Structural of { rule : string; generation : int }
+      (** A structural or network-wide mutation; [generation] is the
+          counter {e after} the bump, so a checker can assert it
+          advanced. *)
+  | Policy of { rule : string; prefix : Prefix.t; node : int }
+      (** A per-prefix policy mutation; [node] is the node recorded in
+          the prefix's touched set (the sending peer for import-side
+          edits, the exporting node for export-side ones). *)
+
+val set_mutation_hook : (t -> mutation -> unit) option -> unit
+(** Install (or remove, with [None]) the process-wide mutation
+    observer.  The hook runs synchronously in the mutating domain and
+    must not itself mutate the net.  [duplicate_node] reports a single
+    [add-node] event — it performs one generation bump. *)
+
 val pp_summary : Format.formatter -> t -> unit
+
+(** {2 Deliberate corruption — test helper}
+
+    Break the invariants the safe API maintains, so the Analysis lint's
+    Error paths can be exercised.  Never use outside tests. *)
+module Unsafe : sig
+  val push_half_session :
+    t ->
+    int ->
+    peer:int ->
+    ?kind:session_kind ->
+    ?s_class:int ->
+    ?peer_session:int ->
+    unit ->
+    int
+  (** Append a dangling half-session at a node (no mirror at the peer;
+      [peer_session] defaults to [-1]).  Counts one half-session. *)
+
+  val set_peer_session : t -> int -> int -> int -> unit
+  (** Overwrite a session's reverse index (breaks the round-trip). *)
+
+  val set_session_count : t -> int -> unit
+  (** Desynchronize the cached half-session count. *)
+
+  val detach_from_as : t -> int -> unit
+  (** Remove a node from its AS's [nodes_of_as] list. *)
+end

@@ -21,6 +21,14 @@ let resolve_jobs = function
 
 type task_error = { index : int; exn : exn; backtrace : string }
 
+(* Batch scope marker for the Analysis mutation-discipline checker: the
+   depth is positive while any [map_result] batch is in flight anywhere
+   in the process (including its sequential retry phase — tasks must
+   never mutate shared state regardless of the job count). *)
+let batch_depth = Atomic.make 0
+
+let batch_active () = Atomic.get batch_depth > 0
+
 let pp_task_error ppf e =
   Format.fprintf ppf "task %d: %s" e.index (Printexc.to_string e.exn)
 
@@ -34,6 +42,8 @@ let map_result ?jobs ?on_recover f l =
   let n = Array.length input in
   if n = 0 then []
   else begin
+    Atomic.incr batch_depth;
+    Fun.protect ~finally:(fun () -> Atomic.decr batch_depth) @@ fun () ->
     let jobs = min (resolve_jobs jobs) n in
     let f = Faultinject.wrap_tasks ~n f in
     let results = Array.make n None in

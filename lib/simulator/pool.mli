@@ -38,6 +38,12 @@ type task_error = {
   backtrace : string;  (** its raw backtrace, printed *)
 }
 
+val batch_active : unit -> bool
+(** True while any {!map_result} batch (parallel phase or sequential
+    retry) is in flight in this process.  The Analysis subsystem's
+    mutation-discipline checker uses this to assert that nothing
+    mutates a network while the pool may be reading it. *)
+
 val pp_task_error : Format.formatter -> task_error -> unit
 
 val map_result :

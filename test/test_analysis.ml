@@ -1,0 +1,339 @@
+(* Tests for the Analysis subsystem: every lint rule triggered by a
+   hand-built pathological net, clean models linting clean, and the
+   RD_CHECK mutation-discipline checker (ownership, batch scope,
+   generation/touched bookkeeping). *)
+
+open Bgp
+module Net = Simulator.Net
+module Pool = Simulator.Pool
+module Qrmodel = Asmodel.Qrmodel
+module Lint = Analysis.Lint
+module Report = Analysis.Report
+module Ownership = Analysis.Ownership
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let has = Report.has_rule
+
+(* A fresh two-node net with one session, outside any model. *)
+let two_nodes () =
+  let net = Net.create () in
+  let a = Net.add_node net ~asn:1 ~ip:(Asn.router_ip 1 0) in
+  let b = Net.add_node net ~asn:2 ~ip:(Asn.router_ip 2 0) in
+  ignore (Net.connect net a b);
+  (net, a, b)
+
+let triangle_model () =
+  Qrmodel.initial (Topology.Asgraph.of_edges [ (1, 2); (2, 3); (1, 3) ])
+
+let node_of net asn = List.hd (Net.nodes_of_as net asn)
+
+let session net a b = Option.get (Net.find_session net a b)
+
+(* -- report ---------------------------------------------------------- *)
+
+let report_structure () =
+  let f sev rule =
+    { Report.severity = sev; rule; location = Report.Network;
+      message = "m"; hint = "h" }
+  in
+  let r = Report.of_findings [ f Report.Warn "w1"; f Report.Error "e1" ] in
+  check_int "errors" 1 (Report.error_count r);
+  check_int "warnings" 1 (Report.warn_count r);
+  check_bool "not clean" false (Report.is_clean r);
+  check_bool "has e1" true (has r "e1");
+  check_bool "no e2" false (has r "e2");
+  (* Errors sort first regardless of insertion order. *)
+  match Report.findings r with
+  | first :: _ -> check_bool "error first" true (first.Report.severity = Report.Error)
+  | [] -> Alcotest.fail "empty report"
+
+(* -- structural lint -------------------------------------------------- *)
+
+let clean_net () =
+  let net, _, _ = two_nodes () in
+  check_bool "clean" true (Lint.check_net net |> Report.is_clean);
+  check_int "no findings" 0 (List.length (Report.findings (Lint.check_net net)))
+
+let asymmetric_session () =
+  let net = Net.create () in
+  let a = Net.add_node net ~asn:1 ~ip:(Asn.router_ip 1 0) in
+  let b = Net.add_node net ~asn:2 ~ip:(Asn.router_ip 2 0) in
+  let c = Net.add_node net ~asn:3 ~ip:(Asn.router_ip 3 0) in
+  ignore (Net.connect net a b);
+  (* Dangling half toward [c], with no mirror at [c]. *)
+  ignore (Net.Unsafe.push_half_session net a ~peer:c ());
+  let r = Lint.check_net net in
+  check_bool "asymmetric" true (has r "session-asymmetric");
+  check_bool "not self" false (has r "session-self");
+  check_bool "not duplicate" false (has r "session-duplicate");
+  check_bool "errors" false (Report.is_clean r)
+
+let broken_round_trip () =
+  let net = Net.create () in
+  let a = Net.add_node net ~asn:1 ~ip:(Asn.router_ip 1 0) in
+  let b = Net.add_node net ~asn:2 ~ip:(Asn.router_ip 2 0) in
+  let c = Net.add_node net ~asn:3 ~ip:(Asn.router_ip 3 0) in
+  ignore (Net.connect net a b);
+  ignore (Net.connect net a c);
+  ignore (Net.connect net b c);
+  (* Point a's half toward b at b's half toward c instead. *)
+  Net.Unsafe.set_peer_session net a (session net a b) 1;
+  let r = Lint.check_net net in
+  check_bool "asymmetric" true (has r "session-asymmetric")
+
+let self_session () =
+  let net, a, _ = two_nodes () in
+  let s = Net.Unsafe.push_half_session net a ~peer:a () in
+  (* Mirror it onto itself so only the self rule fires. *)
+  Net.Unsafe.set_peer_session net a s s;
+  let r = Lint.check_net net in
+  check_bool "self" true (has r "session-self");
+  check_bool "not asymmetric" false (has r "session-asymmetric")
+
+let duplicate_session () =
+  let net, a, b = two_nodes () in
+  ignore (Net.Unsafe.push_half_session net a ~peer:b ~peer_session:0 ());
+  let r = Lint.check_net net in
+  check_bool "duplicate" true (has r "session-duplicate")
+
+let session_count_drift () =
+  let net, _, _ = two_nodes () in
+  Net.Unsafe.set_session_count net 5;
+  let r = Lint.check_net net in
+  check_bool "count" true (has r "session-count")
+
+let membership_broken () =
+  let net, a, _ = two_nodes () in
+  Net.Unsafe.detach_from_as net a;
+  let r = Lint.check_net net in
+  check_bool "membership" true (has r "as-membership");
+  check_bool "partition count" true (has r "as-membership-count")
+
+let kind_mismatch () =
+  let net = Net.create () in
+  let a = Net.add_node net ~asn:1 ~ip:(Asn.router_ip 1 0) in
+  let b = Net.add_node net ~asn:1 ~ip:(Asn.router_ip 1 1) in
+  let ia = Net.Unsafe.push_half_session net a ~peer:b ~kind:Net.Ebgp () in
+  let ib = Net.Unsafe.push_half_session net b ~peer:a ~kind:Net.Ibgp () in
+  Net.Unsafe.set_peer_session net a ia ib;
+  Net.Unsafe.set_peer_session net b ib ia;
+  let r = Lint.check_net net in
+  check_bool "kind mismatch" true (has r "session-kind-mismatch");
+  check_bool "symmetric otherwise" false (has r "session-asymmetric")
+
+let class_mismatch () =
+  let net = Net.create () in
+  let a = Net.add_node net ~asn:1 ~ip:(Asn.router_ip 1 0) in
+  let b = Net.add_node net ~asn:2 ~ip:(Asn.router_ip 2 0) in
+  let cust = Simulator.Relclass.customer in
+  (* customer/customer is not a dual pairing. *)
+  ignore (Net.connect net ~class_ab:cust ~class_ba:cust a b);
+  let r = Lint.check_net net in
+  check_bool "class mismatch" true (has r "session-class-mismatch");
+  (* It is a Warn, not an Error. *)
+  check_bool "still clean" true (Report.is_clean r)
+
+(* -- policy lint ------------------------------------------------------ *)
+
+let orphan_rules () =
+  let m = triangle_model () in
+  let net = m.Qrmodel.net in
+  let n1 = node_of net 1 and n2 = node_of net 2 and n3 = node_of net 3 in
+  let stray = Prefix.of_string_exn "99.0.0.0/8" in
+  (* Different sessions, so the lpref/MED conflict rule stays quiet. *)
+  Net.set_import_med net n1 (session net n1 n2) stray 0;
+  Net.set_import_lpref_for net n1 (session net n1 n3) stray 200;
+  Net.deny_export net n1 (session net n1 n2) stray;
+  let r = Lint.check m in
+  check_bool "orphan med" true (has r "orphan-med");
+  check_bool "orphan lpref" true (has r "orphan-lpref");
+  check_bool "orphan deny" true (has r "orphan-deny");
+  (* Orphans are warnings: dead weight, not corruption. *)
+  check_bool "clean of errors" true (Report.is_clean r)
+
+let lpref_med_conflict () =
+  let m = triangle_model () in
+  let net = m.Qrmodel.net in
+  let n1 = node_of net 1 and n2 = node_of net 2 in
+  let s = session net n1 n2 in
+  let p3 = Asn.origin_prefix 3 in
+  Net.set_import_med net n1 s p3 0;
+  Net.set_import_lpref_for net n1 s p3 200;
+  let r = Lint.check m in
+  check_bool "conflict" true (has r "lpref-med-conflict");
+  check_bool "is an error" false (Report.is_clean r)
+
+let shadowed_deny () =
+  (* Two disconnected components: a deny in the far component can never
+     see the near component's prefix. *)
+  let m = Qrmodel.initial (Topology.Asgraph.of_edges [ (1, 2); (3, 4) ]) in
+  let net = m.Qrmodel.net in
+  let n3 = node_of net 3 and n4 = node_of net 4 in
+  let p1 = Asn.origin_prefix 1 in
+  Net.deny_export net n3 (session net n3 n4) p1;
+  let r = Lint.check m in
+  check_bool "shadowed" true (has r "shadowed-deny");
+  check_bool "unreachable reported" true (has r "unreachable")
+
+let redundant_deny () =
+  let m = triangle_model () in
+  let net = m.Qrmodel.net in
+  let n1 = node_of net 1 and n2 = node_of net 2 in
+  Net.set_export_matrix net (fun ~learned_class:_ ~to_class:_ -> false);
+  Net.deny_export net n1 (session net n1 n2) (Asn.origin_prefix 3);
+  let r = Lint.check m in
+  check_bool "redundant" true (has r "redundant-deny")
+
+let origin_missing () =
+  let m = triangle_model () in
+  let m =
+    { m with Qrmodel.prefixes =
+        (Prefix.of_string_exn "99.0.0.0/8", 99) :: m.Qrmodel.prefixes }
+  in
+  let r = Lint.check m in
+  check_bool "origin missing" true (has r "origin-missing");
+  check_bool "is an error" false (Report.is_clean r)
+
+let dispute_wheel () =
+  let m = triangle_model () in
+  let net = m.Qrmodel.net in
+  let p = Asn.origin_prefix 1 in
+  let prefer a b =
+    let na = node_of net a in
+    Net.set_import_lpref_for net na (session net na (node_of net b)) p 200
+  in
+  (* 1 prefers via 2, 2 via 3, 3 via 1: the Bad-Gadget shape. *)
+  prefer 1 2;
+  prefer 2 3;
+  prefer 3 1;
+  let r = Lint.check m in
+  check_bool "dispute wheel" true (has r "dispute-wheel");
+  (* Breaking the cycle clears the finding. *)
+  let n3 = node_of net 3 in
+  Net.clear_import_lpref_for net n3 (session net n3 (node_of net 1)) p;
+  check_bool "acyclic clean" false (has (Lint.check m) "dispute-wheel")
+
+let clean_model () =
+  let r = Lint.check (triangle_model ()) in
+  check_int "no findings at all" 0 (List.length (Report.findings r))
+
+(* -- ownership / RD_CHECK --------------------------------------------- *)
+
+let with_checker f =
+  let prior = Ownership.current () in
+  Ownership.reset ();
+  Ownership.set Ownership.On;
+  Fun.protect
+    ~finally:(fun () ->
+      Ownership.set prior;
+      Ownership.reset ())
+    f
+
+let batch_marker () =
+  check_bool "idle" false (Pool.batch_active ());
+  let inside = Pool.map ~jobs:1 (fun _ -> Pool.batch_active ()) [ () ] in
+  check_bool "inside batch" true (List.for_all Fun.id inside);
+  check_bool "idle again" false (Pool.batch_active ())
+
+let touched_bookkeeping () =
+  let net, a, b = two_nodes () in
+  let p = Asn.origin_prefix 2 in
+  Ownership.reset ();
+  (* A policy event naming a node the touched set never saw. *)
+  Ownership.record net (Net.Policy { rule = "test"; prefix = p; node = 99 });
+  check_int "unrecorded node flagged" 1 (Ownership.violation_count ());
+  (* A real mutator records its node, so auditing it is silent. *)
+  Net.deny_export net a (session net a b) p;
+  Ownership.record net (Net.Policy { rule = "test"; prefix = p; node = a });
+  check_int "recorded node passes" 1 (Ownership.violation_count ());
+  Ownership.reset ()
+
+let generation_bookkeeping () =
+  let net, _, _ = two_nodes () in
+  Ownership.reset ();
+  let g = Net.generation net in
+  Ownership.record net (Net.Structural { rule = "test"; generation = g });
+  check_int "first event passes" 0 (Ownership.violation_count ());
+  (* Same generation again: the mutator forgot to bump. *)
+  Ownership.record net (Net.Structural { rule = "test"; generation = g });
+  check_int "stale generation flagged" 1 (Ownership.violation_count ());
+  Ownership.reset ()
+
+let cross_domain_mutation () =
+  with_checker (fun () ->
+      let net, a, b = two_nodes () in
+      let p = Asn.origin_prefix 2 in
+      let s = session net a b in
+      (* Benign mutation from the owning domain: no violation. *)
+      Net.set_import_med net a s p 50;
+      check_int "owner mutation clean" 0 (Ownership.violation_count ());
+      (* Injected fault 1: mutation from inside a pool batch. *)
+      ignore (Pool.map ~jobs:1 (fun v -> Net.set_import_med net a s p v) [ 1 ]);
+      check_bool "batch mutation caught" true (Ownership.violation_count () > 0);
+      check_bool "flagged as in-batch" true
+        (List.exists (fun v -> v.Ownership.in_batch) (Ownership.violations ()));
+      (* Injected fault 2: mutation from a foreign domain. *)
+      let d = Domain.spawn (fun () -> Net.set_import_med net a s p 9) in
+      Domain.join d;
+      check_bool "cross-domain caught" true
+        (List.exists
+           (fun v ->
+             not v.Ownership.in_batch
+             && String.length v.Ownership.detail >= 12
+             && String.sub v.Ownership.detail 0 12 = "cross-domain")
+           (Ownership.violations ())))
+
+let refine_clean_under_check () =
+  with_checker (fun () ->
+      let graph =
+        Topology.Asgraph.of_edges [ (1, 2); (1, 4); (1, 5); (2, 3); (3, 4); (4, 5) ]
+      in
+      let entry o origin path_list =
+        {
+          Rib.op = { Rib.op_ip = Asn.router_ip o 0; op_as = o };
+          prefix = Asn.origin_prefix origin;
+          path = Aspath.of_list path_list;
+        }
+      in
+      let training =
+        Rib.of_entries
+          [ entry 1 3 [ 1; 2; 3 ]; entry 1 4 [ 1; 4 ]; entry 1 4 [ 1; 5; 4 ] ]
+      in
+      let m = Qrmodel.initial graph in
+      let r = Refine.Refiner.refine m ~training in
+      check_bool "converged" true r.Refine.Refiner.converged;
+      (* The phased refiner keeps all mutation sequential and between
+         batches: the checker must stay silent... *)
+      check_int "no violations" 0 (Ownership.violation_count ());
+      (* ...and the model it grew must lint clean, warnings included. *)
+      let report = Lint.check m in
+      check_int "no findings" 0 (List.length (Report.findings report)))
+
+let suite =
+  [
+    Alcotest.test_case "report structure" `Quick report_structure;
+    Alcotest.test_case "clean net" `Quick clean_net;
+    Alcotest.test_case "asymmetric session" `Quick asymmetric_session;
+    Alcotest.test_case "broken round trip" `Quick broken_round_trip;
+    Alcotest.test_case "self session" `Quick self_session;
+    Alcotest.test_case "duplicate session" `Quick duplicate_session;
+    Alcotest.test_case "session count drift" `Quick session_count_drift;
+    Alcotest.test_case "membership broken" `Quick membership_broken;
+    Alcotest.test_case "kind mismatch" `Quick kind_mismatch;
+    Alcotest.test_case "class mismatch" `Quick class_mismatch;
+    Alcotest.test_case "orphan rules" `Quick orphan_rules;
+    Alcotest.test_case "lpref med conflict" `Quick lpref_med_conflict;
+    Alcotest.test_case "shadowed deny" `Quick shadowed_deny;
+    Alcotest.test_case "redundant deny" `Quick redundant_deny;
+    Alcotest.test_case "origin missing" `Quick origin_missing;
+    Alcotest.test_case "dispute wheel" `Quick dispute_wheel;
+    Alcotest.test_case "clean model" `Quick clean_model;
+    Alcotest.test_case "batch marker" `Quick batch_marker;
+    Alcotest.test_case "touched bookkeeping" `Quick touched_bookkeeping;
+    Alcotest.test_case "generation bookkeeping" `Quick generation_bookkeeping;
+    Alcotest.test_case "cross domain mutation" `Quick cross_domain_mutation;
+    Alcotest.test_case "refine clean under check" `Quick refine_clean_under_check;
+  ]

@@ -33,4 +33,5 @@ let () =
       ("misc", Test_misc.suite);
       ("divergence", Test_divergence.suite);
       ("integration", Test_integration.suite);
+      ("analysis", Test_analysis.suite);
     ]

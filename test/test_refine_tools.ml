@@ -57,6 +57,21 @@ let verify_reports_mismatches () =
   in
   check_bool "blocking as" true (m154.Refine.Verify.blocking_as = Some 1)
 
+let suffix_walk_equivalence () =
+  let m, r = refined () in
+  let net = m.Qrmodel.net in
+  let p4 = Asn.origin_prefix 4 in
+  let st = Hashtbl.find r.Refiner.states p4 in
+  let arr = [| 1; 5; 4 |] in
+  (* The allocation-free suffix walk must agree with the Array.sub
+     formulation at every position, including the empty tail. *)
+  for i = 0 to Array.length arr - 1 do
+    let tail = Array.sub arr (i + 1) (Array.length arr - i - 1) in
+    check_bool "same nodes" true
+      (Refine.Matching.nodes_selecting net st arr.(i) tail
+      = Refine.Matching.nodes_selecting_at net st arr.(i) arr ~tail_at:(i + 1))
+  done
+
 let verify_unknown_prefix () =
   let m = Qrmodel.initial graph in
   let stray =
@@ -92,6 +107,35 @@ let incremental_counts_growth () =
   check_int "reports node growth"
     (Net.node_count m.Qrmodel.net - nodes_before)
     outcome.Refine.Incremental.new_quasi_routers
+
+let incremental_delta_added () =
+  let m = Qrmodel.initial graph in
+  (* Fitting the diverse training data from scratch must place MED
+     rules: the added side of the signed delta. *)
+  let outcome = Refine.Incremental.add_observations m training in
+  check_bool "fits" true outcome.Refine.Incremental.result.Refiner.converged;
+  let med = outcome.Refine.Incremental.med_rules in
+  check_bool "med rules added" true (med.Refine.Incremental.added > 0);
+  check_int "none removed" 0 med.Refine.Incremental.removed;
+  check_bool "net delta positive" true (Refine.Incremental.net_delta med > 0)
+
+let incremental_delta_removed () =
+  let m, _ = refined () in
+  let net = m.Qrmodel.net in
+  (* Manually block the observed route 1-4 with a stray filter; fitting
+     the observation again must delete it (the Figure-7 rule), which a
+     raw unsigned count would report as zero new filters. *)
+  let p4 = Asn.origin_prefix 4 in
+  let n4 = List.hd (Net.nodes_of_as net 4) in
+  let n1 = List.hd (Net.nodes_of_as net 1) in
+  let s = Option.get (Net.find_session net n4 n1) in
+  Net.deny_export net n4 s p4;
+  let fresh = Rib.of_entries [ entry 1 4 [ 1; 4 ] ] in
+  let outcome = Refine.Incremental.add_observations m fresh in
+  check_bool "fits" true outcome.Refine.Incremental.result.Refiner.converged;
+  let filters = outcome.Refine.Incremental.filters in
+  check_bool "filter removed" true (filters.Refine.Incremental.removed >= 1);
+  check_bool "net delta negative" true (Refine.Incremental.net_delta filters < 0)
 
 (* -- Compress -- *)
 
@@ -184,8 +228,12 @@ let suite =
       verify_exact_after_refinement;
     Alcotest.test_case "verify: reports mismatches" `Quick verify_reports_mismatches;
     Alcotest.test_case "verify: unknown prefix" `Quick verify_unknown_prefix;
+    Alcotest.test_case "verify: suffix walk equivalence" `Quick
+      suffix_walk_equivalence;
     Alcotest.test_case "incremental: extension" `Quick incremental_extension;
     Alcotest.test_case "incremental: growth counting" `Quick incremental_counts_growth;
+    Alcotest.test_case "incremental: delta added" `Quick incremental_delta_added;
+    Alcotest.test_case "incremental: delta removed" `Quick incremental_delta_removed;
     Alcotest.test_case "compress: merges redundant" `Quick compress_merges_redundant;
     Alcotest.test_case "compress: keeps needed diversity" `Quick
       compress_keeps_needed_diversity;
