@@ -9,6 +9,8 @@
      --jobs N      simulation worker domains (default: RD_JOBS or core count)
      --faults S    fault injection RATE:SEED[:full] (default: RD_FAULTS)
      --warm M      warm-start mode off|on|verify (default: RD_WARM or on)
+     --check M     mutation-discipline checker off|on (default: RD_CHECK)
+     --trace M     tracing off|summary|FILE.json (default: RD_TRACE)
      --warm-only   only run the WARM cold-vs-warm experiment (fast CI path)
      --json FILE   machine-readable results (default: BENCH.json)
      --sweep       add the accuracy-vs-vantage-points sweep (slow)
@@ -783,6 +785,83 @@ let experiment_check prepared (warm : warm_report) =
     off_wall off_vs_warm on_wall overhead_ratio check_violations lint_errors;
   { off_wall; on_wall; overhead_ratio; off_vs_warm; check_violations; lint_errors }
 
+type obs_report = {
+  trace_off_wall : float;
+  obs_off_vs_warm : float;
+  events_drained : int;
+  pool_tasks : int;
+  refiner_iterations : int;
+  metrics_json : string;
+}
+
+let experiment_obs prepared (warm : warm_report) =
+  (* RD_TRACE must be free when off: the hot-path guard is one atomic
+     load and a branch, so the same refinement workload as the WARM
+     warm run (warm starts, jobs=1, 14 iterations) must stay within
+     noise of it (twice, min — the gate is a ratio of two
+     single-sample wall clocks).  A summary-mode run then exercises
+     the span recording path end to end and feeds the metrics
+     snapshot of BENCH.json. *)
+  section "OBS" "observability overhead (RD_TRACE) and metrics snapshot";
+  let splits = Core.split ~seed:7 prepared in
+  let training = splits.Evaluation.Split.training in
+  let run label mode =
+    let prior_trace = Simulator.Runtime.trace () in
+    let prior_warm = Simulator.Warm.current () in
+    Simulator.Runtime.set_trace mode;
+    Simulator.Warm.set Simulator.Warm.On;
+    Fun.protect
+      ~finally:(fun () ->
+        Simulator.Runtime.set_trace prior_trace;
+        Simulator.Warm.set prior_warm)
+      (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let result =
+          time label (fun () ->
+              Core.build
+                ~options:
+                  {
+                    Refine.Refiner.default_options with
+                    max_iterations = Some 14;
+                    jobs = Some 1;
+                  }
+                prepared ~training)
+        in
+        (result, Unix.gettimeofday () -. t0))
+  in
+  let _, off1 = run "OBS trace=off jobs=1 (1/2)" Obs.Trace.Off in
+  let _, off2 = run "OBS trace=off jobs=1 (2/2)" Obs.Trace.Off in
+  let trace_off_wall = Float.min off1 off2 in
+  let obs_off_vs_warm =
+    if warm.warm_wall > 0.0 then trace_off_wall /. warm.warm_wall else 0.0
+  in
+  Obs.Metrics.reset ();
+  Obs.Trace.reset ();
+  let _ = run "OBS trace=summary jobs=1" Obs.Trace.Summary in
+  let snap = Obs.Metrics.snapshot () in
+  let events_drained = Obs.Metrics.find_counter "engine.events_drained" in
+  let pool_tasks = Obs.Metrics.find_counter "pool.tasks" in
+  let refiner_iterations = Obs.Metrics.find_counter "refiner.iterations" in
+  Format.printf
+    "RD_TRACE=off wall: %.2fs (min of 2; %.2fx of the WARM warm run — want \
+     <= 1.02)@.metrics after one summary-mode run (want all nonzero):@.\
+    \  engine.events_drained = %d@.  pool.tasks = %d@.  refiner.iterations \
+     = %d@.trace events recorded: %d (dropped: %d)@."
+    trace_off_wall obs_off_vs_warm events_drained pool_tasks
+    refiner_iterations
+    (Obs.Trace.event_count ())
+    (Obs.Trace.dropped ());
+  let metrics_json = Obs.Metrics.to_json snap in
+  Obs.Trace.reset ();
+  {
+    trace_off_wall;
+    obs_off_vs_warm;
+    events_drained;
+    pool_tasks;
+    refiner_iterations;
+    metrics_json;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results (hand-rolled JSON; no extra dependency)    *)
 (* ------------------------------------------------------------------ *)
@@ -805,7 +884,7 @@ let json_num f =
   if Float.is_nan f || Float.is_integer f then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.6f" f
 
-let write_bench_json path ~scale ~seed ~jobs warm check =
+let write_bench_json path ~scale ~seed ~jobs warm check obs =
   let b = Buffer.create 4096 in
   let field k v = Printf.bprintf b "  %S: %s,\n" k v in
   Buffer.add_string b "{\n";
@@ -852,7 +931,7 @@ let write_bench_json path ~scale ~seed ~jobs warm check =
         w.pool.Simulator.Pool.failed w.pool.Simulator.Pool.wall;
       Printf.bprintf b "  },\n");
   (match check with
-  | None -> Printf.bprintf b "  \"check\": null\n"
+  | None -> Printf.bprintf b "  \"check\": null,\n"
   | Some c ->
       Printf.bprintf b "  \"check\": {\n";
       Printf.bprintf b "    \"off_wall_s\": %.3f,\n" c.off_wall;
@@ -863,6 +942,19 @@ let write_bench_json path ~scale ~seed ~jobs warm check =
         (json_num c.off_vs_warm);
       Printf.bprintf b "    \"violations\": %d,\n" c.check_violations;
       Printf.bprintf b "    \"lint_errors\": %d\n" c.lint_errors;
+      Printf.bprintf b "  },\n");
+  (match obs with
+  | None -> Printf.bprintf b "  \"obs\": null\n"
+  | Some o ->
+      Printf.bprintf b "  \"obs\": {\n";
+      Printf.bprintf b "    \"trace_off_wall_s\": %.3f,\n" o.trace_off_wall;
+      Printf.bprintf b "    \"off_vs_warm_ratio\": %s,\n"
+        (json_num o.obs_off_vs_warm);
+      Printf.bprintf b "    \"events_drained\": %d,\n" o.events_drained;
+      Printf.bprintf b "    \"pool_tasks\": %d,\n" o.pool_tasks;
+      Printf.bprintf b "    \"refiner_iterations\": %d,\n"
+        o.refiner_iterations;
+      Printf.bprintf b "    \"metrics\": %s\n" o.metrics_json;
       Printf.bprintf b "  }\n");
   Buffer.add_string b "}\n";
   let oc = open_out path in
@@ -963,7 +1055,23 @@ let micro () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  let args = Array.to_list Sys.argv in
+  (* Every RD_* knob (--jobs/--warm/--check/--faults/--trace) is parsed
+     by Simulator.Runtime — env first, argv on top; only the
+     bench-specific flags below are handled here, on the leftover
+     arguments. *)
+  let args =
+    match
+      Simulator.Runtime.with_argv
+        (Simulator.Runtime.of_env ())
+        (List.tl (Array.to_list Sys.argv))
+    with
+    | Ok (rt, rest) ->
+        Simulator.Runtime.set rt;
+        rest
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+  in
   let has flag = List.mem flag args in
   let value flag default =
     let rec go = function
@@ -976,27 +1084,10 @@ let () =
   let quick = has "--quick" in
   let scale = float_of_string (value "--scale" (if quick then "0.35" else "1.0")) in
   let seed = int_of_string (value "--seed" "42") in
-  (match int_of_string_opt (value "--jobs" "") with
-  | Some j -> Simulator.Pool.set_default_jobs j
-  | None -> ());
-  (match value "--faults" "" with
-  | "" -> ()
-  | s -> (
-      match Simulator.Faultinject.parse s with
-      | Ok t -> Simulator.Faultinject.set t
-      | Error msg ->
-          prerr_endline ("bad --faults: " ^ msg);
-          exit 1));
-  (match value "--warm" "" with
-  | "" -> ()
-  | s -> (
-      match Simulator.Warm.parse s with
-      | Ok m -> Simulator.Warm.set m
-      | Error msg ->
-          prerr_endline ("bad --warm: " ^ msg);
-          exit 1));
   Format.printf "simulation workers: %d (RD_JOBS/--jobs to change)@."
     (Simulator.Pool.default_jobs ());
+  Format.printf "runtime: %a@." Simulator.Runtime.pp
+    (Simulator.Runtime.current ());
   let t_start = Unix.gettimeofday () in
   let warm_report = ref None in
   let build_world () =
@@ -1014,10 +1105,12 @@ let () =
     (data, prepared)
   in
   let check_report = ref None in
+  let obs_report = ref None in
   let warm_and_check prepared =
     let warm = experiment_warm prepared in
     warm_report := Some warm;
-    check_report := Some (experiment_check prepared warm)
+    check_report := Some (experiment_check prepared warm);
+    obs_report := Some (experiment_obs prepared warm)
   in
   if has "--warm-only" then begin
     let _data, prepared = build_world () in
@@ -1046,5 +1139,6 @@ let () =
     (value "--json" "BENCH.json")
     ~scale ~seed
     ~jobs:(Simulator.Pool.default_jobs ())
-    !warm_report !check_report;
+    !warm_report !check_report !obs_report;
+  Obs.Trace.flush std;
   Format.printf "@.[total: %.1fs]@." (Unix.gettimeofday () -. t_start)

@@ -116,11 +116,83 @@ let apply_warm = function
   | Some m -> Simulator.Warm.set m
   | None -> ()
 
+(* Span tracing and metrics (the observability layer).
+   Precedence: --trace flag > RD_TRACE env > off. *)
+let trace_conv =
+  let parse s =
+    match Obs.Trace.parse s with Ok m -> Ok m | Error msg -> Error (`Msg msg)
+  in
+  let print ppf m = Format.pp_print_string ppf (Obs.Trace.mode_to_string m) in
+  Arg.conv (parse, print)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some trace_conv) None
+    & info [ "trace" ] ~docv:"off|summary|FILE.json"
+        ~doc:
+          "Record spans of the simulation pipeline (default: $(b,RD_TRACE) \
+           or $(b,off)).  $(b,summary) prints a per-span aggregate table \
+           after the run; a file path writes Chrome trace-event JSON \
+           loadable in a trace viewer.")
+
+let apply_trace = function
+  | Some m -> Simulator.Runtime.set_trace m
+  | None -> ()
+
+(* Mutation-discipline checking. Precedence: --check flag > RD_CHECK env. *)
+let check_conv =
+  let parse s =
+    match Simulator.Runtime.Check_mode.parse s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf m =
+    Format.pp_print_string ppf (Simulator.Runtime.Check_mode.to_string m)
+  in
+  Arg.conv (parse, print)
+
+let check_arg =
+  Arg.(
+    value
+    & opt (some check_conv) None
+    & info [ "check" ] ~docv:"on|off"
+        ~doc:
+          "Audit mutation discipline during refinement (default: \
+           $(b,RD_CHECK) or $(b,off)); violations are reported, not \
+           raised.")
+
+let apply_check = function
+  | Some m -> Analysis.Ownership.set m
+  | None -> ()
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print a snapshot of every runtime metric after the run.")
+
+(* Resolve the env knobs before flag overrides, so RD_TRACE takes
+   effect even on runs that never touch the pool. *)
+let init_runtime () = ignore (Simulator.Runtime.current ())
+
+(* End-of-run observability output: the metrics snapshot (with
+   [--metrics], or whenever spans are being summarised) and the trace
+   summary table / trace-file write. *)
+let finish_obs ?(metrics = false) () =
+  if metrics || Simulator.Runtime.trace () = Obs.Trace.Summary then begin
+    Evaluation.Report.section std "OBS" "metrics snapshot";
+    Format.printf "%a@." Obs.Metrics.pp_snapshot (Obs.Metrics.snapshot ())
+  end;
+  Obs.Trace.flush std
+
 (* generate *)
 
-let generate seed scale binary out jobs faults =
+let generate seed scale binary out jobs faults trace =
+  init_runtime ();
   apply_jobs jobs;
   apply_faults faults;
+  apply_trace trace;
   let conf = { (Netgen.Conf.scaled scale) with Netgen.Conf.seed } in
   Printf.eprintf "generating world: %s\n%!"
     (Format.asprintf "%a" Netgen.Conf.pp conf);
@@ -136,6 +208,7 @@ let generate seed scale binary out jobs faults =
     (List.length (Rib.observation_points data))
     out
     (if binary then "binary MRT" else "text");
+  finish_obs ();
   0
 
 let seed_arg =
@@ -163,7 +236,7 @@ let generate_cmd =
        ~doc:"Generate a synthetic world and write its observed table dumps.")
     Term.(
       const generate $ seed_arg $ scale_arg $ binary_arg $ out_arg $ jobs_arg
-      $ faults_arg)
+      $ faults_arg $ trace_arg)
 
 (* stats *)
 
@@ -273,10 +346,13 @@ let max_iter_arg =
     & info [ "max-iterations" ] ~docv:"N" ~doc:"Cap refinement iterations.")
 
 let build input split_seed train_fraction by_origin model_out max_iter jobs
-    faults warm =
+    faults warm check trace metrics =
+  init_runtime ();
   apply_jobs jobs;
   apply_faults faults;
   apply_warm warm;
+  apply_check check;
+  apply_trace trace;
   let data = load_datasets input in
   let options =
     { Refine.Refiner.default_options with max_iterations = max_iter }
@@ -346,6 +422,7 @@ let build input split_seed train_fraction by_origin model_out max_iter jobs
       Asmodel.Serialize.save path r.Refine.Refiner.model;
       Printf.printf "model saved to %s\n" path
   | None -> ());
+  finish_obs ~metrics ();
   0
 
 let build_cmd =
@@ -356,7 +433,8 @@ let build_cmd =
           predictions.")
     Term.(
       const build $ in_arg $ split_seed_arg $ train_fraction_arg $ by_origin_arg
-      $ model_out_arg $ max_iter_arg $ jobs_arg $ faults_arg $ warm_arg)
+      $ model_out_arg $ max_iter_arg $ jobs_arg $ faults_arg $ warm_arg
+      $ check_arg $ trace_arg $ metrics_arg)
 
 (* eval *)
 
@@ -366,9 +444,11 @@ let model_arg =
     & opt (some string) None
     & info [ "model" ] ~docv:"FILE" ~doc:"A model saved by 'build'.")
 
-let eval_run model_path input jobs faults =
+let eval_run model_path input jobs faults trace metrics =
+  init_runtime ();
   apply_jobs jobs;
   apply_faults faults;
+  apply_trace trace;
   match Asmodel.Serialize.load model_path with
   | Error msg ->
       Printf.eprintf "cannot load model: %s\n" msg;
@@ -381,12 +461,15 @@ let eval_run model_path input jobs faults =
       Format.printf "%a@." Evaluation.Predict.pp report;
       let verification = Refine.Verify.verify model ~states data in
       Format.printf "%a@." Refine.Verify.pp verification;
+      finish_obs ~metrics ();
       0
 
 let eval_cmd =
   Cmd.v
     (Cmd.info "eval" ~doc:"Evaluate a saved model against a dump file.")
-    Term.(const eval_run $ model_arg $ in_arg $ jobs_arg $ faults_arg)
+    Term.(
+      const eval_run $ model_arg $ in_arg $ jobs_arg $ faults_arg $ trace_arg
+      $ metrics_arg)
 
 (* inspect *)
 

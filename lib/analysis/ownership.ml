@@ -1,15 +1,12 @@
 module Net = Simulator.Net
 module Pool = Simulator.Pool
+module Runtime = Simulator.Runtime
 
-type mode = Off | On
+type mode = Runtime.Check_mode.t = Off | On
 
-let parse s =
-  match String.lowercase_ascii (String.trim s) with
-  | "" | "off" | "0" | "false" -> Some Off
-  | "on" | "1" | "true" -> Some On
-  | _ -> None
+let parse s = Result.to_option (Runtime.Check_mode.parse s)
 
-let mode_to_string = function Off -> "off" | On -> "on"
+let mode_to_string = Runtime.Check_mode.to_string
 
 type violation = {
   rule : string;
@@ -90,8 +87,11 @@ let record net m =
                  node
                  (Format.asprintf "%a" Bgp.Prefix.pp prefix)))
 
-let state = ref None
-
+(* The mode lives in {!Runtime} (with the other knobs); this module
+   owns only the hook.  [sync] reconciles the hook with the ambient
+   mode — the analysis layer sits above the simulator, so Runtime
+   cannot install it when the mode is set through Runtime directly;
+   the next [current]/[ensure] call here does. *)
 let installed = ref false
 
 let install () =
@@ -106,28 +106,16 @@ let uninstall () =
     Net.set_mutation_hook None
   end
 
-let set m =
-  state := Some m;
-  match m with On -> install () | Off -> uninstall ()
+let sync m = match m with On -> install () | Off -> uninstall ()
 
-let from_env () =
-  match Sys.getenv_opt "RD_CHECK" with
-  | None -> Off
-  | Some s -> (
-      match parse s with
-      | Some m -> m
-      | None ->
-          Logs.warn (fun f ->
-              f "RD_CHECK=%S not understood (want off|on); checker stays off" s);
-          Off)
+let set m =
+  Runtime.set_check m;
+  sync m
 
 let current () =
-  match !state with
-  | Some m -> m
-  | None ->
-      let m = from_env () in
-      set m;
-      m
+  let m = Runtime.check () in
+  sync m;
+  m
 
 let ensure () = ignore (current ())
 

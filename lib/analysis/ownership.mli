@@ -22,7 +22,7 @@
     [RD_CHECK=off] (the default) no hook is installed and mutators pay
     one load and a branch. *)
 
-type mode = Off | On
+type mode = Simulator.Runtime.Check_mode.t = Off | On
 
 val parse : string -> mode option
 (** ["off"]/["0"]/["false"]/[""] and ["on"]/["1"]/["true"]. *)
@@ -30,13 +30,15 @@ val parse : string -> mode option
 val mode_to_string : mode -> string
 
 val set : mode -> unit
-(** Process-wide override (wired to tests and the bench driver);
-    installs or removes the {!Simulator.Net} hook accordingly. *)
+(** Process-wide override (wired to tests and the bench driver):
+    records the mode in {!Simulator.Runtime} and installs or removes
+    the {!Simulator.Net} hook accordingly. *)
 
 val current : unit -> mode
-(** The mode in force: the value {!set}, else [RD_CHECK] from the
-    environment (resolved once, installing the hook when [on]), else
-    {!Off}. *)
+(** The mode in force, read from {!Simulator.Runtime} (the value set
+    via either API, else [RD_CHECK] from the environment, else {!Off})
+    — and the hook is synced to it, so a mode set through
+    [Runtime.set_check] takes effect here. *)
 
 val ensure : unit -> unit
 (** Resolve the mode (and install the hook if needed) — called at

@@ -43,8 +43,9 @@ let originators t p =
   | Some asn -> Net.nodes_of_as t.net asn
   | None -> []
 
-let simulate ?max_events t p =
-  Engine.run ?max_events t.net ~prefix:p ~originators:(originators t p)
+let simulate ?max_events ?from t p =
+  Engine.simulate ?max_events ?from t.net ~prefix:p
+    ~originators:(originators t p)
 
 let quasi_router_count t asn = List.length (Net.nodes_of_as t.net asn)
 

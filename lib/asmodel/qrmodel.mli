@@ -30,8 +30,16 @@ val origin_of : t -> Prefix.t -> Asn.t option
 val originators : t -> Prefix.t -> int list
 (** All quasi-routers of the prefix's origin AS ([]: unknown prefix). *)
 
-val simulate : ?max_events:int -> t -> Prefix.t -> Simulator.Engine.state
-(** Converged propagation of one model prefix. *)
+val simulate :
+  ?max_events:int ->
+  ?from:Simulator.Engine.state ->
+  t ->
+  Prefix.t ->
+  Simulator.Engine.state
+(** Converged propagation of one model prefix —
+    {!Simulator.Engine.simulate} with the model's originators.  [from]
+    warm-starts from a resumable previous state of the same prefix
+    (cold fallback otherwise). *)
 
 val quasi_router_count : t -> Asn.t -> int
 

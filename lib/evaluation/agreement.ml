@@ -9,7 +9,15 @@ type breakdown = {
   by_step : (Decision.step * int) list;
 }
 
+(* Match-grade tallies, flushed once per grade call. *)
+let cases_m = Obs.Metrics.counter "agreement.cases"
+
+let agree_m = Obs.Metrics.counter "agreement.agree"
+
+let not_available_m = Obs.Metrics.counter "agreement.not_available"
+
 let grade model ~states data =
+  Obs.Trace.with_span "agreement.grade" @@ fun () ->
   let net = model.Qrmodel.net in
   let steps = Simulator.Net.decision_steps net in
   let counts = Hashtbl.create 8 in
@@ -32,6 +40,9 @@ let grade model ~states data =
               | Some step -> bump step
               | None -> incr not_available)))
     (Rib.entries data);
+  Obs.Metrics.incr ~by:!cases cases_m;
+  Obs.Metrics.incr ~by:!agree agree_m;
+  Obs.Metrics.incr ~by:!not_available not_available_m;
   {
     cases = !cases;
     agree = !agree;

@@ -20,7 +20,23 @@ type coverage = {
 
 type report = { totals : totals; coverage : coverage; pool : Simulator.Pool.stats }
 
+(* Match-grade tallies (metrics registry).  Flushed once per evaluate
+   call from the computed totals, so they always agree with the
+   report. *)
+let cases_m = Obs.Metrics.counter "predict.cases"
+
+let rib_out_m = Obs.Metrics.counter "predict.rib_out"
+
+let potential_m = Obs.Metrics.counter "predict.potential_rib_out"
+
+let rib_in_m = Obs.Metrics.counter "predict.rib_in"
+
+let no_rib_in_m = Obs.Metrics.counter "predict.no_rib_in"
+
+let unresolved_m = Obs.Metrics.counter "predict.unresolved"
+
 let evaluate ?jobs model ~states data =
+  Obs.Trace.with_span "predict.evaluate" @@ fun () ->
   let net = model.Qrmodel.net in
   (* Batch phase: every prefix that will be graded but has no cached
      state yet is simulated up front, fanned out over the domain pool.
@@ -164,7 +180,14 @@ let evaluate ?jobs model ~states data =
       per_prefix
       { prefixes = 0; at_least_half = 0; at_least_90 = 0; full = 0 }
   in
-  { totals = !totals; coverage; pool }
+  let t = !totals in
+  Obs.Metrics.incr ~by:t.cases cases_m;
+  Obs.Metrics.incr ~by:t.rib_out rib_out_m;
+  Obs.Metrics.incr ~by:t.potential_rib_out potential_m;
+  Obs.Metrics.incr ~by:t.rib_in rib_in_m;
+  Obs.Metrics.incr ~by:t.no_rib_in no_rib_in_m;
+  Obs.Metrics.incr ~by:t.unresolved unresolved_m;
+  { totals = t; coverage; pool }
 
 let frac n report =
   if report.totals.cases = 0 then 0.0

@@ -287,13 +287,14 @@ let build conf =
 let originators w asn = Net.nodes_of_as w.net asn
 
 let simulate_prefix w asn =
-  Engine.run w.net ~prefix:(Asn.origin_prefix asn) ~originators:(originators w asn)
+  Engine.simulate w.net ~prefix:(Asn.origin_prefix asn)
+    ~originators:(originators w asn)
 
 let simulate w prefix =
   let _, _, anchors =
     List.find (fun (p, _, _) -> Prefix.equal p prefix) w.prefix_plan
   in
-  Engine.run w.net ~prefix ~originators:anchors
+  Engine.simulate w.net ~prefix ~originators:anchors
 
 let observe ?on_prefix w =
   let total = List.length w.prefix_plan in
@@ -304,7 +305,7 @@ let observe ?on_prefix w =
   let states =
     Simulator.Pool.map
       (fun (prefix, _origin, anchors) ->
-        Engine.run w.net ~prefix ~originators:anchors)
+        Engine.simulate w.net ~prefix ~originators:anchors)
       w.prefix_plan
   in
   let entries = ref [] in

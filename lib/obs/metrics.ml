@@ -1,0 +1,187 @@
+(* Registry of named metrics.  Handles hold the atomics directly, so
+   the hot paths never touch the registry (or its mutex) after
+   registration; the mutex only guards registration and snapshotting. *)
+
+type counter = int Atomic.t
+
+type gauge = int Atomic.t
+
+type histogram = {
+  bounds : int array;  (* inclusive upper bounds, strictly increasing *)
+  cells : int Atomic.t array;  (* length bounds + 1: last is overflow *)
+  total : int Atomic.t;
+  samples : int Atomic.t;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let mutex = Mutex.create ()
+
+(* 1us .. ~17min in powers of four: wide enough for per-slot wall times
+   of both micro-tests and full-scale refinements. *)
+let default_duration_buckets =
+  [ 1; 4; 16; 64; 256; 1024; 4096; 16384; 65536; 262144; 1048576; 4194304;
+    16777216; 67108864; 268435456; 1073741824 ]
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register name make same =
+  if String.length name = 0 then invalid_arg "Obs.Metrics: empty metric name";
+  Mutex.protect mutex (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> (
+          match same m with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf
+                   "Obs.Metrics: %S is already registered as a %s" name
+                   (kind_name m)))
+      | None ->
+          let v, m = make () in
+          Hashtbl.add registry name m;
+          v)
+
+let counter name =
+  register name
+    (fun () ->
+      let c = Atomic.make 0 in
+      (c, C c))
+    (function C c -> Some c | G _ | H _ -> None)
+
+let incr ?(by = 1) c =
+  if by < 0 then invalid_arg "Obs.Metrics.incr: negative increment";
+  ignore (Atomic.fetch_and_add c by)
+
+let counter_value = Atomic.get
+
+let gauge name =
+  register name
+    (fun () ->
+      let g = Atomic.make 0 in
+      (g, G g))
+    (function G g -> Some g | C _ | H _ -> None)
+
+let set_gauge = Atomic.set
+
+let gauge_value = Atomic.get
+
+let histogram ?(buckets = default_duration_buckets) name =
+  let bounds = Array.of_list buckets in
+  if Array.length bounds = 0 then
+    invalid_arg "Obs.Metrics.histogram: no buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Obs.Metrics.histogram: buckets not strictly increasing")
+    bounds;
+  register name
+    (fun () ->
+      let h =
+        {
+          bounds;
+          cells = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+          total = Atomic.make 0;
+          samples = Atomic.make 0;
+        }
+      in
+      (h, H h))
+    (function
+      | H h -> if h.bounds = bounds then Some h else None
+      | C _ | G _ -> None)
+
+let observe h v =
+  let v = max 0 v in
+  let n = Array.length h.bounds in
+  let rec cell i = if i >= n || v <= h.bounds.(i) then i else cell (i + 1) in
+  ignore (Atomic.fetch_and_add h.cells.(cell 0) 1);
+  ignore (Atomic.fetch_and_add h.total v);
+  ignore (Atomic.fetch_and_add h.samples 1)
+
+let histogram_count h = Atomic.get h.samples
+
+let histogram_sum h = Atomic.get h.total
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of { buckets : (int * int) list; sum : int; count : int }
+
+let value_of = function
+  | C c -> Counter (Atomic.get c)
+  | G g -> Gauge (Atomic.get g)
+  | H h ->
+      let buckets =
+        List.init
+          (Array.length h.cells)
+          (fun i ->
+            let bound =
+              if i < Array.length h.bounds then h.bounds.(i) else max_int
+            in
+            (bound, Atomic.get h.cells.(i)))
+      in
+      Histogram
+        { buckets; sum = Atomic.get h.total; count = Atomic.get h.samples }
+
+let snapshot () =
+  Mutex.protect mutex (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let value name =
+  Mutex.protect mutex (fun () ->
+      Option.map value_of (Hashtbl.find_opt registry name))
+
+let find_counter name =
+  match value name with Some (Counter v) -> v | _ -> 0
+
+let reset () =
+  Mutex.protect mutex (fun () ->
+      Hashtbl.iter
+        (fun _ m ->
+          match m with
+          | C a | G a -> Atomic.set a 0
+          | H h ->
+              Array.iter (fun c -> Atomic.set c 0) h.cells;
+              Atomic.set h.total 0;
+              Atomic.set h.samples 0)
+        registry)
+
+let pp_snapshot ppf items =
+  Format.fprintf ppf "@[<v>";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Format.fprintf ppf "@,";
+      match v with
+      | Counter n -> Format.fprintf ppf "%-34s %d" name n
+      | Gauge n -> Format.fprintf ppf "%-34s %d (gauge)" name n
+      | Histogram { sum; count; _ } ->
+          Format.fprintf ppf "%-34s count %d, sum %d, mean %.1f" name count sum
+            (if count = 0 then 0.0 else float_of_int sum /. float_of_int count))
+    items;
+  Format.fprintf ppf "@]"
+
+let to_json items =
+  let b = Buffer.create 512 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Printf.bprintf b "%S: " name;
+      match v with
+      | Counter n | Gauge n -> Buffer.add_string b (string_of_int n)
+      | Histogram { buckets; sum; count } ->
+          Printf.bprintf b "{\"count\": %d, \"sum\": %d, \"buckets\": [" count
+            sum;
+          List.iteri
+            (fun j (bound, n) ->
+              if j > 0 then Buffer.add_string b ", ";
+              if bound = max_int then Printf.bprintf b "[\"+inf\", %d]" n
+              else Printf.bprintf b "[%d, %d]" bound n)
+            buckets;
+          Buffer.add_string b "]}")
+    items;
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,85 @@
+(** Process-wide metrics registry: atomic counters, gauges and
+    fixed-bucket histograms, registered once by stable dotted name
+    (e.g. ["engine.events_drained"]).
+
+    Metrics are always on: every operation on a registered handle is a
+    single [Atomic] read-modify-write, safe from any domain, so the hot
+    layers update them unconditionally (at run/batch granularity — never
+    per event).  Registration is idempotent: registering an existing
+    name of the same kind returns the {e same} metric, so independent
+    modules can share a series; re-registering under a different kind
+    (or different histogram buckets) raises [Invalid_argument] — the
+    name is the contract.
+
+    {!snapshot} is the read side: the CLI ([asmodel build --metrics]),
+    the bench harness (the [OBS] section of [BENCH.json]) and the tests
+    all consume the same listing. *)
+
+type counter
+
+type gauge
+
+type histogram
+
+val counter : string -> counter
+(** Register (or fetch) the counter [name].  Counters only go up. *)
+
+val incr : ?by:int -> counter -> unit
+(** Add [by] (default 1, must be [>= 0]) to the counter. *)
+
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+(** Register (or fetch) the gauge [name].  Gauges are set to the latest
+    observed level (quarantine size, unmatched count, ...). *)
+
+val set_gauge : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+
+val histogram : ?buckets:int list -> string -> histogram
+(** Register (or fetch) the histogram [name].  [buckets] are inclusive
+    upper bounds, strictly increasing; an implicit overflow bucket
+    catches everything above the last bound.  Defaults to
+    {!default_duration_buckets} (microsecond-scaled powers of four). *)
+
+val observe : histogram -> int -> unit
+(** Record one sample (negative samples clamp to 0). *)
+
+val histogram_count : histogram -> int
+(** Total samples observed. *)
+
+val histogram_sum : histogram -> int
+(** Sum of all observed samples. *)
+
+val default_duration_buckets : int list
+
+(** {2 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of int
+  | Histogram of { buckets : (int * int) list; sum : int; count : int }
+      (** [buckets] pairs each upper bound with its sample count; the
+          overflow bucket carries bound [max_int]. *)
+
+val snapshot : unit -> (string * value) list
+(** Every registered metric with its current value, sorted by name. *)
+
+val value : string -> value option
+(** Current value of one metric, if registered. *)
+
+val find_counter : string -> int
+(** Convenience: the counter's value, or 0 when [name] is not a
+    registered counter.  For tests and report glue. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations and handles survive);
+    for benches and tests that measure deltas of a whole run. *)
+
+val pp_snapshot : Format.formatter -> (string * value) list -> unit
+
+val to_json : (string * value) list -> string
+(** The snapshot as one JSON object: counters and gauges as numbers,
+    histograms as [{"count":..,"sum":..,"buckets":[[le,n],..]}] (the
+    overflow bound rendered as the string ["+inf"]). *)

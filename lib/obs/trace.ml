@@ -1,0 +1,249 @@
+(* Chrome trace-event recording.  The mode is one atomic int (0 = off,
+   1 = summary, 2 = file) so the off path costs an atomic load and a
+   branch.  Events buffer in per-domain lists (Domain.DLS — no lock on
+   the record path); each domain's buffer is registered in a global
+   list under a mutex at first use, so flush sees events from worker
+   domains that have already been joined. *)
+
+type mode = Off | Summary | File of string
+
+let parse s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" -> Error "RD_TRACE: empty value (want off, summary, or a file path)"
+  | "off" | "0" | "false" -> Ok Off
+  | "summary" -> Ok Summary
+  | _ -> Ok (File (String.trim s))
+
+let mode_to_string = function
+  | Off -> "off"
+  | Summary -> "summary"
+  | File p -> p
+
+(* The sink path can't live in an atomic int; keep the full mode under a
+   mutex and mirror just the on/off level in the atomic. *)
+let level = Atomic.make 0
+
+let current_mode = ref Off
+
+let mode_mutex = Mutex.create ()
+
+let set_mode m =
+  Mutex.protect mode_mutex (fun () ->
+      current_mode := m;
+      Atomic.set level (match m with Off -> 0 | Summary -> 1 | File _ -> 2))
+
+let mode () = Mutex.protect mode_mutex (fun () -> !current_mode)
+
+let enabled () = Atomic.get level <> 0
+
+let epoch = Unix.gettimeofday ()
+
+let now_us () = int_of_float ((Unix.gettimeofday () -. epoch) *. 1e6)
+
+type event = {
+  name : string;
+  ts_us : int;
+  dur_us : int;  (* -1 marks an instant event *)
+  tid : int;
+  args : (string * string) list;
+}
+
+(* Buffer cap across all domains: a full-scale refinement emits a few
+   events per prefix per iteration, well under this; the cap is a
+   backstop against a recording loop, not a tuning knob. *)
+let max_events = 1 lsl 20
+
+let recorded = Atomic.make 0
+
+let dropped_count = Atomic.make 0
+
+let buffers : event list ref list ref = ref []
+
+let buffers_mutex = Mutex.create ()
+
+let buffer_key =
+  Domain.DLS.new_key (fun () ->
+      let r = ref [] in
+      Mutex.protect buffers_mutex (fun () -> buffers := r :: !buffers);
+      r)
+
+let record ev =
+  if Atomic.fetch_and_add recorded 1 < max_events then
+    let buf = Domain.DLS.get buffer_key in
+    buf := ev :: !buf
+  else ignore (Atomic.fetch_and_add dropped_count 1)
+
+let self_tid () = (Domain.self () :> int)
+
+let emit ?(args = []) ?tid ~name ~ts_us ~dur_us () =
+  if enabled () then
+    let tid = match tid with Some t -> t | None -> self_tid () in
+    record { name; ts_us; dur_us = max 0 dur_us; tid; args }
+
+let instant ?(args = []) name =
+  if enabled () then
+    record { name; ts_us = now_us (); dur_us = -1; tid = self_tid (); args }
+
+type open_span = {
+  span_name : string;
+  start_us : int;
+  span_args : (string * string) list;
+}
+
+type span = open_span option
+
+let begin_span ?(args = []) name : span =
+  if enabled () then Some { span_name = name; start_us = now_us (); span_args = args }
+  else None
+
+let end_span ?(args = []) (sp : span) =
+  match sp with
+  | None -> ()
+  | Some { span_name; start_us; span_args } ->
+      record
+        {
+          name = span_name;
+          ts_us = start_us;
+          dur_us = max 0 (now_us () - start_us);
+          tid = self_tid ();
+          args = span_args @ args;
+        }
+
+let with_span ?args name f =
+  if not (enabled ()) then f ()
+  else
+    let sp = begin_span ?args name in
+    match f () with
+    | v ->
+        end_span sp;
+        v
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        end_span ~args:[ ("raised", Printexc.to_string e) ] sp;
+        Printexc.raise_with_backtrace e bt
+
+let all_events () =
+  Mutex.protect buffers_mutex (fun () ->
+      List.concat_map (fun r -> !r) !buffers)
+  |> List.sort (fun a b -> compare a.ts_us b.ts_us)
+
+let event_count () = min (Atomic.get recorded) max_events
+
+let dropped () = Atomic.get dropped_count
+
+type summary_row = {
+  name : string;
+  count : int;
+  total_us : int;
+  max_us : int;
+}
+
+let summary () =
+  let tbl : (string, summary_row ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (ev : event) ->
+      if ev.dur_us >= 0 then
+        match Hashtbl.find_opt tbl ev.name with
+        | Some r ->
+            r :=
+              {
+                !r with
+                count = !r.count + 1;
+                total_us = !r.total_us + ev.dur_us;
+                max_us = max !r.max_us ev.dur_us;
+              }
+        | None ->
+            Hashtbl.add tbl ev.name
+              (ref
+                 {
+                   name = ev.name;
+                   count = 1;
+                   total_us = ev.dur_us;
+                   max_us = ev.dur_us;
+                 }))
+    (all_events ());
+  Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
+  |> List.sort (fun a b -> compare b.total_us a.total_us)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let add_json_string b s =
+  Buffer.add_char b '"';
+  json_escape b s;
+  Buffer.add_char b '"'
+
+let add_event b (ev : event) =
+  Buffer.add_string b "{\"name\": ";
+  add_json_string b ev.name;
+  if ev.dur_us >= 0 then
+    Printf.bprintf b ", \"ph\": \"X\", \"ts\": %d, \"dur\": %d" ev.ts_us
+      ev.dur_us
+  else Printf.bprintf b ", \"ph\": \"i\", \"ts\": %d, \"s\": \"t\"" ev.ts_us;
+  Printf.bprintf b ", \"pid\": 1, \"tid\": %d" ev.tid;
+  (match ev.args with
+  | [] -> ()
+  | args ->
+      Buffer.add_string b ", \"args\": {";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string b ", ";
+          add_json_string b k;
+          Buffer.add_string b ": ";
+          add_json_string b v)
+        args;
+      Buffer.add_char b '}');
+  Buffer.add_char b '}'
+
+let write_file path =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\": [";
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string b ",\n  " else Buffer.add_string b "\n  ";
+      add_event b ev)
+    (all_events ());
+  Buffer.add_string b "\n]}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc b)
+
+let flush ppf =
+  match mode () with
+  | Off -> ()
+  | Summary ->
+      let rows = summary () in
+      Format.fprintf ppf "@[<v>-- TRACE (summary) --";
+      List.iter
+        (fun r ->
+          Format.fprintf ppf "@,%-26s %7d calls  %10d us total  %8d us max"
+            r.name r.count r.total_us r.max_us)
+        rows;
+      if dropped () > 0 then
+        Format.fprintf ppf "@,(%d events dropped at buffer cap)" (dropped ());
+      Format.fprintf ppf "@]@."
+  | File path ->
+      write_file path;
+      Format.fprintf ppf "trace: %d events written to %s%s@." (event_count ())
+        path
+        (if dropped () > 0 then
+           Printf.sprintf " (%d dropped at buffer cap)" (dropped ())
+         else "")
+
+let reset () =
+  Mutex.protect buffers_mutex (fun () ->
+      List.iter (fun r -> r := []) !buffers);
+  Atomic.set recorded 0;
+  Atomic.set dropped_count 0

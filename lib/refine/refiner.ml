@@ -144,11 +144,22 @@ let apply_policies net counters ~options ~prefix ~receiver ~desired_sessions
       end)
     rib_entries
 
+(* Refinement progress metrics: per-iteration counters plus gauges for
+   the two "how close are we" levels a live snapshot should show. *)
+let iterations_m = Obs.Metrics.counter "refiner.iterations"
+
+let prefixes_changed_m = Obs.Metrics.counter "refiner.prefixes_changed"
+
+let discrepancies_m = Obs.Metrics.gauge "refiner.discrepancies"
+
+let quarantine_m = Obs.Metrics.gauge "refiner.quarantine"
+
 let refine ?(options = default_options) ?on_iteration model ~training =
   (* Honour RD_CHECK: resolve the mode once (installing the
      mutation-discipline hook when on) and remember the violation
      watermark so the self-check below only reports this run's. *)
   Analysis.Ownership.ensure ();
+  let refine_span = Obs.Trace.begin_span "refiner.refine" in
   let violations_before = Analysis.Ownership.violation_count () in
   let net = model.Qrmodel.net in
   let work = training_suffixes training in
@@ -191,15 +202,13 @@ let refine ?(options = default_options) ?on_iteration model ~training =
         match Hashtbl.find_opt states prefix with
         | Some prev when Engine.resumable net prev ->
             Warm.note_warm ();
-            Engine.resume net ~prev ~touched:(Net.touched_nodes net prefix)
+            Qrmodel.simulate model ~from:prev prefix
         | _ -> simulate_cold prefix)
     | Warm.Verify -> (
         match Hashtbl.find_opt states prefix with
         | Some prev when Engine.resumable net prev ->
             Warm.note_warm ();
-            let warm =
-              Engine.resume net ~prev ~touched:(Net.touched_nodes net prefix)
-            in
+            let warm = Qrmodel.simulate model ~from:prev prefix in
             let cold = simulate_cold prefix in
             Warm.note_verified ();
             let diverged =
@@ -302,6 +311,11 @@ let refine ?(options = default_options) ?on_iteration model ~training =
   let finished = ref false in
   while (not !finished) && !iteration < max_iterations do
     incr iteration;
+    let iter_span =
+      Obs.Trace.begin_span
+        ~args:[ ("iteration", string_of_int !iteration) ]
+        "refiner.iteration"
+    in
     let pool_stats = presimulate () in
     let counters = { filters = 0; meds = 0; dups = 0; deletions = 0 } in
     let matched = ref 0 in
@@ -414,6 +428,18 @@ let refine ?(options = default_options) ?on_iteration model ~training =
       }
     in
     history := stat :: !history;
+    Obs.Metrics.incr iterations_m;
+    Obs.Metrics.incr ~by:!prefixes_changed prefixes_changed_m;
+    Obs.Metrics.set_gauge discrepancies_m (total - !matched);
+    Obs.Metrics.set_gauge quarantine_m (Hashtbl.length quarantine);
+    Obs.Trace.end_span
+      ~args:
+        [
+          ("matched", string_of_int !matched);
+          ("changed", string_of_int !prefixes_changed);
+          ("quarantined", string_of_int (Hashtbl.length quarantine));
+        ]
+      iter_span;
     (match on_iteration with Some f -> f stat | None -> ());
     if !prefixes_changed = 0 then finished := true
   done;
@@ -486,6 +512,16 @@ let refine ?(options = default_options) ?on_iteration model ~training =
            m "refiner: refined model fails lint:@.%a" Analysis.Report.pp
              report)
    end);
+  Obs.Metrics.set_gauge discrepancies_m (total - !final_matched);
+  Obs.Metrics.set_gauge quarantine_m !final_quarantined;
+  Obs.Trace.end_span
+    ~args:
+      [
+        ("iterations", string_of_int !iteration);
+        ("matched", string_of_int !final_matched);
+        ("total", string_of_int total);
+      ]
+    refine_span;
   {
     model;
     iterations = !iteration;

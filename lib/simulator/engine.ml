@@ -22,6 +22,25 @@ type state = {
   mutable events : int;
 }
 
+(* Metrics are flushed once per run from locally accumulated counts —
+   never touched per event — so the instrumented engine is the
+   un-instrumented engine plus a handful of atomic adds at the end. *)
+let runs_m = Obs.Metrics.counter "engine.runs"
+
+let events_m = Obs.Metrics.counter "engine.events_drained"
+
+let escalations_m = Obs.Metrics.counter "engine.budget_escalations"
+
+let fingerprints_m = Obs.Metrics.counter "engine.watchdog_fingerprints"
+
+let truncated_m = Obs.Metrics.counter "engine.truncated"
+
+let diverged_m = Obs.Metrics.counter "engine.diverged"
+
+let resume_hits_m = Obs.Metrics.counter "engine.warm_resume_hits"
+
+let resume_misses_m = Obs.Metrics.counter "engine.warm_resume_misses"
+
 let prefix st = st.pfx
 
 let outcome st = st.outcome
@@ -236,7 +255,10 @@ let watchdog_history_cap = 4096
    the watchdog proves a cycle.  [seed ~enqueue ~replay] fills the
    initial queue; [replay u] re-exports [u]'s current best, charging
    one event. *)
-let exec ?max_events ?max_escalations ?on_best_change net st ~seed =
+let exec ?max_events ?max_escalations ?on_best_change net st ~kind ~seed =
+  let t0 = Obs.Trace.now_us () in
+  let escalated = ref 0 in
+  let fingerprinted = ref 0 in
   let n = Array.length st.best in
   let budget =
     match max_events with Some b -> b | None -> 1000 + (200 * n)
@@ -330,6 +352,7 @@ let exec ?max_events ?max_escalations ?on_best_change net st ~seed =
           Logs.debug (fun m ->
               m "engine: prefix %a exhausted budget %d; escalating to %d"
                 Prefix.pp st.pfx budget (budget * 2));
+          incr escalated;
           drain (budget * 2) (escalations_left - 1)
         end
         else begin
@@ -345,7 +368,7 @@ let exec ?max_events ?max_escalations ?on_best_change net st ~seed =
         queued.(u) <- false;
         process u;
         if st.events >= threshold && not (Queue.is_empty queue) then
-          let fp = fingerprint st queue queued in
+          let fp = (incr fingerprinted; fingerprint st queue queued) in
           match Hashtbl.find_opt history fp with
           | Some e0 ->
               st.outcome <- Diverged { cycle_len = st.events - e0 };
@@ -364,9 +387,30 @@ let exec ?max_events ?max_escalations ?on_best_change net st ~seed =
       end
   in
   drain budget escalations;
+  Obs.Metrics.incr runs_m;
+  Obs.Metrics.incr ~by:st.events events_m;
+  if !escalated > 0 then Obs.Metrics.incr ~by:!escalated escalations_m;
+  if !fingerprinted > 0 then
+    Obs.Metrics.incr ~by:!fingerprinted fingerprints_m;
+  (match st.outcome with
+  | Converged -> ()
+  | Truncated _ -> Obs.Metrics.incr truncated_m
+  | Diverged _ -> Obs.Metrics.incr diverged_m);
+  if Obs.Trace.enabled () then
+    Obs.Trace.emit
+      ~args:
+        [
+          ("prefix", Format.asprintf "%a" Prefix.pp st.pfx);
+          ("kind", kind);
+          ("outcome", Format.asprintf "%a" pp_outcome st.outcome);
+          ("events", string_of_int st.events);
+        ]
+      ~name:"engine.simulate" ~ts_us:t0
+      ~dur_us:(Obs.Trace.now_us () - t0)
+      ();
   st
 
-let run ?max_events ?max_escalations ?on_best_change net ~prefix:pfx
+let cold ?max_events ?max_escalations ?on_best_change net ~prefix:pfx
     ~originators =
   let n = Net.node_count net in
   let st =
@@ -381,7 +425,7 @@ let run ?max_events ?max_escalations ?on_best_change net ~prefix:pfx
     }
   in
   List.iter (fun o -> st.originates.(o) <- true) originators;
-  exec ?max_events ?max_escalations ?on_best_change net st
+  exec ?max_events ?max_escalations ?on_best_change net st ~kind:"cold"
     ~seed:(fun ~enqueue ~replay:_ -> List.iter enqueue originators)
 
 let resumable net prev =
@@ -389,9 +433,8 @@ let resumable net prev =
   && prev.gen = Net.generation net
   && Array.length prev.best = Net.node_count net
 
-let resume ?max_events ?max_escalations ?on_best_change net ~prev ~touched =
-  if not (resumable net prev) then
-    invalid_arg "Engine.resume: previous state is not resumable";
+(* Precondition: [resumable net prev]. *)
+let warm ?max_events ?max_escalations ?on_best_change net ~prev ~touched =
   let st =
     {
       pfx = prev.pfx;
@@ -404,7 +447,7 @@ let resume ?max_events ?max_escalations ?on_best_change net ~prev ~touched =
     }
   in
   let n = Array.length st.best in
-  exec ?max_events ?max_escalations ?on_best_change net st
+  exec ?max_events ?max_escalations ?on_best_change net st ~kind:"warm"
     ~seed:(fun ~enqueue ~replay ->
       (* Replay every touched node's exports unconditionally: peers
          whose RIB-In changes under the new policy enqueue themselves;
@@ -414,6 +457,31 @@ let resume ?max_events ?max_escalations ?on_best_change net ~prev ~touched =
          costs one event and drains immediately. *)
       ignore enqueue;
       List.iter (fun u -> if u >= 0 && u < n then replay u) touched)
+
+let simulate ?max_events ?max_escalations ?on_best_change ?from ?touched net
+    ~prefix:pfx ~originators =
+  match from with
+  | Some prev when resumable net prev && prev.pfx = pfx ->
+      Obs.Metrics.incr resume_hits_m;
+      let touched =
+        match touched with Some t -> t | None -> Net.touched_nodes net pfx
+      in
+      warm ?max_events ?max_escalations ?on_best_change net ~prev ~touched
+  | _ ->
+      (match from with
+      | Some _ -> Obs.Metrics.incr resume_misses_m
+      | None -> ());
+      cold ?max_events ?max_escalations ?on_best_change net ~prefix:pfx
+        ~originators
+
+let run ?max_events ?max_escalations ?on_best_change net ~prefix ~originators =
+  cold ?max_events ?max_escalations ?on_best_change net ~prefix ~originators
+
+let resume ?max_events ?max_escalations ?on_best_change net ~prev ~touched =
+  if not (resumable net prev) then
+    invalid_arg "Engine.resume: previous state is not resumable";
+  Obs.Metrics.incr resume_hits_m;
+  warm ?max_events ?max_escalations ?on_best_change net ~prev ~touched
 
 let best_full_path net st n =
   match best st n with

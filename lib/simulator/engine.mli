@@ -23,6 +23,40 @@ type outcome =
           oscillation, since the transition function is deterministic.
           [cycle_len] is the number of events between the repeats. *)
 
+val simulate :
+  ?max_events:int ->
+  ?max_escalations:int ->
+  ?on_best_change:(int -> Rattr.t option -> unit) ->
+  ?from:state ->
+  ?touched:int list ->
+  Net.t ->
+  prefix:Prefix.t ->
+  originators:int list ->
+  state
+(** The single simulation entry point.  Simulate [prefix] to
+    convergence on [net], starting cold from [originators] — or, when
+    [from] is a {!resumable} previous state of the {e same} prefix,
+    warm: the previous converged state is copied and only the exports
+    of the [touched] nodes (default {!Net.touched_nodes}) are
+    replayed.  A non-resumable or wrong-prefix [from] silently falls
+    back to a cold start (counted in the [engine.warm_resume_misses]
+    metric), so callers can pass their cache slot unconditionally.
+
+    [max_events] (default [1000 + 200 * node_count]) bounds node
+    activations.  When the budget runs out with work still queued, the
+    run is retried with an escalating budget (×2 then ×4) up to
+    [max_escalations] times before the state is declared {!Truncated};
+    [max_escalations] defaults to 2 for the heuristic default budget
+    and to 0 when [max_events] is given explicitly (an explicit cap is
+    a caller decision — tests and budget experiments rely on it being
+    exact).  A convergence watchdog arms once half the initial budget
+    is spent and declares {!Diverged} as soon as the full simulation
+    state repeats, cutting genuine oscillations short instead of
+    burning escalated budgets.  [on_best_change node best] is a trace
+    hook, called whenever a node adopts a new best route.  When
+    {!Faultinject} is enabled in [Full] scope, chosen prefixes have
+    their initial budget shrunk to 1. *)
+
 val run :
   ?max_events:int ->
   ?max_escalations:int ->
@@ -31,20 +65,9 @@ val run :
   prefix:Prefix.t ->
   originators:int list ->
   state
-(** Simulate until convergence.  [max_events] (default
-    [1000 + 200 * node_count]) bounds node activations.  When the
-    budget runs out with work still queued, the run is retried with an
-    escalating budget (×2 then ×4) up to [max_escalations] times before
-    the state is declared {!Truncated}; [max_escalations] defaults to 2
-    for the heuristic default budget and to 0 when [max_events] is
-    given explicitly (an explicit cap is a caller decision — tests and
-    budget experiments rely on it being exact).  A convergence watchdog
-    arms once half the initial budget is spent and declares
-    {!Diverged} as soon as the full simulation state repeats, cutting
-    genuine oscillations short instead of burning escalated budgets.
-    [on_best_change node best] is a trace hook, called whenever a node
-    adopts a new best route.  When {!Faultinject} is enabled in [Full]
-    scope, chosen prefixes have their initial budget shrunk to 1. *)
+(** Deprecated: thin alias for {!simulate} without [from] (always a
+    cold start), kept for one release.  All parameters behave as
+    documented on {!simulate}. *)
 
 val resumable : Net.t -> state -> bool
 (** Can a previous run of this prefix seed a warm restart on [net]?
@@ -60,17 +83,20 @@ val resume :
   prev:state ->
   touched:int list ->
   state
-(** Warm-start re-simulation: copy the previous converged state, replay
-    the exports of every node in [touched] (one event each) so the
-    per-prefix policy edits recorded since [prev] take effect, and
-    drain to the new fixed point.  [prev] is not mutated.  Under the
-    model's policies (uniform import preference, filters, MED ranking
-    with {!Decision.Always_compare}) the per-prefix instance has a
-    unique stable state and converges from any starting point, so the
-    warm fixed point equals the cold one — [RD_WARM=verify] checks
-    this on every run.  Budget, escalation and watchdog semantics match
-    {!run}.  Raises [Invalid_argument] when [not (resumable net prev)];
-    callers decide cold fallback via {!resumable}. *)
+(** Deprecated: strict warm-start form of {!simulate} ([from] with an
+    explicit [touched] list), kept for one release.  Copies the
+    previous converged state, replays the exports of every node in
+    [touched] (one event each) so the per-prefix policy edits recorded
+    since [prev] take effect, and drains to the new fixed point.
+    [prev] is not mutated.  Under the model's policies (uniform import
+    preference, filters, MED ranking with {!Decision.Always_compare})
+    the per-prefix instance has a unique stable state and converges
+    from any starting point, so the warm fixed point equals the cold
+    one — [RD_WARM=verify] checks this on every run.  Budget,
+    escalation and watchdog semantics match {!simulate}.  Unlike
+    {!simulate}, raises [Invalid_argument] when
+    [not (resumable net prev)]; callers decide cold fallback via
+    {!resumable}. *)
 
 val state_fingerprint : state -> int
 (** Full-width hash of the routing content (best routes and RIB-Ins,

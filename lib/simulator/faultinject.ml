@@ -1,6 +1,6 @@
-type scope = Transient | Full
+type scope = Runtime.Fault.scope = Transient | Full
 
-type t = { rate : float; seed : int; scope : scope }
+type t = Runtime.Fault.t = { rate : float; seed : int; scope : scope }
 
 exception Injected of int
 
@@ -9,54 +9,11 @@ let () =
     | Injected i -> Some (Printf.sprintf "Faultinject.Injected(task %d)" i)
     | _ -> None)
 
-let parse s =
-  match String.trim s with
-  | "" | "0" | "off" -> Ok None
-  | s -> (
-      match String.split_on_char ':' s with
-      | [ rate ] | [ rate; _ ] | [ rate; _; _ ]
-        when float_of_string_opt rate = Some 0.0 ->
-          Ok None
-      | ([ rate; seed ] | [ rate; seed; _ ]) as fields -> (
-          let scope =
-            match fields with
-            | [ _; _; "full" ] -> Ok Full
-            | [ _; _ ] -> Ok Transient
-            | [ _; _; other ] ->
-                Error (Printf.sprintf "bad fault scope %S (want \"full\")" other)
-            | _ -> assert false
-          in
-          match (float_of_string_opt rate, int_of_string_opt seed, scope) with
-          | Some rate, Some seed, Ok scope when rate > 0.0 && rate <= 1.0 ->
-              Ok (Some { rate; seed; scope })
-          | Some _, Some _, (Ok _ as _ok) ->
-              Error (Printf.sprintf "fault rate %S not in (0,1]" rate)
-          | _, _, (Error _ as e) -> e
-          | None, _, _ -> Error (Printf.sprintf "bad fault rate %S" rate)
-          | _, None, _ -> Error (Printf.sprintf "bad fault seed %S" seed))
-      | _ -> Error (Printf.sprintf "bad RD_FAULTS syntax %S (want RATE:SEED[:full])" s))
+let parse = Runtime.Fault.parse
 
-let from_env () =
-  match Sys.getenv_opt "RD_FAULTS" with
-  | None -> None
-  | Some s -> (
-      match parse s with
-      | Ok t -> t
-      | Error msg ->
-          Logs.warn (fun m -> m "ignoring RD_FAULTS: %s" msg);
-          None)
+let set t = Runtime.set_faults t
 
-let state : t option option ref = ref None
-
-let set t = state := Some t
-
-let current () =
-  match !state with
-  | Some t -> t
-  | None ->
-      let t = from_env () in
-      state := Some t;
-      t
+let current () = Runtime.faults ()
 
 let enabled () = current () <> None
 
@@ -100,6 +57,4 @@ let shrink_budget ~key budget =
       1
   | Some _ | None -> budget
 
-let pp ppf t =
-  Format.fprintf ppf "rate %.3f, seed %d, %s" t.rate t.seed
-    (match t.scope with Transient -> "transient" | Full -> "full")
+let pp = Runtime.Fault.pp

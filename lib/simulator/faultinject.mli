@@ -27,11 +27,11 @@
     [RATE:SEED:full] for full scope, [0], [off] or the empty string to
     disable.  Example: [RD_FAULTS=0.05:42]. *)
 
-type scope =
+type scope = Runtime.Fault.scope =
   | Transient  (** first-attempt task throws only; retry recovers. *)
   | Full  (** + permanent task failures and shrunk engine budgets. *)
 
-type t = { rate : float; seed : int; scope : scope }
+type t = Runtime.Fault.t = { rate : float; seed : int; scope : scope }
 
 exception Injected of int
 (** Raised by wrapped tasks; the payload is the input index. *)
@@ -40,13 +40,12 @@ val parse : string -> (t option, string) result
 (** Parse knob syntax; [Ok None] means explicitly disabled. *)
 
 val set : t option -> unit
-(** Override the ambient configuration (CLI flag, tests, bench). *)
+(** Delegates to {!Runtime.set_faults} (CLI flag, tests, bench). *)
 
 val current : unit -> t option
-(** The ambient configuration: the last {!set} value, else the
-    [RD_FAULTS] environment variable read once at first use.  [None]
-    when disabled (the default) — every hook below is then the
-    identity. *)
+(** Delegates to {!Runtime.faults}: the last value set via either API,
+    else the [RD_FAULTS] environment variable.  [None] when disabled
+    (the default) — every hook below is then the identity. *)
 
 val enabled : unit -> bool
 

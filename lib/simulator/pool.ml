@@ -1,25 +1,31 @@
 open Bgp
 
-let override = ref None
+let set_default_jobs n = Runtime.set_jobs (Some (max 1 n))
 
-let set_default_jobs n = override := Some (max 1 n)
-
-let default_jobs () =
-  match !override with
-  | Some n -> n
-  | None -> (
-      match Sys.getenv_opt "RD_JOBS" with
-      | Some s -> (
-          match int_of_string_opt (String.trim s) with
-          | Some n when n >= 1 -> n
-          | Some _ | None -> Domain.recommended_domain_count ())
-      | None -> Domain.recommended_domain_count ())
+let default_jobs () = Runtime.jobs ()
 
 let resolve_jobs = function
   | Some j -> max 1 j
   | None -> default_jobs ()
 
 type task_error = { index : int; exn : exn; backtrace : string }
+
+type slot_timing = {
+  start_us : int;
+  dur_us : int;
+  domain : int;
+  retried : bool;
+}
+
+let batches_m = Obs.Metrics.counter "pool.batches"
+
+let tasks_m = Obs.Metrics.counter "pool.tasks"
+
+let retried_m = Obs.Metrics.counter "pool.retried"
+
+let failed_m = Obs.Metrics.counter "pool.failed"
+
+let slot_us_m = Obs.Metrics.histogram "pool.slot_us"
 
 (* Batch scope marker for the Analysis mutation-discipline checker: the
    depth is positive while any [map_result] batch is in flight anywhere
@@ -37,7 +43,7 @@ let pp_task_error ppf e =
    hence every caller downstream) is independent of the job count.  A
    failing task writes an [Error] into its own slot and the worker moves
    on — one pathological input no longer discards the whole batch. *)
-let map_result ?jobs ?on_recover f l =
+let map_result ?jobs ?on_recover ?on_slot f l =
   let input = Array.of_list l in
   let n = Array.length input in
   if n = 0 then []
@@ -47,13 +53,36 @@ let map_result ?jobs ?on_recover f l =
     let jobs = min (resolve_jobs jobs) n in
     let f = Faultinject.wrap_tasks ~n f in
     let results = Array.make n None in
+    (* Per-slot wall time, always measured (two clock reads per task
+       against millisecond-scale simulations): the slot_us histogram
+       and the ?on_slot hook want it whether or not tracing is on.  The
+       sequential-retry path below overwrites a failed slot's timing
+       with the retry attempt's, so traces never show zero-duration
+       slots for retried tasks. *)
+    let timing =
+      Array.make n { start_us = 0; dur_us = 0; domain = 0; retried = false }
+    in
+    let batch_start = Obs.Trace.now_us () in
     let run_item i =
+      let t0 = Obs.Trace.now_us () in
+      let finish () =
+        timing.(i) <-
+          {
+            start_us = t0;
+            dur_us = Obs.Trace.now_us () - t0;
+            domain = (Domain.self () :> int);
+            retried = false;
+          }
+      in
       match f i input.(i) with
-      | v -> results.(i) <- Some (Ok v)
+      | v ->
+          finish ();
+          results.(i) <- Some (Ok v)
       | exception exn ->
           let backtrace =
             Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
           in
+          finish ();
           results.(i) <- Some (Error { index = i; exn; backtrace })
     in
     if jobs = 1 then
@@ -88,17 +117,54 @@ let map_result ?jobs ?on_recover f l =
       match results.(i) with
       | Some (Ok _) -> ()
       | Some (Error _) -> (
+          let t0 = Obs.Trace.now_us () in
+          let finish () =
+            timing.(i) <-
+              {
+                start_us = t0;
+                dur_us = Obs.Trace.now_us () - t0;
+                domain = (Domain.self () :> int);
+                retried = true;
+              }
+          in
           match f i input.(i) with
           | v ->
+              finish ();
               results.(i) <- Some (Ok v);
+              Obs.Metrics.incr retried_m;
               (match on_recover with Some g -> g i | None -> ())
           | exception exn ->
               let backtrace =
                 Printexc.raw_backtrace_to_string (Printexc.get_raw_backtrace ())
               in
+              finish ();
               results.(i) <- Some (Error { index = i; exn; backtrace }))
       | None -> assert false (* every slot is written by exactly one worker *)
     done;
+    Obs.Metrics.incr batches_m;
+    Obs.Metrics.incr ~by:n tasks_m;
+    let traced = Obs.Trace.enabled () in
+    Array.iteri
+      (fun i t ->
+        Obs.Metrics.observe slot_us_m t.dur_us;
+        (match results.(i) with
+        | Some (Error _) -> Obs.Metrics.incr failed_m
+        | Some (Ok _) | None -> ());
+        (match on_slot with Some g -> g i t | None -> ());
+        if traced then
+          Obs.Trace.emit
+            ~args:
+              (("index", string_of_int i)
+              :: (if t.retried then [ ("retried", "true") ] else []))
+            ~tid:t.domain ~name:"pool.slot" ~ts_us:t.start_us ~dur_us:t.dur_us
+            ())
+      timing;
+    if traced then
+      Obs.Trace.emit
+        ~args:[ ("tasks", string_of_int n); ("jobs", string_of_int jobs) ]
+        ~name:"pool.map" ~ts_us:batch_start
+        ~dur_us:(Obs.Trace.now_us () - batch_start)
+        ();
     Array.to_list
       (Array.map (function Some r -> r | None -> assert false) results)
   end

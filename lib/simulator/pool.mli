@@ -24,13 +24,15 @@
 open Bgp
 
 val default_jobs : unit -> int
-(** Worker count used when [?jobs] is not given: the value set with
-    {!set_default_jobs} if any, else the [RD_JOBS] environment variable
+(** Worker count used when [?jobs] is not given.  Delegates to
+    {!Runtime.jobs}: the value set with {!set_default_jobs} (or
+    [Runtime.set_jobs]) if any, else the [RD_JOBS] environment variable
     (a positive integer), else [Domain.recommended_domain_count ()]. *)
 
 val set_default_jobs : int -> unit
 (** Process-wide override, wired to the [--jobs] flags of the CLI and
-    the bench driver.  Values are clamped to at least 1. *)
+    the bench driver; delegates to {!Runtime.set_jobs}.  Values are
+    clamped to at least 1. *)
 
 type task_error = {
   index : int;  (** position of the failing input in the batch *)
@@ -46,9 +48,17 @@ val batch_active : unit -> bool
 
 val pp_task_error : Format.formatter -> task_error -> unit
 
+type slot_timing = {
+  start_us : int;  (** slot start on the {!Obs.Trace.now_us} clock *)
+  dur_us : int;  (** wall time of the {e recorded} attempt *)
+  domain : int;  (** domain id that ran the recorded attempt *)
+  retried : bool;  (** the recorded attempt is the sequential retry *)
+}
+
 val map_result :
   ?jobs:int ->
   ?on_recover:(int -> unit) ->
+  ?on_slot:(int -> slot_timing -> unit) ->
   ('a -> 'b) ->
   'a list ->
   ('b, task_error) result list
@@ -58,7 +68,14 @@ val map_result :
     [Error] in its own slot without disturbing the rest of the batch;
     failed tasks are retried once sequentially after the parallel
     phase, and [on_recover i] is called for each input [i] whose retry
-    succeeded. *)
+    succeeded.
+
+    Every slot's wall time is measured — for a retried task the timing
+    (and domain) of the retry attempt replaces the failed first
+    attempt's, flagged [retried] — and reported after the batch via
+    [on_slot], the [pool.slot_us] metrics histogram, and (when tracing
+    is on) one trace event per slot plus a whole-batch [pool.map]
+    event. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map_result} for callers that treat any persistent failure as

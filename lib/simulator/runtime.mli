@@ -1,0 +1,119 @@
+(** Unified runtime configuration: one record for every process-wide
+    knob — worker count, warm-start mode, mutation-discipline checking,
+    fault injection, tracing — with a single environment reader and a
+    single argv parser.
+
+    This module is the {e only} place that reads the [RD_*] environment
+    variables ([RD_JOBS], [RD_WARM], [RD_CHECK], [RD_FAULTS],
+    [RD_TRACE]); the CLI and the bench driver derive their flags from
+    {!with_argv} and the per-knob parsers instead of hand-parsing the
+    same strings twice.  The legacy per-knob modules ({!Pool} jobs,
+    {!Warm}, {!Faultinject}, [Analysis.Ownership]) delegate their
+    [set]/[current] state here, so there is exactly one source of truth
+    whichever API a caller uses.
+
+    Knob types live in submodules here (rather than in the modules that
+    consume them) so that those consumers can depend on [Runtime]
+    without a cycle. *)
+
+(** Warm-start re-simulation mode (see {!Warm}). *)
+module Warm_mode : sig
+  type t = Off | On | Verify
+
+  val parse : string -> (t, string) result
+  (** Accepts [off]/[0]/[cold], [on]/[1]/[warm], [verify]/[check]. *)
+
+  val to_string : t -> string
+end
+
+(** Mutation-discipline checking mode (see [Analysis.Ownership]). *)
+module Check_mode : sig
+  type t = Off | On
+
+  val parse : string -> (t, string) result
+  (** Accepts [off]/[0]/[false]/empty and [on]/[1]/[true]. *)
+
+  val to_string : t -> string
+end
+
+(** Fault-injection configuration (see {!Faultinject}). *)
+module Fault : sig
+  type scope = Transient | Full
+
+  type t = { rate : float; seed : int; scope : scope }
+
+  val parse : string -> (t option, string) result
+  (** [RATE:SEED] (transient), [RATE:SEED:full], or [0]/[off]/empty to
+      disable ([Ok None]). *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type t = {
+  jobs : int option;  (** pool worker count; [None] = machine default *)
+  warm : Warm_mode.t;
+  check : Check_mode.t;
+  faults : Fault.t option;
+  trace : Obs.Trace.mode;
+}
+
+val default : t
+(** No jobs override, warm [On], check [Off], no faults, trace [Off]. *)
+
+val of_env : unit -> t
+(** Read every [RD_*] knob from the environment (trimmed; an empty or
+    unset variable means "use the default").  An invalid value is
+    logged as a warning and falls back to {!default}'s field — an env
+    typo must not change simulation behaviour silently.  Pure read: the
+    ambient configuration ({!current}) is not touched. *)
+
+val with_argv : t -> string list -> (t * string list, string) result
+(** [with_argv t args] folds recognised flags into [t] and returns the
+    leftover arguments in order: [--jobs]/[-j N], [--warm MODE],
+    [--check MODE], [--faults SPEC], [--trace MODE], each in both
+    [--flag value] and [--flag=value] form.  Unlike {!of_env}, an
+    invalid value is an [Error] — an explicit flag deserves a hard
+    failure. *)
+
+(** {2 Ambient configuration}
+
+    The process-wide configuration every knob accessor reads.  It is
+    initialised from {!of_env} on first use; {!set} and the per-field
+    setters override it.  Setting it also propagates the trace mode to
+    {!Obs.Trace}. *)
+
+val current : unit -> t
+
+val set : t -> unit
+
+val set_jobs : int option -> unit
+
+val set_warm : Warm_mode.t -> unit
+
+val set_check : Check_mode.t -> unit
+(** Note: this records the mode only.  [Analysis.Ownership] owns the
+    network mutation hook and syncs it with this mode on its next
+    [current]/[ensure] call (the analysis layer sits above the
+    simulator, so the hook cannot be installed from here). *)
+
+val set_faults : Fault.t option -> unit
+
+val set_trace : Obs.Trace.mode -> unit
+
+(** {2 Resolved accessors} *)
+
+val jobs : unit -> int
+(** The configured job count, or [Domain.recommended_domain_count ()]
+    when unset; always at least 1. *)
+
+val warm : unit -> Warm_mode.t
+
+val check : unit -> Check_mode.t
+
+val faults : unit -> Fault.t option
+
+val trace : unit -> Obs.Trace.mode
+(** Reads {!Obs.Trace.mode} — the live tracer state — so a direct
+    [Obs.Trace.set_mode] is also reflected here. *)
+
+val pp : Format.formatter -> t -> unit

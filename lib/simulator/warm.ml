@@ -1,39 +1,18 @@
-type mode = Off | On | Verify
+type mode = Runtime.Warm_mode.t = Off | On | Verify
 
-let mode_to_string = function Off -> "off" | On -> "on" | Verify -> "verify"
+let mode_to_string = Runtime.Warm_mode.to_string
 
-let parse s =
-  match String.lowercase_ascii (String.trim s) with
-  | "off" | "0" | "cold" -> Ok Off
-  | "on" | "1" | "warm" -> Ok On
-  | "verify" | "check" -> Ok Verify
-  | other ->
-      Error (Printf.sprintf "bad warm-start mode %S (want off|on|verify)" other)
+let parse = Runtime.Warm_mode.parse
 
-let from_env () =
-  match Sys.getenv_opt "RD_WARM" with
-  | None -> On
-  | Some s -> (
-      match parse s with
-      | Ok m -> m
-      | Error msg ->
-          Logs.warn (fun m -> m "ignoring RD_WARM: %s" msg);
-          On)
+let set m = Runtime.set_warm m
 
-let state : mode option ref = ref None
-
-let set m = state := Some m
-
-let current () =
-  match !state with
-  | Some m -> m
-  | None ->
-      let m = from_env () in
-      state := Some m;
-      m
+let current () = Runtime.warm ()
 
 (* Counters are atomics because the refiner's simulation closures run
-   them from pool worker domains. *)
+   them from pool worker domains.  The local atomics carry the
+   resettable per-measurement stats the bench prints; the metrics
+   registry gets the same increments so `--metrics` snapshots and
+   BENCH.json agree with them. *)
 let warm_runs_c = Atomic.make 0
 
 let cold_runs_c = Atomic.make 0
@@ -42,13 +21,29 @@ let verified_c = Atomic.make 0
 
 let divergences_c = Atomic.make 0
 
-let note_warm () = Atomic.incr warm_runs_c
+let warm_runs_m = Obs.Metrics.counter "warm.resumed"
 
-let note_cold () = Atomic.incr cold_runs_c
+let cold_runs_m = Obs.Metrics.counter "warm.cold"
 
-let note_verified () = Atomic.incr verified_c
+let verified_m = Obs.Metrics.counter "warm.verified"
 
-let note_divergence () = Atomic.incr divergences_c
+let divergences_m = Obs.Metrics.counter "warm.divergences"
+
+let note_warm () =
+  Atomic.incr warm_runs_c;
+  Obs.Metrics.incr warm_runs_m
+
+let note_cold () =
+  Atomic.incr cold_runs_c;
+  Obs.Metrics.incr cold_runs_m
+
+let note_verified () =
+  Atomic.incr verified_c;
+  Obs.Metrics.incr verified_m
+
+let note_divergence () =
+  Atomic.incr divergences_c;
+  Obs.Metrics.incr divergences_m
 
 type stats = {
   warm_runs : int;

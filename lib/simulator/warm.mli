@@ -14,7 +14,7 @@
     any divergence, and returns the cold result — the equivalence
     safety net CI runs. *)
 
-type mode = Off | On | Verify
+type mode = Runtime.Warm_mode.t = Off | On | Verify
 
 val parse : string -> (mode, string) result
 (** Accepts [off]/[0], [on]/[1], [verify]. *)
@@ -22,10 +22,11 @@ val parse : string -> (mode, string) result
 val mode_to_string : mode -> string
 
 val set : mode -> unit
-(** Process-wide override, wired to the [--warm] flags. *)
+(** Delegates to {!Runtime.set_warm} — there is one source of truth. *)
 
 val current : unit -> mode
-(** The value set with {!set} if any, else [RD_WARM], else [On]. *)
+(** Delegates to {!Runtime.warm}: the last value set (via either API),
+    else [RD_WARM], else [On]. *)
 
 (** {2 Counters}
 

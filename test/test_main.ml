@@ -18,6 +18,7 @@ let () =
       ("engine", Test_engine.suite);
       ("pool", Test_pool.suite);
       ("warm", Test_warm.suite);
+      ("obs", Test_obs.suite);
       ("faultinject", Test_faultinject.suite);
       ("netgen", Test_netgen.suite);
       ("asmodel", Test_asmodel.suite);
