@@ -862,6 +862,166 @@ let experiment_obs prepared (warm : warm_report) =
     metrics_json;
   }
 
+type serve_report = {
+  serve_prefixes : int;
+  snapshot_build_s : float;
+  serve_queries : int;
+  queries_per_sec : float;
+  latency_p50_us : int;
+  latency_p99_us : int;
+  serve_deadline_misses : int;
+  whatif_warm_s : float;
+  whatif_cold_s : float;
+  whatif_resume_hits : int;
+}
+
+(* Percentile estimate from a pair of histogram snapshots: the upper
+   bound of the bucket where the cumulative delta count crosses [q]. *)
+let histogram_percentile ~before ~after q =
+  let buckets_of = function
+    | Some (Obs.Metrics.Histogram { buckets; _ }) -> buckets
+    | _ -> []
+  in
+  let pre = buckets_of before and post = buckets_of after in
+  let delta =
+    if List.length pre = List.length post then
+      List.map2 (fun (le, a) (le', b) -> assert (le = le'); (le, b - a)) pre post
+    else post
+  in
+  let total = List.fold_left (fun acc (_, n) -> acc + n) 0 delta in
+  if total = 0 then 0
+  else begin
+    let target =
+      max 1 (int_of_float (Float.round (q *. float_of_int total)))
+    in
+    let rec go acc = function
+      | [] -> 0
+      | (le, n) :: rest -> if acc + n >= target then le else go (acc + n) rest
+    in
+    go 0 delta
+  end
+
+let experiment_serve prepared =
+  (* The query service on a frozen snapshot of this world: read-query
+     throughput and latency percentiles from the serve histograms, and
+     the tentpole comparison — a what-if delta resumed warm from the
+     cached states vs re-converging every prefix cold. *)
+  section "SERVE" "query service over a frozen snapshot (lib/serve)";
+  let model = Asmodel.Qrmodel.initial prepared.Core.graph in
+  let t0 = Unix.gettimeofday () in
+  let snap = Serve.Snapshot.build model in
+  let snapshot_build_s = Unix.gettimeofday () -. t0 in
+  let prefixes = List.map fst (Serve.Snapshot.states snap) in
+  let ases = Topology.Asgraph.nodes prepared.Core.graph in
+  let sample_ases = List.filteri (fun i _ -> i mod 97 = 0) ases in
+  let reqs =
+    List.concat
+      (List.mapi
+         (fun i p ->
+           List.map
+             (fun asn -> Serve.Protocol.Path { prefix = p; asn })
+             sample_ases
+           @
+           if i mod 16 = 0 then
+             [
+               Serve.Protocol.Catchment
+                 { egress = List.nth ases (i mod List.length ases);
+                   prefix = Some p };
+             ]
+           else [])
+         prefixes)
+  in
+  let lat_before = Obs.Metrics.value "serve.latency_us" in
+  let misses0 = Obs.Metrics.find_counter "serve.deadline_misses" in
+  let t0 = Unix.gettimeofday () in
+  let failed =
+    List.fold_left
+      (fun acc req ->
+        let resp = Serve.Query.eval_timed ~deadline_ms:1000 snap req in
+        match resp.Serve.Protocol.result with Ok _ -> acc | Error _ -> acc + 1)
+      0 reqs
+  in
+  let read_wall = Unix.gettimeofday () -. t0 in
+  let lat_after = Obs.Metrics.value "serve.latency_us" in
+  let serve_deadline_misses =
+    Obs.Metrics.find_counter "serve.deadline_misses" - misses0
+  in
+  let serve_queries = List.length reqs in
+  let queries_per_sec =
+    if read_wall > 0.0 then float_of_int serve_queries /. read_wall else 0.0
+  in
+  let latency_p50_us =
+    histogram_percentile ~before:lat_before ~after:lat_after 0.50
+  in
+  let latency_p99_us =
+    histogram_percentile ~before:lat_before ~after:lat_after 0.99
+  in
+  (* What-if: warm (the serve path — every prefix resumes from its
+     cached converged state) vs cold (re-converge every prefix from
+     scratch under the same deny, then restore). *)
+  let a, b =
+    match Topology.Asgraph.edges prepared.Core.graph with
+    | (a, b) :: _ -> (a, b)
+    | [] -> (0, 0)
+  in
+  let t0 = Unix.gettimeofday () in
+  let whatif_resume_hits =
+    match
+      time "SERVE whatif warm" (fun () ->
+          Serve.Query.eval snap (Serve.Protocol.Whatif { a; b }))
+    with
+    | Ok (Serve.Protocol.Whatif_summary { resume_hits; _ }) -> resume_hits
+    | Ok _ | Error _ -> 0
+  in
+  let whatif_warm_s = Unix.gettimeofday () -. t0 in
+  let net = (Serve.Snapshot.model snap).Asmodel.Qrmodel.net in
+  let t0 = Unix.gettimeofday () in
+  time "SERVE whatif cold" (fun () ->
+      Serve.Snapshot.exclusive snap (fun () ->
+          ignore (Asmodel.Whatif.disable_as_link model a b);
+          Fun.protect
+            ~finally:(fun () ->
+              ignore (Asmodel.Whatif.enable_as_link model a b);
+              List.iter (Simulator.Net.clear_touched net) prefixes)
+            (fun () ->
+              ignore
+                (Simulator.Pool.simulate
+                   ~sim:(fun p ->
+                     Simulator.Engine.simulate net ~prefix:p
+                       ~originators:(Asmodel.Qrmodel.originators model p))
+                   prefixes))));
+  let whatif_cold_s = Unix.gettimeofday () -. t0 in
+  Serve.Snapshot.retire snap;
+  Evaluation.Report.kv std
+    [
+      ("prefixes served", string_of_int (List.length prefixes));
+      ("snapshot build", Printf.sprintf "%.2fs" snapshot_build_s);
+      ( "read queries",
+        Printf.sprintf "%d (%d failed)" serve_queries failed );
+      ("queries/sec", Printf.sprintf "%.0f" queries_per_sec);
+      ("latency p50", Printf.sprintf "%dus" latency_p50_us);
+      ("latency p99", Printf.sprintf "%dus" latency_p99_us);
+      ("deadline misses (1000ms)", string_of_int serve_deadline_misses);
+      ( "what-if wall",
+        Printf.sprintf "warm %.2fs vs cold %.2fs (%.2fx)" whatif_warm_s
+          whatif_cold_s
+          (if whatif_warm_s > 0.0 then whatif_cold_s /. whatif_warm_s else 0.0)
+      );
+      ("what-if warm resumes", string_of_int whatif_resume_hits);
+    ];
+  {
+    serve_prefixes = List.length prefixes;
+    snapshot_build_s;
+    serve_queries;
+    queries_per_sec;
+    latency_p50_us;
+    latency_p99_us;
+    serve_deadline_misses;
+    whatif_warm_s;
+    whatif_cold_s;
+    whatif_resume_hits;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results (hand-rolled JSON; no extra dependency)    *)
 (* ------------------------------------------------------------------ *)
@@ -884,13 +1044,27 @@ let json_num f =
   if Float.is_nan f || Float.is_integer f then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.6f" f
 
-let write_bench_json path ~scale ~seed ~jobs warm check obs =
+let write_bench_json path ~scale ~seed ~jobs warm check obs serve =
   let b = Buffer.create 4096 in
   let field k v = Printf.bprintf b "  %S: %s,\n" k v in
   Buffer.add_string b "{\n";
   field "scale" (json_num scale);
   field "seed" (string_of_int seed);
   field "jobs" (string_of_int jobs);
+  (match serve with
+  | None -> field "serve" "null"
+  | Some s ->
+      field "serve"
+        (Printf.sprintf
+           "{\"prefixes\": %d, \"snapshot_build_s\": %.3f, \"queries\": %d, \
+            \"queries_per_sec\": %.1f, \"latency_p50_us\": %d, \
+            \"latency_p99_us\": %d, \"deadline_misses\": %d, \
+            \"whatif_warm_s\": %.3f, \"whatif_cold_s\": %.3f, \
+            \"whatif_resume_hits\": %d}"
+           s.serve_prefixes s.snapshot_build_s s.serve_queries
+           s.queries_per_sec s.latency_p50_us s.latency_p99_us
+           s.serve_deadline_misses s.whatif_warm_s s.whatif_cold_s
+           s.whatif_resume_hits));
   Printf.bprintf b "  \"sections\": [\n";
   let sections = List.rev !timings in
   List.iteri
@@ -1106,11 +1280,13 @@ let () =
   in
   let check_report = ref None in
   let obs_report = ref None in
+  let serve_report = ref None in
   let warm_and_check prepared =
     let warm = experiment_warm prepared in
     warm_report := Some warm;
     check_report := Some (experiment_check prepared warm);
-    obs_report := Some (experiment_obs prepared warm)
+    obs_report := Some (experiment_obs prepared warm);
+    serve_report := Some (experiment_serve prepared)
   in
   if has "--warm-only" then begin
     let _data, prepared = build_world () in
@@ -1139,6 +1315,6 @@ let () =
     (value "--json" "BENCH.json")
     ~scale ~seed
     ~jobs:(Simulator.Pool.default_jobs ())
-    !warm_report !check_report !obs_report;
+    !warm_report !check_report !obs_report !serve_report;
   Obs.Trace.flush std;
   Format.printf "@.[total: %.1fs]@." (Unix.gettimeofday () -. t_start)

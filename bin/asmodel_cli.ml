@@ -45,11 +45,22 @@ let load_dataset path =
 let std = Format.std_formatter
 
 (* Simulation worker count, shared by every subcommand that simulates.
-   Precedence: --jobs flag > RD_JOBS env > Domain.recommended_domain_count. *)
+   Precedence: --jobs flag > RD_JOBS env > Domain.recommended_domain_count.
+   An explicit flag deserves a hard failure: reject 0 and negatives here
+   instead of letting Pool.set_default_jobs clamp them silently. *)
+let positive_int_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Ok n
+    | Some _ | None ->
+        Error (`Msg (Printf.sprintf "expected a positive integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let jobs_arg =
   Arg.(
     value
-    & opt (some int) None
+    & opt (some positive_int_conv) None
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
           "Worker domains for per-prefix simulation (default: $(b,RD_JOBS) \
@@ -674,6 +685,178 @@ let whatif_cmd =
        ~doc:"Remove the link between two ASes and report route changes.")
     Term.(const whatif $ model_arg $ as_a_arg $ as_b_arg)
 
+(* serve / query *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "asmodel.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket path of the query service (ignored when a TCP \
+           port is configured).")
+
+let port_arg =
+  Arg.(
+    value
+    & opt (some positive_int_conv) None
+    & info [ "port" ] ~docv:"N"
+        ~doc:
+          "Serve on loopback TCP port $(docv) instead of the Unix socket \
+           (default: $(b,RD_PORT) or the Unix socket).")
+
+let nonneg_int_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 0 -> Ok n
+    | Some _ | None ->
+        Error (`Msg (Printf.sprintf "expected a non-negative integer, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some nonneg_int_conv) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Per-query deadline in milliseconds; overruns are answered anyway \
+           but flagged and counted (default: $(b,RD_DEADLINE_MS) or 1000; \
+           $(b,0) disables).")
+
+let resolve_listen socket =
+  match Simulator.Runtime.port () with
+  | Some p -> Serve.Server.Tcp p
+  | None -> Serve.Server.Unix_path socket
+
+let serve_run model_path socket port deadline jobs faults trace metrics =
+  init_runtime ();
+  apply_jobs jobs;
+  apply_faults faults;
+  apply_trace trace;
+  (match port with Some _ -> Simulator.Runtime.set_port port | None -> ());
+  (match deadline with
+  | Some d -> Simulator.Runtime.set_deadline_ms d
+  | None -> ());
+  match Asmodel.Serialize.load model_path with
+  | Error msg ->
+      Printf.eprintf "cannot load model: %s\n" msg;
+      2
+  | Ok model ->
+      let snap = Serve.Snapshot.build model in
+      if not (Serve.Snapshot.converged snap) then
+        Printf.eprintf
+          "warning: some cached states did not converge; answers for those \
+           prefixes reflect partial states\n%!";
+      let store = Serve.Snapshot.store () in
+      Serve.Snapshot.publish store snap;
+      let listen = resolve_listen socket in
+      let srv = Serve.Server.start ~store listen in
+      Printf.eprintf "serving %d prefixes (%d quasi-routers) on %s%s\n%!"
+        (List.length model.Asmodel.Qrmodel.prefixes)
+        (Simulator.Net.node_count model.Asmodel.Qrmodel.net)
+        (match listen with
+        | Serve.Server.Unix_path p -> p
+        | Serve.Server.Tcp p -> Printf.sprintf "127.0.0.1:%d" p)
+        (let d = Simulator.Runtime.deadline_ms () in
+         if d = 0 then ", no deadline"
+         else Printf.sprintf ", deadline %dms" d);
+      Serve.Server.wait srv;
+      finish_obs ~metrics ();
+      0
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Answer path, catchment and what-if queries against a frozen \
+          snapshot of a saved model (length-prefixed JSON; see 'asmodel \
+          query').")
+    Term.(
+      const serve_run $ model_arg $ socket_arg $ port_arg $ deadline_arg
+      $ jobs_arg $ faults_arg $ trace_arg $ metrics_arg)
+
+let query_words_arg =
+  Arg.(
+    non_empty
+    & pos_all string []
+    & info [] ~docv:"QUERY"
+        ~doc:
+          "One of: $(b,path PREFIX AS); $(b,catchment EGRESS [PREFIX]); \
+           $(b,whatif A B) (alias $(b,deny-link)); $(b,ping); \
+           $(b,shutdown).")
+
+let parse_query_words words =
+  let int_of name s =
+    match int_of_string_opt s with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "bad %s %S" name s)
+  in
+  let prefix_of s =
+    match Prefix.of_string s with
+    | Some p -> Ok p
+    | None -> Error (Printf.sprintf "bad prefix %S" s)
+  in
+  let ( let* ) = Result.bind in
+  match words with
+  | [ "path"; p; a ] ->
+      let* prefix = prefix_of p in
+      let* asn = int_of "AS" a in
+      Ok (Serve.Protocol.Path { prefix; asn })
+  | [ "catchment"; e ] ->
+      let* egress = int_of "egress AS" e in
+      Ok (Serve.Protocol.Catchment { egress; prefix = None })
+  | [ "catchment"; e; p ] ->
+      let* egress = int_of "egress AS" e in
+      let* prefix = prefix_of p in
+      Ok (Serve.Protocol.Catchment { egress; prefix = Some prefix })
+  | [ ("whatif" | "deny-link"); a; b ] ->
+      let* a = int_of "AS" a in
+      let* b = int_of "AS" b in
+      Ok (Serve.Protocol.Whatif { a; b })
+  | [ "ping" ] -> Ok Serve.Protocol.Ping
+  | [ "shutdown" ] -> Ok Serve.Protocol.Shutdown
+  | _ ->
+      Error
+        (Printf.sprintf "unrecognized query: %s" (String.concat " " words))
+
+let query_run socket port words =
+  init_runtime ();
+  (match port with Some _ -> Simulator.Runtime.set_port port | None -> ());
+  match parse_query_words words with
+  | Error msg ->
+      Printf.eprintf "asmodel query: %s\n" msg;
+      1
+  | Ok req -> (
+      let listen = resolve_listen socket in
+      match Serve.Server.connect listen with
+      | Error msg ->
+          Printf.eprintf "cannot connect: %s\n" msg;
+          3
+      | Ok conn ->
+          let code =
+            match Serve.Server.request conn req with
+            | Error msg ->
+                Printf.eprintf "query failed: %s\n" msg;
+                3
+            | Ok json ->
+                print_endline (Serve.Json.to_string json);
+                if Serve.Json.(member "ok" json |> Option.map to_bool)
+                   = Some (Some true)
+                then 0
+                else 1
+          in
+          Serve.Server.close_conn conn;
+          code)
+
+let query_cmd =
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Send one query to a running 'asmodel serve' and print the JSON \
+          response.")
+    Term.(const query_run $ socket_arg $ port_arg $ query_words_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "asmodel" ~version:"1.0.0"
@@ -692,6 +875,8 @@ let main_cmd =
       export_cbgp_cmd;
       lint_cmd;
       whatif_cmd;
+      serve_cmd;
+      query_cmd;
     ]
 
 (* Exit codes: 0 success, 1 usage, 2 input parse, 3 simulation/runtime

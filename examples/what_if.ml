@@ -49,8 +49,8 @@ let () =
   ignore (Asmodel.Whatif.enable_as_link model a b);
   let restored = Asmodel.Whatif.snapshot model in
   let diff_back = Asmodel.Whatif.diff before restored in
-  Format.printf "@.after re-enabling the link: %d prefixes still differ "
-    diff_back.Asmodel.Whatif.prefixes_affected;
   Format.printf
-    "(non-zero is possible:@.re-enabling also lifts refinement filters on \
-     that link).@."
+    "@.after re-enabling the link: %d prefixes differ (the revert is an \
+     exact@.save/restore, so refinement filters on that link survive and \
+     this is 0).@."
+    diff_back.Asmodel.Whatif.prefixes_affected

@@ -27,6 +27,21 @@ let snapshot ?prefixes ?on_prefix (model : Qrmodel.t) =
       (p, per_as))
     prefixes
 
+let of_states (model : Qrmodel.t) states =
+  let ases = Topology.Asgraph.nodes model.Qrmodel.graph in
+  List.map
+    (fun (p, st) ->
+      let per_as =
+        List.filter_map
+          (fun asn ->
+            match Engine.selected_paths model.Qrmodel.net st asn with
+            | [] -> None
+            | paths -> Some (asn, paths))
+          ases
+      in
+      (p, per_as))
+    states
+
 let sessions_between (model : Qrmodel.t) a b =
   let net = model.Qrmodel.net in
   List.concat_map
@@ -37,9 +52,51 @@ let sessions_between (model : Qrmodel.t) a b =
         (Net.sessions_of net n))
     (Net.nodes_of_as net a)
 
+(* Save/restore registry for link what-ifs.
+
+   [disable_as_link] denies every model prefix on every half-session
+   between the two ASes — including half-sessions that already carried
+   refiner-placed denies.  To make [enable_as_link] an exact inverse we
+   record, per (net, AS pair), which (node, session, prefix) denies
+   pre-existed at disable time; enable then removes only the denies the
+   what-if added.  Keyed by physical net identity so concurrent what-ifs
+   on distinct models never interfere; guarded by a mutex because the
+   serve layer may run what-ifs from a dedicated executor thread. *)
+
+type saved_denies = {
+  sd_net : Net.t;
+  sd_pair : Asn.t * Asn.t;  (* normalized: min, max *)
+  sd_pre : (int * int * Prefix.t) list;
+      (* denies that existed before [disable_as_link] *)
+}
+
+let saved : saved_denies list ref = ref []
+
+let saved_mu = Mutex.create ()
+
+let norm_pair a b = if Asn.compare a b <= 0 then (a, b) else (b, a)
+
 let disable_as_link (model : Qrmodel.t) a b =
   let net = model.Qrmodel.net in
   let halves = sessions_between model a b @ sessions_between model b a in
+  if halves <> [] then begin
+    let pre =
+      List.concat_map
+        (fun (n, s) ->
+          List.filter_map
+            (fun (p, _) ->
+              if Net.export_denied net n s p then Some (n, s, p) else None)
+            model.Qrmodel.prefixes)
+        halves
+    in
+    let pair = norm_pair a b in
+    Mutex.lock saved_mu;
+    (* Keep the earliest record: on a repeated disable the current denies
+       include our own, which must not masquerade as pre-existing. *)
+    if not (List.exists (fun e -> e.sd_net == net && e.sd_pair = pair) !saved)
+    then saved := { sd_net = net; sd_pair = pair; sd_pre = pre } :: !saved;
+    Mutex.unlock saved_mu
+  end;
   List.iter
     (fun (n, s) ->
       List.iter (fun (p, _) -> Net.deny_export net n s p) model.Qrmodel.prefixes)
@@ -49,9 +106,25 @@ let disable_as_link (model : Qrmodel.t) a b =
 let enable_as_link (model : Qrmodel.t) a b =
   let net = model.Qrmodel.net in
   let halves = sessions_between model a b @ sessions_between model b a in
+  let pair = norm_pair a b in
+  let entry =
+    Mutex.lock saved_mu;
+    let e = List.find_opt (fun e -> e.sd_net == net && e.sd_pair = pair) !saved in
+    saved := List.filter (fun e -> not (e.sd_net == net && e.sd_pair = pair)) !saved;
+    Mutex.unlock saved_mu;
+    e
+  in
+  let keep n s p =
+    match entry with
+    | None -> false (* no record: legacy behavior, clear everything *)
+    | Some e -> List.exists (fun (n', s', p') ->
+        n = n' && s = s' && Prefix.equal p p') e.sd_pre
+  in
   List.iter
     (fun (n, s) ->
-      List.iter (fun (p, _) -> Net.allow_export net n s p) model.Qrmodel.prefixes)
+      List.iter
+        (fun (p, _) -> if not (keep n s p) then Net.allow_export net n s p)
+        model.Qrmodel.prefixes)
     halves;
   List.length halves
 

@@ -18,18 +18,27 @@ val snapshot :
 (** Simulate the given prefixes (default: all model prefixes) and record
     each AS's set of selected full paths. *)
 
+val of_states :
+  Qrmodel.t -> (Prefix.t * Simulator.Engine.state) list -> snapshot
+(** Build a snapshot from already-converged states — the serve layer's
+    path: it caches per-prefix states and must not re-simulate. *)
+
 val disable_as_link : Qrmodel.t -> Asn.t -> Asn.t -> int
 (** Stop all route exchange between two ASes by denying every model
     prefix on every session between their quasi-routers, in both
     directions.  Returns the number of half-sessions touched; [0] means
-    the ASes share no session.  (Sessions are kept so the change can be
-    reverted with {!enable_as_link}.) *)
+    the ASes share no session.  Sessions are kept, and the set of denies
+    that pre-existed on those half-sessions (e.g. refiner-placed
+    filters) is recorded, so the change can be reverted exactly with
+    {!enable_as_link}. *)
 
 val enable_as_link : Qrmodel.t -> Asn.t -> Asn.t -> int
-(** Remove every per-prefix deny on sessions between the two ASes —
-    including filters the refiner placed there, so reverting a what-if
-    restores connectivity but not necessarily the exact refined
-    policies.  Returns the number of half-sessions touched. *)
+(** Revert a {!disable_as_link}: remove the per-prefix denies it added
+    on sessions between the two ASes while keeping any deny that
+    pre-existed (refiner-placed filters survive the round trip).
+    Without a matching [disable_as_link] record — e.g. across a process
+    restart — falls back to clearing every deny on those sessions.
+    Returns the number of half-sessions touched. *)
 
 type change = {
   prefix : Prefix.t;

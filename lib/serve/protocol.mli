@@ -1,0 +1,69 @@
+(** Wire protocol of the query service: request/response types, their
+    JSON encoding, and length-prefixed framing.
+
+    Every frame is a 4-byte big-endian payload length followed by that
+    many bytes of JSON.  Requests are objects selected by an ["op"]
+    field; responses carry ["ok"], ["elapsed_us"], ["deadline_missed"]
+    and either ["result"] or ["error"]. *)
+
+open Bgp
+
+type request =
+  | Path of { prefix : Prefix.t; asn : Asn.t }
+      (** the AS's selected full paths toward the prefix *)
+  | Catchment of { egress : Asn.t; prefix : Prefix.t option }
+      (** ASes whose selected route transits [egress]; one prefix, or
+          every model prefix when [None] *)
+  | Whatif of { a : Asn.t; b : Asn.t }
+      (** deny the AS link, re-converge warm, diff, revert *)
+  | Ping
+  | Shutdown  (** answer, then stop accepting connections *)
+
+type whatif_change = { wc_prefix : Prefix.t; wc_changed : int; wc_lost : int }
+
+type payload =
+  | Paths of { prefix : Prefix.t; asn : Asn.t; paths : int array list }
+  | Catchment_members of {
+      egress : Asn.t;
+      members : (Prefix.t * Asn.t list) list;
+    }
+  | Whatif_summary of {
+      a : Asn.t;
+      b : Asn.t;
+      half_sessions : int;
+      prefixes_affected : int;
+      ases_affected : int;
+      resume_hits : int;  (** warm resumes used for this query's deltas *)
+      changes : whatif_change list;  (** capped at 20 entries *)
+    }
+  | Pong of { prefixes : int; nodes : int }
+  | Closing
+
+type response = {
+  result : (payload, string) result;
+  elapsed_us : int;
+  deadline_missed : bool;
+}
+
+val request_to_json : request -> Json.t
+
+val request_of_json : Json.t -> (request, string) result
+
+val request_to_string : request -> string
+
+val request_of_string : string -> (request, string) result
+
+val payload_to_json : payload -> Json.t
+
+val response_to_json : response -> Json.t
+
+val response_to_string : response -> string
+
+(** {2 Framing} *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Write one length-prefixed frame; loops until fully written. *)
+
+val read_frame : Unix.file_descr -> (string option, string) result
+(** Read one frame.  [Ok None] on a clean end-of-stream before a
+    header; [Error] on a truncated or oversized frame. *)

@@ -1,0 +1,179 @@
+open Bgp
+module Engine = Simulator.Engine
+module Net = Simulator.Net
+module Pool = Simulator.Pool
+module Runtime = Simulator.Runtime
+module Qrmodel = Asmodel.Qrmodel
+module Whatif = Asmodel.Whatif
+
+let queries_m = Obs.Metrics.counter "serve.queries"
+
+let deadline_misses_m = Obs.Metrics.counter "serve.deadline_misses"
+
+let latency_m = Obs.Metrics.histogram "serve.latency_us"
+
+let whatif_resume_hits_m = Obs.Metrics.counter "serve.whatif_resume_hits"
+
+let eval_path snap prefix asn =
+  match Snapshot.state snap prefix with
+  | None -> Error (Printf.sprintf "unknown prefix %s" (Prefix.to_string prefix))
+  | Some st ->
+      let model = Snapshot.model snap in
+      let paths = Engine.selected_paths model.Qrmodel.net st asn in
+      Ok (Protocol.Paths { prefix; asn; paths })
+
+(* The catchment of an egress AS for a prefix: every AS (other than the
+   egress itself) with a selected route that transits the egress.
+   Selected paths start with the selecting AS, so any occurrence of the
+   egress in another AS's path is a genuine transit (or terminal) hop. *)
+let catchment_of_state model st egress =
+  let net = model.Qrmodel.net in
+  List.filter
+    (fun asn ->
+      asn <> egress
+      && List.exists
+           (fun path -> Array.exists (fun hop -> hop = egress) path)
+           (Engine.selected_paths net st asn))
+    (Topology.Asgraph.nodes model.Qrmodel.graph)
+
+let eval_catchment snap egress prefix =
+  let model = Snapshot.model snap in
+  let targets =
+    match prefix with
+    | Some p -> (
+        match Snapshot.state snap p with
+        | Some st -> Ok [ (p, st) ]
+        | None ->
+            Error (Printf.sprintf "unknown prefix %s" (Prefix.to_string p)))
+    | None -> Ok (Snapshot.states snap)
+  in
+  Result.map
+    (fun targets ->
+      Protocol.Catchment_members
+        {
+          egress;
+          members =
+            List.map
+              (fun (p, st) -> (p, catchment_of_state model st egress))
+              targets;
+        })
+    targets
+
+let eval_whatif ?jobs snap a b =
+  (* All mutation runs on the snapshot's executor thread; the pool batch
+     in the middle only reads.  Sequence: deny the link, re-converge
+     every prefix warm from the cached states, diff against the
+     baseline, then restore the exact pre-query deny set and drain the
+     touched sets so the published state is bit-identical again. *)
+  Snapshot.exclusive snap (fun () ->
+      let model = Snapshot.model snap in
+      let net = model.Qrmodel.net in
+      let half_sessions = Whatif.disable_as_link model a b in
+      if half_sessions = 0 then
+        Ok
+          (Protocol.Whatif_summary
+             {
+               a;
+               b;
+               half_sessions;
+               prefixes_affected = 0;
+               ases_affected = 0;
+               resume_hits = 0;
+               changes = [];
+             })
+      else begin
+        let finally () =
+          ignore (Whatif.enable_as_link model a b);
+          List.iter (fun (p, _) -> Net.clear_touched net p) model.Qrmodel.prefixes
+        in
+        Fun.protect ~finally (fun () ->
+            let hits0 = Obs.Metrics.find_counter "engine.warm_resume_hits" in
+            let states, _stats =
+              Pool.simulate ?jobs
+                ~sim:(fun p ->
+                  Engine.simulate ?from:(Snapshot.state snap p) net ~prefix:p
+                    ~originators:(Qrmodel.originators model p))
+                (List.map fst model.Qrmodel.prefixes)
+            in
+            let resume_hits =
+              max 0
+                (Obs.Metrics.find_counter "engine.warm_resume_hits" - hits0)
+            in
+            Obs.Metrics.incr ~by:resume_hits whatif_resume_hits_m;
+            let after = Whatif.of_states model states in
+            let d = Whatif.diff (Snapshot.baseline snap) after in
+            let changes =
+              List.filteri (fun i _ -> i < 20) d.Whatif.changes
+              |> List.map (fun (c : Whatif.change) ->
+                     {
+                       Protocol.wc_prefix = c.Whatif.prefix;
+                       wc_changed = List.length c.Whatif.ases_changed;
+                       wc_lost = List.length c.Whatif.ases_lost;
+                     })
+            in
+            Ok
+              (Protocol.Whatif_summary
+                 {
+                   a;
+                   b;
+                   half_sessions;
+                   prefixes_affected = d.Whatif.prefixes_affected;
+                   ases_affected = d.Whatif.ases_affected;
+                   resume_hits;
+                   changes;
+                 }))
+      end)
+
+let eval ?jobs snap (req : Protocol.request) =
+  match req with
+  | Protocol.Path { prefix; asn } -> eval_path snap prefix asn
+  | Protocol.Catchment { egress; prefix } -> eval_catchment snap egress prefix
+  | Protocol.Whatif { a; b } -> eval_whatif ?jobs snap a b
+  | Protocol.Ping ->
+      let model = Snapshot.model snap in
+      Ok
+        (Protocol.Pong
+           {
+             prefixes = List.length model.Qrmodel.prefixes;
+             nodes = Net.node_count model.Qrmodel.net;
+           })
+  | Protocol.Shutdown -> Ok Protocol.Closing
+
+let eval_timed ?jobs ?deadline_ms snap req : Protocol.response =
+  let deadline_ms =
+    match deadline_ms with Some d -> d | None -> Runtime.deadline_ms ()
+  in
+  let start = Obs.Trace.now_us () in
+  let result =
+    try eval ?jobs snap req
+    with exn -> Error (Printexc.to_string exn)
+  in
+  let elapsed_us = Obs.Trace.now_us () - start in
+  let deadline_missed = deadline_ms > 0 && elapsed_us > deadline_ms * 1000 in
+  Obs.Metrics.incr queries_m;
+  Obs.Metrics.observe latency_m elapsed_us;
+  if deadline_missed then Obs.Metrics.incr deadline_misses_m;
+  { Protocol.result; elapsed_us; deadline_missed }
+
+let run_batch ?jobs ?deadline_ms snap reqs =
+  (* Read-only queries fan out over the pool; what-ifs mutate (inside
+     their exclusive section) and must not overlap a pool batch, so
+     they run sequentially after the parallel phase.  Results come back
+     in request order either way. *)
+  let n = List.length reqs in
+  let indexed = List.mapi (fun i r -> (i, r)) reqs in
+  let mutating, readonly =
+    List.partition
+      (fun (_, r) -> match r with Protocol.Whatif _ -> true | _ -> false)
+      indexed
+  in
+  let slots = Array.make n None in
+  Pool.map ?jobs (fun (i, r) -> (i, eval_timed ?deadline_ms snap r)) readonly
+  |> List.iter (fun (i, resp) -> slots.(i) <- Some resp);
+  List.iter
+    (fun (i, r) -> slots.(i) <- Some (eval_timed ?jobs ?deadline_ms snap r))
+    mutating;
+  Array.to_list slots
+  |> List.map (function
+       | Some resp -> resp
+       | None -> assert false)

@@ -1,0 +1,139 @@
+type listen = Unix_path of string | Tcp of int
+
+let connections_m = Obs.Metrics.counter "serve.connections"
+
+let sockaddr_of = function
+  | Unix_path path -> Unix.ADDR_UNIX path
+  | Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+type t = {
+  listen : listen;
+  fd : Unix.file_descr;
+  store : Snapshot.store;
+  deadline_ms : int option;
+  stopping : bool Atomic.t;
+  mutable accept_thread : Thread.t option;
+  conn_mu : Mutex.t;
+  mutable conn_threads : Thread.t list;
+}
+
+let stop srv =
+  if not (Atomic.exchange srv.stopping true) then begin
+    (* close alone does not wake a thread blocked in accept(2); shutdown
+       does (the accepter gets EINVAL). *)
+    (try Unix.shutdown srv.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close srv.fd with Unix.Unix_error _ -> ());
+    match srv.listen with
+    | Unix_path path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+    | Tcp _ -> ()
+  end
+
+let handle_connection srv client =
+  Obs.Metrics.incr connections_m;
+  let respond resp =
+    Protocol.write_frame client (Protocol.response_to_string resp)
+  in
+  let error_response msg =
+    { Protocol.result = Error msg; elapsed_us = 0; deadline_missed = false }
+  in
+  let rec loop () =
+    match Protocol.read_frame client with
+    | Ok None -> ()
+    | Error msg ->
+        (* A framing error poisons the stream: answer and hang up. *)
+        (try respond (error_response msg) with _ -> ())
+    | Ok (Some payload) -> (
+        match Protocol.request_of_string payload with
+        | Error msg ->
+            respond (error_response msg);
+            loop ()
+        | Ok req -> (
+            match Snapshot.current srv.store with
+            | None ->
+                respond (error_response "no snapshot published");
+                loop ()
+            | Some snap ->
+                let resp =
+                  Query.eval_timed ?deadline_ms:srv.deadline_ms snap req
+                in
+                respond resp;
+                if req = Protocol.Shutdown then stop srv else loop ()))
+  in
+  (try loop () with _ -> ());
+  try Unix.close client with Unix.Unix_error _ -> ()
+
+let accept_loop srv () =
+  let rec go () =
+    match Unix.accept srv.fd with
+    | exception Unix.Unix_error _ -> () (* closed by stop *)
+    | client, _addr ->
+        let th = Thread.create (handle_connection srv) client in
+        Mutex.protect srv.conn_mu (fun () ->
+            srv.conn_threads <- th :: srv.conn_threads);
+        go ()
+  in
+  go ()
+
+let start ?deadline_ms ~store listen =
+  let fd =
+    Unix.socket
+      (match listen with Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET)
+      Unix.SOCK_STREAM 0
+  in
+  (match listen with
+  | Unix_path path -> (
+      try Unix.unlink path with Unix.Unix_error _ -> ())
+  | Tcp _ -> Unix.setsockopt fd Unix.SO_REUSEADDR true);
+  Unix.bind fd (sockaddr_of listen);
+  Unix.listen fd 64;
+  let srv =
+    {
+      listen;
+      fd;
+      store;
+      deadline_ms;
+      stopping = Atomic.make false;
+      accept_thread = None;
+      conn_mu = Mutex.create ();
+      conn_threads = [];
+    }
+  in
+  srv.accept_thread <- Some (Thread.create (accept_loop srv) ());
+  srv
+
+let wait srv =
+  (match srv.accept_thread with Some t -> Thread.join t | None -> ());
+  let threads =
+    Mutex.protect srv.conn_mu (fun () ->
+        let ts = srv.conn_threads in
+        srv.conn_threads <- [];
+        ts)
+  in
+  List.iter Thread.join threads
+
+(* -- client -- *)
+
+type conn = Unix.file_descr
+
+let connect listen =
+  let fd =
+    Unix.socket
+      (match listen with Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET)
+      Unix.SOCK_STREAM 0
+  in
+  match Unix.connect fd (sockaddr_of listen) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Unix.error_message err)
+
+let request conn req =
+  match Protocol.write_frame conn (Protocol.request_to_string req) with
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  | () -> (
+      match Protocol.read_frame conn with
+      | Error msg -> Error msg
+      | Ok None -> Error "connection closed"
+      | Ok (Some payload) -> Json.of_string payload)
+
+let close_conn conn = try Unix.close conn with Unix.Unix_error _ -> ()

@@ -1,0 +1,141 @@
+open Bgp
+module Engine = Simulator.Engine
+module Net = Simulator.Net
+module Pool = Simulator.Pool
+module Qrmodel = Asmodel.Qrmodel
+module Whatif = Asmodel.Whatif
+
+(* Executor: a dedicated systhread that runs every what-if mutation.
+   Systhreads stay in the domain that created them, so funnelling all
+   net mutations through this thread keeps the mutating domain constant
+   (the builder's) no matter which connection thread or test domain
+   issues the query — the RD_CHECK ownership hook then sees one owner
+   and zero violations while serving.  It also serializes what-ifs,
+   which the save/restore discipline requires. *)
+
+type exec = {
+  mu : Mutex.t;
+  cond : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable stop : bool;
+  mutable thread : Thread.t option;
+}
+
+let exec_loop e () =
+  let rec go () =
+    Mutex.lock e.mu;
+    while Queue.is_empty e.jobs && not e.stop do
+      Condition.wait e.cond e.mu
+    done;
+    if Queue.is_empty e.jobs then Mutex.unlock e.mu
+    else begin
+      let job = Queue.pop e.jobs in
+      Mutex.unlock e.mu;
+      job ();
+      go ()
+    end
+  in
+  go ()
+
+let exec_create () =
+  let e =
+    {
+      mu = Mutex.create ();
+      cond = Condition.create ();
+      jobs = Queue.create ();
+      stop = false;
+      thread = None;
+    }
+  in
+  e.thread <- Some (Thread.create (exec_loop e) ());
+  e
+
+let exec_stop e =
+  Mutex.lock e.mu;
+  e.stop <- true;
+  Condition.broadcast e.cond;
+  Mutex.unlock e.mu;
+  match e.thread with
+  | Some t ->
+      Thread.join t;
+      e.thread <- None
+  | None -> ()
+
+type t = {
+  model : Qrmodel.t;
+  states : (Prefix.t * Engine.state) list;
+  by_prefix : (Prefix.t, Engine.state) Hashtbl.t;
+  baseline : Whatif.snapshot;
+  build_stats : Pool.stats;
+  exec : exec;
+}
+
+let build ?jobs (model : Qrmodel.t) =
+  let net = model.Qrmodel.net in
+  let prefixes = List.map fst model.Qrmodel.prefixes in
+  let states, build_stats =
+    Pool.simulate ?jobs
+      ~sim:(fun p ->
+        Engine.simulate net ~prefix:p ~originators:(Qrmodel.originators model p))
+      prefixes
+  in
+  (* The cached states reflect everything up to now; drain the touched
+     sets so the first what-if resume replays only its own edits. *)
+  List.iter (fun p -> Net.clear_touched net p) prefixes;
+  let baseline = Whatif.of_states model states in
+  let by_prefix = Hashtbl.create (List.length states) in
+  List.iter (fun (p, st) -> Hashtbl.replace by_prefix p st) states;
+  { model; states; by_prefix; baseline; build_stats; exec = exec_create () }
+
+let model t = t.model
+
+let states t = t.states
+
+let state t p = Hashtbl.find_opt t.by_prefix p
+
+let baseline t = t.baseline
+
+let build_stats t = t.build_stats
+
+let converged t =
+  List.for_all (fun (_, st) -> Engine.converged st) t.states
+
+let exclusive t f =
+  let result = ref None in
+  let mu = Mutex.create () in
+  let cond = Condition.create () in
+  let job () =
+    let r = try Ok (f ()) with exn -> Error exn in
+    Mutex.lock mu;
+    result := Some r;
+    Condition.signal cond;
+    Mutex.unlock mu
+  in
+  Mutex.lock t.exec.mu;
+  if t.exec.stop then begin
+    Mutex.unlock t.exec.mu;
+    invalid_arg "Snapshot.exclusive: snapshot is retired"
+  end;
+  Queue.add job t.exec.jobs;
+  Condition.signal t.exec.cond;
+  Mutex.unlock t.exec.mu;
+  Mutex.lock mu;
+  while Option.is_none !result do
+    Condition.wait cond mu
+  done;
+  Mutex.unlock mu;
+  match Option.get !result with Ok v -> v | Error exn -> raise exn
+
+let retire t = exec_stop t.exec
+
+(* -- atomic swap -- *)
+
+type store = t option Atomic.t
+
+let store () = Atomic.make None
+
+let publish store t =
+  let prev = Atomic.exchange store (Some t) in
+  match prev with Some old when old != t -> retire old | _ -> ()
+
+let current store = Atomic.get store

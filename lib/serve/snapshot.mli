@@ -1,0 +1,63 @@
+(** Frozen query-service snapshots: a refined model plus the converged
+    engine state of every model prefix, computed once over the
+    {!Simulator.Pool} and then treated as immutable.
+
+    Queries read the cached states; they never re-simulate from
+    scratch.  What-if queries do mutate the underlying network, but
+    only through {!exclusive}: a dedicated executor thread (created in
+    {!build}, in the builder's domain) runs every mutation, so the
+    RD_CHECK ownership checker sees a single mutating domain — and the
+    exact save/restore in {!Asmodel.Whatif} returns the network to its
+    published state before the next query runs.
+
+    A {!store} is the atomic-swap publication point: readers grab the
+    current snapshot with one atomic load; {!publish} installs a
+    replacement and retires the previous snapshot's executor. *)
+
+open Bgp
+
+type t
+
+val build : ?jobs:int -> Asmodel.Qrmodel.t -> t
+(** Simulate every model prefix over the pool ([jobs] defaults to
+    {!Simulator.Runtime.jobs}), cache the converged states, drain the
+    touched sets, and precompute the baseline selected-path snapshot
+    what-if diffs compare against. *)
+
+val model : t -> Asmodel.Qrmodel.t
+
+val states : t -> (Prefix.t * Simulator.Engine.state) list
+(** In model-prefix order. *)
+
+val state : t -> Prefix.t -> Simulator.Engine.state option
+
+val baseline : t -> Asmodel.Whatif.snapshot
+
+val build_stats : t -> Simulator.Pool.stats
+
+val converged : t -> bool
+(** Every cached state converged. *)
+
+val exclusive : t -> (unit -> 'a) -> 'a
+(** Run [f] on the snapshot's executor thread and return its result;
+    serializes with every other [exclusive] caller.  All what-if
+    mutation happens here.  Raises [Invalid_argument] after
+    {!retire}. *)
+
+val retire : t -> unit
+(** Stop the executor thread (idempotent).  Queries already queued
+    finish first. *)
+
+(** {2 Atomic swap} *)
+
+type store
+
+val store : unit -> store
+(** An empty publication point. *)
+
+val publish : store -> t -> unit
+(** Atomically install a snapshot as the current one and retire the
+    snapshot it replaces (if any). *)
+
+val current : store -> t option
+(** One atomic load; no locking on the read path. *)

@@ -474,15 +474,6 @@ let simulate ?max_events ?max_escalations ?on_best_change ?from ?touched net
       cold ?max_events ?max_escalations ?on_best_change net ~prefix:pfx
         ~originators
 
-let run ?max_events ?max_escalations ?on_best_change net ~prefix ~originators =
-  cold ?max_events ?max_escalations ?on_best_change net ~prefix ~originators
-
-let resume ?max_events ?max_escalations ?on_best_change net ~prev ~touched =
-  if not (resumable net prev) then
-    invalid_arg "Engine.resume: previous state is not resumable";
-  Obs.Metrics.incr resume_hits_m;
-  warm ?max_events ?max_escalations ?on_best_change net ~prev ~touched
-
 let best_full_path net st n =
   match best st n with
   | None -> None

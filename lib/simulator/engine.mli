@@ -57,46 +57,13 @@ val simulate :
     {!Faultinject} is enabled in [Full] scope, chosen prefixes have
     their initial budget shrunk to 1. *)
 
-val run :
-  ?max_events:int ->
-  ?max_escalations:int ->
-  ?on_best_change:(int -> Rattr.t option -> unit) ->
-  Net.t ->
-  prefix:Prefix.t ->
-  originators:int list ->
-  state
-(** Deprecated: thin alias for {!simulate} without [from] (always a
-    cold start), kept for one release.  All parameters behave as
-    documented on {!simulate}. *)
-
 val resumable : Net.t -> state -> bool
 (** Can a previous run of this prefix seed a warm restart on [net]?
     True when the state converged, was computed at the network's
     current {!Net.generation} (no structural or network-wide change
-    since), and covers every node. *)
-
-val resume :
-  ?max_events:int ->
-  ?max_escalations:int ->
-  ?on_best_change:(int -> Rattr.t option -> unit) ->
-  Net.t ->
-  prev:state ->
-  touched:int list ->
-  state
-(** Deprecated: strict warm-start form of {!simulate} ([from] with an
-    explicit [touched] list), kept for one release.  Copies the
-    previous converged state, replays the exports of every node in
-    [touched] (one event each) so the per-prefix policy edits recorded
-    since [prev] take effect, and drains to the new fixed point.
-    [prev] is not mutated.  Under the model's policies (uniform import
-    preference, filters, MED ranking with {!Decision.Always_compare})
-    the per-prefix instance has a unique stable state and converges
-    from any starting point, so the warm fixed point equals the cold
-    one — [RD_WARM=verify] checks this on every run.  Budget,
-    escalation and watchdog semantics match {!simulate}.  Unlike
-    {!simulate}, raises [Invalid_argument] when
-    [not (resumable net prev)]; callers decide cold fallback via
-    {!resumable}. *)
+    since), and covers every node.  {!simulate} applies this check to
+    its [from] argument; exposed so callers can predict whether a
+    warm resume will hit. *)
 
 val state_fingerprint : state -> int
 (** Full-width hash of the routing content (best routes and RIB-Ins,

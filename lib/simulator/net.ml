@@ -55,7 +55,7 @@ type t = {
   mutable steps : Decision.step list;
   mutable m_scope : Decision.med_scope;
   mutable nsessions : int;  (* directed half-sessions *)
-  (* Change tracking for warm-start re-simulation (Engine.resume):
+  (* Change tracking for warm-start re-simulation (Engine.simulate ?from):
      [generation] counts structural or network-wide mutations (nodes,
      sessions, global knobs) — any bump invalidates every prior state;
      [touched] records, per prefix, the nodes whose per-prefix policy

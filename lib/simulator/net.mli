@@ -210,7 +210,7 @@ val duplicate_node : t -> int -> int
 
 (** {2 Change tracking for warm-start re-simulation}
 
-    Mutations are classified for {!Engine.resume}: structural and
+    Mutations are classified for warm resumption ({!Engine.simulate} with [from]): structural and
     network-wide changes ([add_node], [connect], [duplicate_node],
     [set_export_matrix], [set_igp_cost], [set_default_med],
     [set_decision_steps], [set_med_scope], [set_import_lpref],

@@ -1,7 +1,7 @@
 (** Domain-based worker pool for per-prefix simulation.
 
     Converged-state computation is embarrassingly parallel across
-    prefixes: {!Engine.run} only {e reads} the network, and each run
+    prefixes: {!Engine.simulate} only {e reads} the network, and each run
     owns its private state.  The pool fans a prefix list out over OCaml
     5 domains ([Domain] from the stdlib — no extra dependency) in
     contiguous chunks claimed from an atomic counter, and returns the
@@ -108,7 +108,7 @@ val simulate :
 (** [simulate ~sim prefixes] runs [sim] on every prefix in parallel and
     returns the states paired with their prefixes, in input order, plus
     the batch statistics.  Non-converged (budget-truncated or diverged)
-    states are counted in [stats.non_converged] — see {!Engine.run} —
+    states are counted in [stats.non_converged] — see {!Engine.outcome} —
     so silent truncation shows up in every pool report.  Raises like
     {!map} if a simulation fails persistently. *)
 

@@ -71,6 +71,8 @@ type t = {
   check : Check_mode.t;
   faults : Fault.t option;
   trace : Obs.Trace.mode;
+  port : int option;
+  deadline_ms : int;
 }
 
 let default =
@@ -80,6 +82,8 @@ let default =
     check = Check_mode.Off;
     faults = None;
     trace = Obs.Trace.Off;
+    port = None;
+    deadline_ms = 1000;
   }
 
 (* An unset or empty variable means "keep the default"; empty-string
@@ -106,12 +110,28 @@ let of_env () =
     | Some _ | None ->
         Error (Printf.sprintf "bad job count %S (want a positive integer)" s)
   in
+  let parse_port s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 && n <= 65535 -> Ok (Some n)
+    | Some _ | None ->
+        Error (Printf.sprintf "bad port %S (want 1..65535)" s)
+  in
+  let parse_deadline s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 0 -> Ok n
+    | Some _ | None ->
+        Error
+          (Printf.sprintf "bad deadline %S (want milliseconds >= 0; 0 = none)"
+             s)
+  in
   {
     jobs = knob "RD_JOBS" parse_jobs default.jobs;
     warm = knob "RD_WARM" Warm_mode.parse default.warm;
     check = knob "RD_CHECK" Check_mode.parse default.check;
     faults = knob "RD_FAULTS" Fault.parse default.faults;
     trace = knob "RD_TRACE" Obs.Trace.parse default.trace;
+    port = knob "RD_PORT" parse_port default.port;
+    deadline_ms = knob "RD_DEADLINE_MS" parse_deadline default.deadline_ms;
   }
 
 let with_argv rt args =
@@ -171,6 +191,20 @@ let with_argv rt args =
               (consume (fun v ->
                    Result.map (fun m -> { rt with trace = m })
                      (Obs.Trace.parse v)))
+        | "--port" ->
+            continue
+              (consume (fun v ->
+                   match int_of_string_opt (String.trim v) with
+                   | Some n when n >= 1 && n <= 65535 ->
+                       Ok { rt with port = Some n }
+                   | Some _ | None -> Error (Printf.sprintf "bad port %S" v)))
+        | "--deadline-ms" ->
+            continue
+              (consume (fun v ->
+                   match int_of_string_opt (String.trim v) with
+                   | Some n when n >= 0 -> Ok { rt with deadline_ms = n }
+                   | Some _ | None ->
+                       Error (Printf.sprintf "bad deadline %S" v)))
         | _ -> go rt (arg :: acc) rest)
   in
   go rt [] args
@@ -212,6 +246,10 @@ let set_faults faults = set { (current ()) with faults }
 
 let set_trace trace = set { (current ()) with trace }
 
+let set_port port = set { (current ()) with port }
+
+let set_deadline_ms deadline_ms = set { (current ()) with deadline_ms }
+
 let jobs () =
   match (current ()).jobs with
   | Some j -> max 1 j
@@ -225,8 +263,13 @@ let faults () = (current ()).faults
 
 let trace () = Obs.Trace.mode ()
 
+let port () = (current ()).port
+
+let deadline_ms () = (current ()).deadline_ms
+
 let pp ppf rt =
-  Format.fprintf ppf "jobs %s, warm %s, check %s, faults %s, trace %s"
+  Format.fprintf ppf
+    "jobs %s, warm %s, check %s, faults %s, trace %s, port %s, deadline %s"
     (match rt.jobs with Some j -> string_of_int j | None -> "auto")
     (Warm_mode.to_string rt.warm)
     (Check_mode.to_string rt.check)
@@ -234,3 +277,6 @@ let pp ppf rt =
     | Some f -> Format.asprintf "(%a)" Fault.pp f
     | None -> "off")
     (Obs.Trace.mode_to_string rt.trace)
+    (match rt.port with Some p -> string_of_int p | None -> "unix")
+    (if rt.deadline_ms = 0 then "none"
+     else string_of_int rt.deadline_ms ^ "ms")

@@ -5,7 +5,8 @@
 
     This module is the {e only} place that reads the [RD_*] environment
     variables ([RD_JOBS], [RD_WARM], [RD_CHECK], [RD_FAULTS],
-    [RD_TRACE]); the CLI and the bench driver derive their flags from
+    [RD_TRACE], [RD_PORT], [RD_DEADLINE_MS]); the CLI and the bench
+    driver derive their flags from
     {!with_argv} and the per-knob parsers instead of hand-parsing the
     same strings twice.  The legacy per-knob modules ({!Pool} jobs,
     {!Warm}, {!Faultinject}, [Analysis.Ownership]) delegate their
@@ -55,10 +56,14 @@ type t = {
   check : Check_mode.t;
   faults : Fault.t option;
   trace : Obs.Trace.mode;
+  port : int option;
+      (** serve: TCP port; [None] = Unix-domain socket (the default) *)
+  deadline_ms : int;  (** serve: per-query deadline; [0] = no deadline *)
 }
 
 val default : t
-(** No jobs override, warm [On], check [Off], no faults, trace [Off]. *)
+(** No jobs override, warm [On], check [Off], no faults, trace [Off],
+    no TCP port (Unix socket), 1000 ms query deadline. *)
 
 val of_env : unit -> t
 (** Read every [RD_*] knob from the environment (trimmed; an empty or
@@ -70,10 +75,11 @@ val of_env : unit -> t
 val with_argv : t -> string list -> (t * string list, string) result
 (** [with_argv t args] folds recognised flags into [t] and returns the
     leftover arguments in order: [--jobs]/[-j N], [--warm MODE],
-    [--check MODE], [--faults SPEC], [--trace MODE], each in both
-    [--flag value] and [--flag=value] form.  Unlike {!of_env}, an
-    invalid value is an [Error] — an explicit flag deserves a hard
-    failure. *)
+    [--check MODE], [--faults SPEC], [--trace MODE], [--port N],
+    [--deadline-ms N], each in both [--flag value] and [--flag=value]
+    form.  Unlike {!of_env}, an invalid value is an [Error] — an
+    explicit flag deserves a hard failure; in particular [--jobs 0] and
+    negative counts are rejected rather than clamped downstream. *)
 
 (** {2 Ambient configuration}
 
@@ -100,6 +106,10 @@ val set_faults : Fault.t option -> unit
 
 val set_trace : Obs.Trace.mode -> unit
 
+val set_port : int option -> unit
+
+val set_deadline_ms : int -> unit
+
 (** {2 Resolved accessors} *)
 
 val jobs : unit -> int
@@ -115,5 +125,12 @@ val faults : unit -> Fault.t option
 val trace : unit -> Obs.Trace.mode
 (** Reads {!Obs.Trace.mode} — the live tracer state — so a direct
     [Obs.Trace.set_mode] is also reflected here. *)
+
+val port : unit -> int option
+(** The serve front-end's TCP port; [None] means Unix-domain socket. *)
+
+val deadline_ms : unit -> int
+(** The serve layer's per-query deadline in milliseconds; [0] disables
+    deadline enforcement. *)
 
 val pp : Format.formatter -> t -> unit

@@ -3,7 +3,7 @@
     The refinement loop re-simulates every changed prefix each
     iteration; with warm starts on, a prefix whose network is
     structurally unchanged resumes from its previous converged state
-    and drains only the policy deltas ({!Engine.resume}) instead of
+    and drains only the policy deltas ({!Engine.simulate} with [from]) instead of
     re-flooding from the originators.  This module holds the
     process-wide mode — [RD_WARM] environment variable or the [--warm]
     flags — and the run counters the bench reports.

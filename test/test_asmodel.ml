@@ -133,6 +133,41 @@ let whatif_unknown_link () =
   let m = Qrmodel.initial graph in
   check_int "no session" 0 (Asmodel.Whatif.disable_as_link m 2 5)
 
+(* The revert must be an exact save/restore: a deny placed on the link's
+   sessions before the what-if (as the refiner does) survives the
+   disable/enable round trip, and predictions are bit-identical. *)
+let whatif_roundtrip_preserves_filters () =
+  let m = Qrmodel.initial graph in
+  let net = m.Qrmodel.net in
+  let n4 = List.hd (Net.nodes_of_as net 4) in
+  let n5 = List.hd (Net.nodes_of_as net 5) in
+  let s45 = Option.get (Net.find_session net n4 n5) in
+  (* A refiner-style filter on the very link the what-if toggles. *)
+  Net.deny_export net n4 s45 (Asn.origin_prefix 3);
+  let before = Asmodel.Whatif.snapshot m in
+  let denies_before, _ = Net.count_policies net in
+  ignore (Asmodel.Whatif.disable_as_link m 4 5);
+  ignore (Asmodel.Whatif.enable_as_link m 4 5);
+  check_bool "refiner filter survived" true
+    (Net.export_denied net n4 s45 (Asn.origin_prefix 3));
+  let denies_after, _ = Net.count_policies net in
+  check_int "deny count restored" denies_before denies_after;
+  let restored = Asmodel.Whatif.snapshot m in
+  let diff = Asmodel.Whatif.diff before restored in
+  check_int "predictions identical" 0 diff.Asmodel.Whatif.prefixes_affected
+
+(* Double disable of the same link must not overwrite the saved set with
+   one that includes the what-if's own denies. *)
+let whatif_double_disable () =
+  let m = Qrmodel.initial graph in
+  let net = m.Qrmodel.net in
+  let denies_before, _ = Net.count_policies net in
+  ignore (Asmodel.Whatif.disable_as_link m 4 5);
+  ignore (Asmodel.Whatif.disable_as_link m 4 5);
+  ignore (Asmodel.Whatif.enable_as_link m 4 5);
+  let denies_after, _ = Net.count_policies net in
+  check_int "no leaked denies" denies_before denies_after
+
 let suite =
   [
     Alcotest.test_case "initial model" `Quick initial_model;
@@ -143,4 +178,7 @@ let suite =
     Alcotest.test_case "baseline policies model" `Quick baseline_policies_model;
     Alcotest.test_case "whatif link removal" `Quick whatif_link_removal;
     Alcotest.test_case "whatif unknown link" `Quick whatif_unknown_link;
+    Alcotest.test_case "whatif roundtrip preserves filters" `Quick
+      whatif_roundtrip_preserves_filters;
+    Alcotest.test_case "whatif double disable" `Quick whatif_double_disable;
   ]

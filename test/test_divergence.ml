@@ -32,7 +32,7 @@ let bad_gadget () =
 
 let bad_gadget_diverges () =
   let net, o = bad_gadget () in
-  let st = Engine.run net ~prefix:p0 ~originators:[ o ] in
+  let st = Engine.simulate net ~prefix:p0 ~originators:[ o ] in
   check_bool "engine detects divergence" false (Engine.converged st);
   (* The watchdog pins the failure down to a genuine oscillation — a
      repeated full state — rather than a mere budget exhaustion. *)
@@ -47,14 +47,14 @@ let explicit_budget_truncates () =
   (* An explicit [max_events] is exact: no escalation, outcome
      [Truncated] with the caller's budget. *)
   let net, o = bad_gadget () in
-  let st = Engine.run ~max_events:7 net ~prefix:p0 ~originators:[ o ] in
+  let st = Engine.simulate ~max_events:7 net ~prefix:p0 ~originators:[ o ] in
   (match Engine.outcome st with
   | Engine.Truncated { events; budget } ->
       check_int "budget is the explicit cap" 7 budget;
       check_int "events reported" (Engine.events st) events
   | o -> Alcotest.failf "expected Truncated, got %a" Engine.pp_outcome o);
   (* Opting in to escalation raises the effective cap to 7*2*2 = 28. *)
-  let st = Engine.run ~max_events:7 ~max_escalations:2 net ~prefix:p0 ~originators:[ o ] in
+  let st = Engine.simulate ~max_events:7 ~max_escalations:2 net ~prefix:p0 ~originators:[ o ] in
   check_bool "escalated run goes past the base cap" true (Engine.events st > 7);
   (match Engine.outcome st with
   | Engine.Truncated { budget; _ } -> check_int "final budget escalated" 28 budget
@@ -71,7 +71,7 @@ let bad_gadget_stable_without_lpref () =
   for i = 0 to 2 do
     ignore (Net.connect net n.(i) n.((i + 1) mod 3))
   done;
-  let st = Engine.run net ~prefix:p0 ~originators:[ o ] in
+  let st = Engine.simulate net ~prefix:p0 ~originators:[ o ] in
   check_bool "stable" true (Engine.converged st);
   Array.iter
     (fun ni ->
@@ -90,11 +90,11 @@ let per_prefix_lpref_scoping () =
   ignore (Net.connect net b c);
   (* For prefix of AS 3 only, a prefers the longer route via b. *)
   Net.set_import_lpref_for net a s_ab (Asn.origin_prefix 3) 200;
-  let st3 = Engine.run net ~prefix:(Asn.origin_prefix 3) ~originators:[ c ] in
+  let st3 = Engine.simulate net ~prefix:(Asn.origin_prefix 3) ~originators:[ c ] in
   check_bool "preferred longer route" true
     (Engine.best_full_path net st3 a = Some [| 1; 2; 3 |]);
   (* Another prefix of AS 3's neighbour takes the shortest path. *)
-  let st2 = Engine.run net ~prefix:(Asn.origin_prefix 2) ~originators:[ b ] in
+  let st2 = Engine.simulate net ~prefix:(Asn.origin_prefix 2) ~originators:[ b ] in
   check_bool "other prefix unaffected" true
     (Engine.best_full_path net st2 a = Some [| 1; 2 |])
 

@@ -23,7 +23,7 @@ let line () =
 
 let propagation () =
   let net, n1, n2, n3 = line () in
-  let st = Engine.run net ~prefix:p6 ~originators:[ n3 ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ n3 ] in
   check_bool "converged" true (Engine.converged st);
   check_bool "origin selects itself" true
     (Engine.best_full_path net st n3 = Some [| 3 |]);
@@ -39,7 +39,7 @@ let shortest_path_choice () =
   ignore (Net.connect net n.(0) n.(3));
   ignore (Net.connect net n.(1) n.(3));
   ignore (Net.connect net n.(2) n.(3));
-  let st = Engine.run net ~prefix:p6 ~originators:[ n.(3) ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ n.(3) ] in
   check_bool "direct path" true (Engine.best_full_path net st n.(0) = Some [| 1; 4 |])
 
 let tie_break_lowest_ip () =
@@ -54,7 +54,7 @@ let tie_break_lowest_ip () =
   ignore (Net.connect net n1 n3);
   ignore (Net.connect net n2 n4);
   ignore (Net.connect net n3 n4);
-  let st = Engine.run net ~prefix:p6 ~originators:[ n4 ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ n4 ] in
   check_bool "via lower address" true
     (Engine.best_full_path net st n1 = Some [| 1; 2; 4 |])
 
@@ -63,11 +63,11 @@ let export_filter_blocks () =
   (* 2 refuses to announce p6 to 1. *)
   let s21 = Option.get (Net.find_session net n2 n1) in
   Net.deny_export net n2 s21 p6;
-  let st = Engine.run net ~prefix:p6 ~originators:[ n3 ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ n3 ] in
   check_bool "blocked" true (Engine.best st n1 = None);
   check_bool "unaffected elsewhere" true (Engine.best st n2 <> None);
   (* Another prefix is unaffected. *)
-  let st9 = Engine.run net ~prefix:(Asn.origin_prefix 9) ~originators:[ n3 ] in
+  let st9 = Engine.simulate net ~prefix:(Asn.origin_prefix 9) ~originators:[ n3 ] in
   check_bool "other prefix flows" true (Engine.best st9 n1 <> None)
 
 let med_ranking () =
@@ -84,7 +84,7 @@ let med_ranking () =
   ignore (Net.connect net n3 n4);
   ignore s12;
   Net.set_import_med net n1 s13 p6 0;
-  let st = Engine.run net ~prefix:p6 ~originators:[ n4 ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ n4 ] in
   check_bool "med overrides tie-break" true
     (Engine.best_full_path net st n1 = Some [| 1; 3; 4 |])
 
@@ -105,7 +105,7 @@ let med_rfc_scope () =
   Net.set_decision_steps net Simulator.Decision.full_steps;
   Net.set_med_scope net Simulator.Decision.Same_neighbor;
   Net.set_import_med net n1 s13 p6 0;
-  let st = Engine.run net ~prefix:p6 ~originators:[ n4 ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ n4 ] in
   check_bool "cross-neighbour med ignored" true
     (Engine.best_full_path net st n1 = Some [| 1; 2; 4 |])
 
@@ -118,7 +118,7 @@ let loop_rejection () =
   ignore (Net.connect net n1 n2);
   ignore (Net.connect net n2 n3);
   ignore (Net.connect net n3 n1);
-  let st = Engine.run net ~prefix:p6 ~originators:[ n3 ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ n3 ] in
   List.iter
     (fun n ->
       match Engine.best st n with
@@ -150,7 +150,7 @@ let ibgp_and_hot_potato () =
   ignore (Net.connect net n2 n4);
   ignore (Net.connect net n3 n4);
   Net.set_igp_cost net (fun _ _ -> 5);
-  let st = Engine.run net ~prefix:p6 ~originators:[ n4 ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ n4 ] in
   check_bool "r1a exits via 2" true
     (Engine.best_full_path net st r1a = Some [| 1; 2; 4 |]);
   check_bool "r1b exits via 3" true
@@ -172,7 +172,7 @@ let ibgp_no_reexport () =
   ignore (Net.connect ~kind:Net.Ibgp net rb rc);
   (* deliberately NO ra-rc session *)
   ignore (Net.connect net ra n2);
-  let st = Engine.run net ~prefix:p6 ~originators:[ n2 ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ n2 ] in
   check_bool "ra has it" true (Engine.best st ra <> None);
   check_bool "rb has it via ibgp" true (Engine.best st rb <> None);
   check_bool "rc starves (no full mesh)" true (Engine.best st rc = None)
@@ -188,7 +188,7 @@ let relationship_export_rule () =
   ignore (Net.connect ~class_ab:RC.customer ~class_ba:RC.provider net n1 n2);
   ignore (Net.connect ~class_ab:RC.provider ~class_ba:RC.customer net n2 n3);
   Net.set_export_matrix net RC.export_ok;
-  let st = Engine.run net ~prefix:p6 ~originators:[ n1 ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ n1 ] in
   check_bool "customer 2 hears it" true (Engine.best st n2 <> None);
   check_bool "provider 3 does not (no valley)" true (Engine.best st n3 = None)
 
@@ -199,10 +199,10 @@ let withdrawal_cascades () =
   let net, n1, n2, n3 = line () in
   let s21 = Option.get (Net.find_session net n2 n1) in
   Net.deny_export net n2 s21 p6;
-  let st1 = Engine.run net ~prefix:p6 ~originators:[ n3 ] in
+  let st1 = Engine.simulate net ~prefix:p6 ~originators:[ n3 ] in
   check_bool "starved" true (Engine.best st1 n1 = None);
   Net.allow_export net n2 s21 p6;
-  let st2 = Engine.run net ~prefix:p6 ~originators:[ n3 ] in
+  let st2 = Engine.simulate net ~prefix:p6 ~originators:[ n3 ] in
   check_bool "reaches after removal" true
     (Engine.best_full_path net st2 n1 = Some [| 1; 2; 3 |])
 
@@ -218,14 +218,14 @@ let carried_lpref () =
   let s23 = Option.get (Net.find_session net n2 n3) in
   Net.set_import_lpref net n2 s23 77;
   Net.set_carry_lpref net n1 s12 true;
-  let st = Engine.run net ~prefix:p6 ~originators:[ n3 ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ n3 ] in
   match Engine.rib_in st n1 with
   | [ (_, r) ] -> check_int "carried lpref" 77 r.R.lpref
   | _ -> Alcotest.fail "expected exactly one rib-in route"
 
 let event_budget () =
   let net, _, _, n3 = line () in
-  let st = Engine.run ~max_events:1 net ~prefix:p6 ~originators:[ n3 ] in
+  let st = Engine.simulate ~max_events:1 net ~prefix:p6 ~originators:[ n3 ] in
   check_bool "flagged non-converged" false (Engine.converged st)
 
 let suite =

@@ -35,4 +35,5 @@ let () =
       ("divergence", Test_divergence.suite);
       ("integration", Test_integration.suite);
       ("analysis", Test_analysis.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -136,20 +136,23 @@ let line () =
 
 let simulate_unifies_run_and_resume () =
   let net, n1, _n2, n3, s12 = line () in
-  let cold = Engine.run net ~prefix:p6 ~originators:[ n3 ] in
+  let cold = Engine.simulate net ~prefix:p6 ~originators:[ n3 ] in
   let via_simulate = Engine.simulate net ~prefix:p6 ~originators:[ n3 ] in
-  check_bool "simulate without from = run" true
+  check_bool "simulate without from is a cold start" true
     (Engine.same_state cold via_simulate);
   (* A per-prefix policy edit leaves the state resumable; simulate
-     ~from must match the strict resume. *)
+     ~from with an explicit touched list must match the default
+     (Net.touched_nodes) form. *)
   Net.deny_export net n1 s12 p6;
   check_bool "still resumable" true (Engine.resumable net cold);
   let hits0 = Metrics.find_counter "engine.warm_resume_hits" in
   let warm =
-    Engine.resume net ~prev:cold ~touched:(Net.touched_nodes net p6)
+    Engine.simulate ~from:cold ~touched:(Net.touched_nodes net p6) net
+      ~prefix:p6 ~originators:[ n3 ]
   in
   let via_from = Engine.simulate ~from:cold net ~prefix:p6 ~originators:[ n3 ] in
-  check_bool "simulate ~from = resume" true (Engine.same_state warm via_from);
+  check_bool "explicit touched = default touched" true
+    (Engine.same_state warm via_from);
   check_int "both warm starts counted" (hits0 + 2)
     (Metrics.find_counter "engine.warm_resume_hits");
   (* A wrong-prefix seed falls back to a cold start, counted as a
@@ -164,13 +167,16 @@ let simulate_unifies_run_and_resume () =
     (Engine.same_state cold9 fellback);
   check_int "miss counted" (miss0 + 1)
     (Metrics.find_counter "engine.warm_resume_misses");
-  (* The strict legacy form still rejects a non-resumable seed. *)
-  let truncated = Engine.run ~max_events:1 net ~prefix:p6 ~originators:[ n3 ] in
-  check_bool "resume rejects non-resumable prev" true
-    (try
-       ignore (Engine.resume net ~prev:truncated ~touched:[]);
-       false
-     with Invalid_argument _ -> true)
+  (* A non-resumable seed (truncated run) also falls back cold. *)
+  let truncated = Engine.simulate ~max_events:1 net ~prefix:p6 ~originators:[ n3 ] in
+  let miss1 = Metrics.find_counter "engine.warm_resume_misses" in
+  let from_truncated =
+    Engine.simulate ~from:truncated net ~prefix:p6 ~originators:[ n3 ]
+  in
+  check_bool "truncated seed falls back cold" true
+    (Engine.converged from_truncated);
+  check_int "truncated miss counted" (miss1 + 1)
+    (Metrics.find_counter "engine.warm_resume_misses")
 
 (* -- Pool slot timings -- *)
 
@@ -311,6 +317,8 @@ let runtime_of_env () =
       ("RD_CHECK", "on");
       ("RD_FAULTS", "0.5:7:full");
       ("RD_TRACE", "summary");
+      ("RD_PORT", "4179");
+      ("RD_DEADLINE_MS", "250");
     ]
     (fun () ->
       let rt = Runtime.of_env () in
@@ -324,16 +332,27 @@ let runtime_of_env () =
           check_bool "fault scope" true
             (f.Runtime.Fault.scope = Runtime.Fault.Full)
       | None -> Alcotest.fail "faults not parsed");
-      check_bool "trace" true (rt.Runtime.trace = Trace.Summary));
+      check_bool "trace" true (rt.Runtime.trace = Trace.Summary);
+      check_bool "port" true (rt.Runtime.port = Some 4179);
+      check_int "deadline" 250 rt.Runtime.deadline_ms);
   (* Invalid values warn and fall back; empty means unset. *)
   with_env
-    [ ("RD_JOBS", "banana"); ("RD_WARM", ""); ("RD_TRACE", "off") ]
+    [
+      ("RD_JOBS", "banana");
+      ("RD_WARM", "");
+      ("RD_TRACE", "off");
+      ("RD_PORT", "0");
+      ("RD_DEADLINE_MS", "-5");
+    ]
     (fun () ->
       let rt = Runtime.of_env () in
       check_bool "bad jobs falls back" true (rt.Runtime.jobs = None);
       check_bool "empty warm keeps default" true
         (rt.Runtime.warm = Runtime.Warm_mode.On);
-      check_bool "trace off" true (rt.Runtime.trace = Trace.Off))
+      check_bool "trace off" true (rt.Runtime.trace = Trace.Off);
+      check_bool "bad port falls back" true (rt.Runtime.port = None);
+      check_int "bad deadline falls back" Runtime.default.Runtime.deadline_ms
+        rt.Runtime.deadline_ms)
 
 let runtime_with_argv () =
   let rt0 = Runtime.default in
@@ -373,6 +392,38 @@ let runtime_with_argv () =
     (match Runtime.with_argv rt0 [ "--jobs"; "zero" ] with
     | Error _ -> true
     | Ok _ -> false);
+  (* Explicit zero or negative job counts are rejected, never clamped —
+     in both the [--flag value] and [--flag=value] forms. *)
+  List.iter
+    (fun args ->
+      check_bool
+        ("rejected: " ^ String.concat " " args)
+        true
+        (match Runtime.with_argv rt0 args with Error _ -> true | Ok _ -> false))
+    [
+      [ "--jobs"; "0" ];
+      [ "--jobs"; "-3" ];
+      [ "--jobs=0" ];
+      [ "--jobs=-3" ];
+      [ "-j"; "0" ];
+      [ "-j=0" ];
+      [ "--port"; "0" ];
+      [ "--port=70000" ];
+      [ "--deadline-ms"; "-1" ];
+      [ "--deadline-ms=nope" ];
+    ];
+  (* The serve knobs parse in both forms. *)
+  (match Runtime.with_argv rt0 [ "--port"; "4179"; "--deadline-ms=250" ] with
+  | Ok (rt, rest) ->
+      check_bool "port" true (rt.Runtime.port = Some 4179);
+      check_int "deadline" 250 rt.Runtime.deadline_ms;
+      check_bool "no leftovers" true (rest = [])
+  | Error msg -> Alcotest.fail msg);
+  (match Runtime.with_argv rt0 [ "--port=8080"; "--deadline-ms"; "0" ] with
+  | Ok (rt, _) ->
+      check_bool "port =form" true (rt.Runtime.port = Some 8080);
+      check_int "deadline 0 = none" 0 rt.Runtime.deadline_ms
+  | Error msg -> Alcotest.fail msg);
   check_bool "trailing flag is a hard error" true
     (match Runtime.with_argv rt0 [ "--warm" ] with
     | Error _ -> true

@@ -65,7 +65,7 @@ let truncation_counted () =
   ignore (Net.connect net n1 n2);
   ignore (Net.connect net n2 n3);
   let prefixes = List.init 5 (fun i -> Asn.origin_prefix (10 + i)) in
-  let sim prefix = Engine.run ~max_events:1 net ~prefix ~originators:[ n3 ] in
+  let sim prefix = Engine.simulate ~max_events:1 net ~prefix ~originators:[ n3 ] in
   let pairs, stats = Pool.simulate ~jobs:2 ~sim prefixes in
   check_int "all prefixes simulated" 5 stats.Pool.prefixes;
   check_int "every state truncated" 5 stats.Pool.non_converged;
@@ -74,7 +74,7 @@ let truncation_counted () =
   check_bool "events accounted" true (stats.Pool.events >= 5);
   (* And with a generous budget nothing is truncated. *)
   let _, ok = Pool.simulate ~jobs:2 ~sim:(fun prefix ->
-      Engine.run net ~prefix ~originators:[ n3 ]) prefixes in
+      Engine.simulate net ~prefix ~originators:[ n3 ]) prefixes in
   check_int "no truncation" 0 ok.Pool.non_converged
 
 (* Jobs-count determinism: the whole train-and-evaluate pipeline must

@@ -27,7 +27,7 @@ let rr_setup () =
 
 let reflection_to_other_client () =
   let net, rr, c1, c2, n2 = rr_setup () in
-  let st = Engine.run net ~prefix:p6 ~originators:[ n2 ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ n2 ] in
   check_bool "converged" true (Engine.converged st);
   check_bool "c1 has ebgp route" true (Engine.best st c1 <> None);
   check_bool "rr learns from client" true (Engine.best st rr <> None);
@@ -48,7 +48,7 @@ let no_reflection_without_flag () =
   ignore (Net.connect ~kind:Net.Ibgp net rr c1);
   ignore (Net.connect ~kind:Net.Ibgp net rr c2);
   ignore (Net.connect net c1 n2);
-  let st = Engine.run net ~prefix:p6 ~originators:[ n2 ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ n2 ] in
   check_bool "rr has it" true (Engine.best st rr <> None);
   check_bool "c2 starves" true (Engine.best st c2 = None)
 
@@ -67,7 +67,7 @@ let nonclient_route_reaches_clients () =
   let s_rr_c1, _ = Net.connect ~kind:Net.Ibgp net rr c1 in
   Net.set_rr_client net rr s_rr_c1 true;
   ignore (Net.connect net rr2 n2);
-  let st = Engine.run net ~prefix:p6 ~originators:[ n2 ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ n2 ] in
   (* rr2's route is ebgp-learned, advertised to rr (plain iBGP);
      rr's best is now ibgp-learned from a NON-client, which must still
      be reflected to the client c1. *)
@@ -76,7 +76,7 @@ let nonclient_route_reaches_clients () =
 
 let no_echo_to_announcer () =
   let net, rr, c1, _c2, n2 = rr_setup () in
-  let st = Engine.run net ~prefix:p6 ~originators:[ n2 ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ n2 ] in
   (* c1's RIB-In over the rr session must not contain its own route
      reflected back (split horizon by from_node). *)
   let from_rr =

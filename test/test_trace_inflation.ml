@@ -21,7 +21,7 @@ let line_state () =
   for i = 0 to 2 do
     ignore (Net.connect net nodes.(i) nodes.(i + 1))
   done;
-  let st = Engine.run net ~prefix:p6 ~originators:[ nodes.(3) ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ nodes.(3) ] in
   (net, nodes, st)
 
 let tree_structure () =
@@ -47,7 +47,7 @@ let tree_with_unrouted () =
   let c = Net.add_node net ~asn:3 ~ip:(Asn.router_ip 3 0) in
   ignore (Net.connect net a b);
   ignore c (* isolated *);
-  let st = Engine.run net ~prefix:p6 ~originators:[ a ] in
+  let st = Engine.simulate net ~prefix:p6 ~originators:[ a ] in
   let t = Trace.tree net st in
   check_bool "c unrouted" true (List.mem c t.Trace.unrouted);
   check_bool "b child of a" true (t.Trace.parent.(b) = Some a)

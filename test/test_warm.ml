@@ -1,6 +1,7 @@
 (* Tests for warm-start re-simulation: Net change tracking,
-   Engine.resume equivalence with cold runs (hand-built and randomized),
-   AS-path interning, and the refiner under each RD_WARM mode. *)
+   Engine.simulate ?from equivalence with cold runs (hand-built and
+   randomized), AS-path interning, and the refiner under each RD_WARM
+   mode. *)
 
 open Bgp
 module Net = Simulator.Net
@@ -75,7 +76,7 @@ let generation_tracking () =
   ignore (Net.duplicate_node net a);
   check_bool "duplicate_node bumps" true (Net.generation net > g3)
 
-(* -- Engine.resume equivalence on a hand-built scenario -- *)
+(* -- warm-resume equivalence on a hand-built scenario -- *)
 
 (* Figure 5-style diamond: AS 1 reaches AS 4 directly and via AS 5. *)
 let diamond_graph =
@@ -115,7 +116,10 @@ let resume_after_policy_change () =
   check_bool "still resumable" true (Engine.resumable net prev);
   let touched = Net.touched_nodes net p in
   check_bool "touched nonempty" true (touched <> []);
-  let warm = Engine.resume net ~prev ~touched in
+  let warm =
+    Engine.simulate ~from:prev ~touched net ~prefix:p
+      ~originators:(Qrmodel.originators m p)
+  in
   let cold = Qrmodel.simulate m p in
   check_equivalent "policy change" cold warm;
   (* The new fixed point actually changed: AS 1 now selects 1-5-4. *)
@@ -136,7 +140,10 @@ let resume_after_filter_removal () =
   let prev = Qrmodel.simulate m p in
   Net.clear_touched net p;
   Net.allow_export net n4 s41 p;
-  let warm = Engine.resume net ~prev ~touched:(Net.touched_nodes net p) in
+  let warm =
+    Engine.simulate ~from:prev net ~prefix:p
+      ~originators:(Qrmodel.originators m p)
+  in
   let cold = Qrmodel.simulate m p in
   check_equivalent "filter removal" cold warm;
   check_bool "direct path back" true
@@ -147,13 +154,16 @@ let resume_noop_is_free () =
   let net = m.Qrmodel.net in
   let prev = Qrmodel.simulate m p in
   Net.clear_touched net p;
-  let warm = Engine.resume net ~prev ~touched:[] in
+  let originators = Qrmodel.originators m p in
+  let warm = Engine.simulate ~from:prev ~touched:[] net ~prefix:p ~originators in
   check_int "no events" 0 (Engine.events warm);
   check_equivalent "no-op" prev warm;
   (* A replayed node whose advertisements are unchanged costs exactly
      its replay event and disturbs nothing. *)
   let n4 = List.hd (Net.nodes_of_as net 4) in
-  let warm2 = Engine.resume net ~prev ~touched:[ n4 ] in
+  let warm2 =
+    Engine.simulate ~from:prev ~touched:[ n4 ] net ~prefix:p ~originators
+  in
   check_int "one replay event" 1 (Engine.events warm2);
   check_equivalent "unchanged replay" prev warm2
 
@@ -170,7 +180,10 @@ let warm_locality () =
   let n30 = List.hd (Net.nodes_of_as net 30) in
   let s = fst (List.hd (Net.sessions_of net n30)) in
   Net.set_import_med net n30 s prefix 0;
-  let warm = Engine.resume net ~prev ~touched:(Net.touched_nodes net prefix) in
+  let warm =
+    Engine.simulate ~from:prev net ~prefix
+      ~originators:(Qrmodel.originators m prefix)
+  in
   let cold = Qrmodel.simulate m prefix in
   check_equivalent "chain" cold warm;
   check_bool "warm executes far fewer events" true
@@ -187,9 +200,18 @@ let resumable_guards () =
   (* A structural change invalidates prior states. *)
   ignore (Net.duplicate_node net (List.hd (Net.nodes_of_as net 1)));
   check_bool "stale generation not resumable" false (Engine.resumable net prev);
-  Alcotest.check_raises "resume refuses stale state"
-    (Invalid_argument "Engine.resume: previous state is not resumable")
-    (fun () -> ignore (Engine.resume net ~prev ~touched:[]))
+  (* simulate ?from falls back to a cold start silently and counts the
+     miss — callers pass their cache slot unconditionally. *)
+  let misses0 = Obs.Metrics.find_counter "engine.warm_resume_misses" in
+  let st =
+    Engine.simulate ~from:prev net ~prefix:p
+      ~originators:(Qrmodel.originators m p)
+  in
+  check_bool "cold fallback converged" true (Engine.converged st);
+  check_int "miss counted" (misses0 + 1)
+    (Obs.Metrics.find_counter "engine.warm_resume_misses");
+  let cold = Qrmodel.simulate m p in
+  check_equivalent "fallback equals cold" cold st
 
 (* -- AS-path interning -- *)
 
@@ -263,7 +285,8 @@ let prop_warm_equals_cold =
       Net.clear_touched net prefix;
       List.iter (apply_random_edit net prefix) edits;
       let warm =
-        Engine.resume net ~prev ~touched:(Net.touched_nodes net prefix)
+        Engine.simulate ~from:prev net ~prefix
+          ~originators:(Qrmodel.originators m prefix)
       in
       let cold = Qrmodel.simulate m prefix in
       Engine.converged cold && Engine.converged warm
