@@ -1022,6 +1022,111 @@ let experiment_serve prepared =
     whatif_resume_hits;
   }
 
+type churn_report = {
+  churn_events : int;
+  churn_rejected : int;
+  churn_warm_events : int;  (** engine events, warm replay *)
+  churn_warm_wall : float;
+  churn_warm_resumes : int;
+  churn_cold_events : int;  (** engine events, same stream replayed cold *)
+  churn_cold_wall : float;
+  churn_identical : bool;  (** warm and cold final fingerprints agree *)
+  churn_quarantine_leaks : int;
+  churn_polluted : int;
+  churn_fault_retried : int;
+  churn_fault_failed : int;
+  churn_fault_leaks : int;
+  churn_classes : (string * Stream.Replay.class_stats) list;
+}
+
+let experiment_churn prepared =
+  (* The replay tentpole, measured: the same deterministic churn stream
+     (every event class) replayed warm — only touched prefixes
+     reconverge, resumed from the cached fixed points — and cold — the
+     same per-event batches from scratch.  Same final fingerprint, fewer
+     engine events, is the claim; a third run under transient fault
+     injection must recover everything (no failures, empty quarantine).
+     Each run gets a fresh model: replay mutates the live net. *)
+  section "CHURN" "event-stream replay: warm reconvergence vs cold (lib/stream)";
+  let run label mode faults =
+    let ambient = Simulator.Faultinject.current () in
+    Simulator.Faultinject.set faults;
+    Fun.protect
+      ~finally:(fun () -> Simulator.Faultinject.set ambient)
+      (fun () ->
+        let model = Asmodel.Qrmodel.initial prepared.Core.graph in
+        let stream =
+          Stream.Streamgen.mixed ~events:48 model (Random.State.make [| 42 |])
+        in
+        time label (fun () -> snd (Stream.Replay.run ~mode model stream)))
+  in
+  let warm = run "CHURN warm" Simulator.Warm.On None in
+  let cold = run "CHURN cold" Simulator.Warm.Off None in
+  let faulted =
+    run "CHURN warm faults=0.05:42" Simulator.Warm.On
+      (Some
+         { Simulator.Faultinject.rate = 0.05; seed = 42;
+           scope = Simulator.Faultinject.Transient })
+  in
+  let sum f (r : Stream.Replay.report) =
+    List.fold_left (fun acc (_, cs) -> acc + f cs) 0 r.Stream.Replay.classes
+  in
+  let events_of = sum (fun cs -> cs.Stream.Replay.cs_engine_events) in
+  let warm_resumes = sum (fun cs -> cs.Stream.Replay.cs_warm) warm in
+  let polluted = sum (fun cs -> cs.Stream.Replay.cs_polluted) warm in
+  Evaluation.Report.table std
+    ~header:
+      [ "class"; "events"; "prefixes"; "engine events"; "warm"; "cold";
+        "ASes shifted"; "polluted" ]
+    (List.map
+       (fun (cls, cs) ->
+         [
+           Stream.Replay.cls_name cls;
+           string_of_int cs.Stream.Replay.cs_events;
+           string_of_int cs.Stream.Replay.cs_prefixes;
+           string_of_int cs.Stream.Replay.cs_engine_events;
+           string_of_int cs.Stream.Replay.cs_warm;
+           string_of_int cs.Stream.Replay.cs_cold;
+           string_of_int cs.Stream.Replay.cs_ases_shifted;
+           string_of_int cs.Stream.Replay.cs_polluted;
+         ])
+       warm.Stream.Replay.classes);
+  let identical =
+    warm.Stream.Replay.fingerprint = cold.Stream.Replay.fingerprint
+  in
+  Format.printf
+    "events replayed: %d (%d rejected)@.engine events: warm %d vs cold %d \
+     (ratio %.2f, %d resumes)@.final fingerprints identical: %b@.quarantine \
+     leaks: %d@.under transient faults: %d retried, %d failed, %d leaks \
+     (want 0 failed, 0 leaks)@."
+    warm.Stream.Replay.events warm.Stream.Replay.rejected (events_of warm)
+    (events_of cold)
+    (if events_of cold = 0 then 0.0
+     else float_of_int (events_of warm) /. float_of_int (events_of cold))
+    warm_resumes identical
+    (List.length warm.Stream.Replay.quarantine)
+    faulted.Stream.Replay.retried faulted.Stream.Replay.failed
+    (List.length faulted.Stream.Replay.quarantine);
+  {
+    churn_events = warm.Stream.Replay.events;
+    churn_rejected = warm.Stream.Replay.rejected;
+    churn_warm_events = events_of warm;
+    churn_warm_wall = warm.Stream.Replay.wall_s;
+    churn_warm_resumes = warm_resumes;
+    churn_cold_events = events_of cold;
+    churn_cold_wall = cold.Stream.Replay.wall_s;
+    churn_identical = identical;
+    churn_quarantine_leaks = List.length warm.Stream.Replay.quarantine;
+    churn_polluted = polluted;
+    churn_fault_retried = faulted.Stream.Replay.retried;
+    churn_fault_failed = faulted.Stream.Replay.failed;
+    churn_fault_leaks = List.length faulted.Stream.Replay.quarantine;
+    churn_classes =
+      List.map
+        (fun (cls, cs) -> (Stream.Replay.cls_name cls, cs))
+        warm.Stream.Replay.classes;
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Machine-readable results (hand-rolled JSON; no extra dependency)    *)
 (* ------------------------------------------------------------------ *)
@@ -1044,7 +1149,7 @@ let json_num f =
   if Float.is_nan f || Float.is_integer f then Printf.sprintf "%.0f" f
   else Printf.sprintf "%.6f" f
 
-let write_bench_json path ~scale ~seed ~jobs warm check obs serve =
+let write_bench_json path ~scale ~seed ~jobs warm check obs serve churn =
   let b = Buffer.create 4096 in
   let field k v = Printf.bprintf b "  %S: %s,\n" k v in
   Buffer.add_string b "{\n";
@@ -1118,7 +1223,7 @@ let write_bench_json path ~scale ~seed ~jobs warm check obs serve =
       Printf.bprintf b "    \"lint_errors\": %d\n" c.lint_errors;
       Printf.bprintf b "  },\n");
   (match obs with
-  | None -> Printf.bprintf b "  \"obs\": null\n"
+  | None -> Printf.bprintf b "  \"obs\": null,\n"
   | Some o ->
       Printf.bprintf b "  \"obs\": {\n";
       Printf.bprintf b "    \"trace_off_wall_s\": %.3f,\n" o.trace_off_wall;
@@ -1129,6 +1234,48 @@ let write_bench_json path ~scale ~seed ~jobs warm check obs serve =
       Printf.bprintf b "    \"refiner_iterations\": %d,\n"
         o.refiner_iterations;
       Printf.bprintf b "    \"metrics\": %s\n" o.metrics_json;
+      Printf.bprintf b "  },\n");
+  (match churn with
+  | None -> Printf.bprintf b "  \"churn\": null\n"
+  | Some c ->
+      Printf.bprintf b "  \"churn\": {\n";
+      Printf.bprintf b "    \"events\": %d,\n" c.churn_events;
+      Printf.bprintf b "    \"rejected\": %d,\n" c.churn_rejected;
+      Printf.bprintf b
+        "    \"warm\": {\"engine_events\": %d, \"wall_s\": %.3f, \
+         \"resumes\": %d},\n"
+        c.churn_warm_events c.churn_warm_wall c.churn_warm_resumes;
+      Printf.bprintf b
+        "    \"cold\": {\"engine_events\": %d, \"wall_s\": %.3f},\n"
+        c.churn_cold_events c.churn_cold_wall;
+      Printf.bprintf b "    \"event_ratio\": %s,\n"
+        (json_num
+           (if c.churn_cold_events = 0 then 0.0
+            else
+              float_of_int c.churn_warm_events
+              /. float_of_int c.churn_cold_events));
+      Printf.bprintf b "    \"identical_results\": %b,\n" c.churn_identical;
+      Printf.bprintf b "    \"quarantine_leaks\": %d,\n"
+        c.churn_quarantine_leaks;
+      Printf.bprintf b "    \"polluted_ases\": %d,\n" c.churn_polluted;
+      Printf.bprintf b
+        "    \"faults\": {\"retried\": %d, \"failed\": %d, \
+         \"quarantine_leaks\": %d},\n"
+        c.churn_fault_retried c.churn_fault_failed c.churn_fault_leaks;
+      Printf.bprintf b "    \"classes\": {";
+      List.iteri
+        (fun i (name, cs) ->
+          Printf.bprintf b
+            "%s\"%s\": {\"events\": %d, \"prefixes\": %d, \"engine_events\": \
+             %d, \"warm\": %d, \"cold\": %d, \"ases_shifted\": %d, \
+             \"polluted\": %d}"
+            (if i = 0 then "" else ", ")
+            (json_escape name) cs.Stream.Replay.cs_events
+            cs.Stream.Replay.cs_prefixes cs.Stream.Replay.cs_engine_events
+            cs.Stream.Replay.cs_warm cs.Stream.Replay.cs_cold
+            cs.Stream.Replay.cs_ases_shifted cs.Stream.Replay.cs_polluted)
+        c.churn_classes;
+      Printf.bprintf b "}\n";
       Printf.bprintf b "  }\n");
   Buffer.add_string b "}\n";
   let oc = open_out path in
@@ -1281,12 +1428,14 @@ let () =
   let check_report = ref None in
   let obs_report = ref None in
   let serve_report = ref None in
+  let churn_report = ref None in
   let warm_and_check prepared =
     let warm = experiment_warm prepared in
     warm_report := Some warm;
     check_report := Some (experiment_check prepared warm);
     obs_report := Some (experiment_obs prepared warm);
-    serve_report := Some (experiment_serve prepared)
+    serve_report := Some (experiment_serve prepared);
+    churn_report := Some (experiment_churn prepared)
   in
   if has "--warm-only" then begin
     let _data, prepared = build_world () in
@@ -1315,6 +1464,6 @@ let () =
     (value "--json" "BENCH.json")
     ~scale ~seed
     ~jobs:(Simulator.Pool.default_jobs ())
-    !warm_report !check_report !obs_report !serve_report;
+    !warm_report !check_report !obs_report !serve_report !churn_report;
   Obs.Trace.flush std;
   Format.printf "@.[total: %.1fs]@." (Unix.gettimeofday () -. t_start)

@@ -685,6 +685,76 @@ let whatif_cmd =
        ~doc:"Remove the link between two ASes and report route changes.")
     Term.(const whatif $ model_arg $ as_a_arg $ as_b_arg)
 
+(* replay *)
+
+let scenario_arg =
+  Arg.(
+    value & opt string "mixed"
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Churn scenario to generate: one of %s."
+             (String.concat ", "
+                (List.map (Printf.sprintf "$(b,%s)")
+                   Stream.Streamgen.scenario_names))))
+
+let events_arg =
+  Arg.(
+    value & opt int 32
+    & info [ "events" ] ~docv:"N"
+        ~doc:"Approximate stream length, where the scenario scales.")
+
+let stream_seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "stream-seed" ] ~docv:"N"
+        ~doc:
+          "Seed of the churn-stream generator (the same model, scenario \
+           and seed replay identically).")
+
+let replay_run model_path scenario events stream_seed jobs faults warm trace
+    metrics =
+  init_runtime ();
+  apply_jobs jobs;
+  apply_faults faults;
+  apply_warm warm;
+  apply_trace trace;
+  match Stream.Streamgen.of_name scenario with
+  | None ->
+      Printf.eprintf "unknown scenario %S (one of: %s)\n" scenario
+        (String.concat ", " Stream.Streamgen.scenario_names);
+      1
+  | Some gen -> (
+      match Asmodel.Serialize.load model_path with
+      | Error msg ->
+          Printf.eprintf "cannot load model: %s\n" msg;
+          2
+      | Ok model ->
+          let rng = Random.State.make [| stream_seed |] in
+          let stream = gen ~events model rng in
+          Printf.eprintf "replaying %d %s events over %d model prefixes\n%!"
+            (List.length stream) scenario
+            (List.length model.Asmodel.Qrmodel.prefixes);
+          let _driver, report = Stream.Replay.run model stream in
+          Evaluation.Report.section std "CHURN" "event-stream replay";
+          Format.printf "%a@." Stream.Replay.pp_report report;
+          Printf.printf "unrecovered failures: %d\n"
+            report.Stream.Replay.failed;
+          finish_obs ~metrics ();
+          if report.Stream.Replay.failed > 0 then 3 else 0)
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Generate a deterministic churn stream (flaps, de-peerings, \
+          hijacks) and replay it against a saved model, reconverging \
+          only touched prefixes warm.  Exits 3 when any reconvergence \
+          failure survives the retries.")
+    Term.(
+      const replay_run $ model_arg $ scenario_arg $ events_arg
+      $ stream_seed_arg $ jobs_arg $ faults_arg $ warm_arg $ trace_arg
+      $ metrics_arg)
+
 (* serve / query *)
 
 let socket_arg =
@@ -784,7 +854,7 @@ let query_words_arg =
         ~doc:
           "One of: $(b,path PREFIX AS); $(b,catchment EGRESS [PREFIX]); \
            $(b,whatif A B) (alias $(b,deny-link)); $(b,ping); \
-           $(b,shutdown).")
+           $(b,reload); $(b,shutdown).")
 
 let parse_query_words words =
   let int_of name s =
@@ -815,6 +885,7 @@ let parse_query_words words =
       let* b = int_of "AS" b in
       Ok (Serve.Protocol.Whatif { a; b })
   | [ "ping" ] -> Ok Serve.Protocol.Ping
+  | [ "reload" ] -> Ok Serve.Protocol.Reload
   | [ "shutdown" ] -> Ok Serve.Protocol.Shutdown
   | _ ->
       Error
@@ -875,6 +946,7 @@ let main_cmd =
       export_cbgp_cmd;
       lint_cmd;
       whatif_cmd;
+      replay_cmd;
       serve_cmd;
       query_cmd;
     ]

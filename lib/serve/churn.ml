@@ -1,0 +1,61 @@
+module Qrmodel = Asmodel.Qrmodel
+module Asgraph = Topology.Asgraph
+module Event = Stream.Event
+module Replay = Stream.Replay
+
+let reloads_m = Obs.Metrics.counter "serve.reloads"
+
+let reload_resume_m = Obs.Metrics.counter "serve.reload_resume_hits"
+
+let reload ?jobs store =
+  match Snapshot.current store with
+  | None -> Error "no snapshot published"
+  | Some snap -> (
+      let t0 = Obs.Trace.now_us () in
+      let hits0 = Obs.Metrics.find_counter "engine.warm_resume_hits" in
+      match Snapshot.exclusive snap (fun () -> Snapshot.rebuild ?jobs snap) with
+      | exception exn -> Error (Printexc.to_string exn)
+      | next ->
+          let resume_hits =
+            max 0
+              (Obs.Metrics.find_counter "engine.warm_resume_hits" - hits0)
+          in
+          (* Publish outside the exclusive section: it retires the old
+             snapshot's executor, which must not be joined from its own
+             thread. *)
+          Snapshot.publish store next;
+          Obs.Metrics.incr reloads_m;
+          Obs.Metrics.incr ~by:resume_hits reload_resume_m;
+          Ok
+            (Protocol.Reloaded
+               {
+                 prefixes = List.length (Snapshot.states next);
+                 resume_hits;
+                 build_s =
+                   float_of_int (Obs.Trace.now_us () - t0) /. 1e6;
+               }))
+
+let apply ?jobs store events =
+  match Snapshot.current store with
+  | None -> Error "no snapshot published"
+  | Some snap -> (
+      let model = Snapshot.model snap in
+      let graph = model.Qrmodel.graph in
+      match
+        Snapshot.exclusive snap (fun () ->
+            let stream, rejects =
+              Event.normalize ~known_as:(Asgraph.mem_node graph) events
+            in
+            let rp =
+              Replay.create ?jobs ~states:(Snapshot.states snap) model
+            in
+            List.iter (fun ev -> ignore (Replay.apply rp ev)) stream;
+            ignore (Replay.retry_quarantined rp);
+            let report = Replay.report rp ~rejected:(List.length rejects) in
+            (Snapshot.of_states model (Replay.states rp), report))
+      with
+      | exception exn -> Error (Printexc.to_string exn)
+      | next, report ->
+          Snapshot.publish store next;
+          Obs.Metrics.incr reloads_m;
+          Ok report)

@@ -1,0 +1,28 @@
+(** Zero-downtime snapshot rebuild-and-swap under churn.
+
+    The serving loop: queries read the current snapshot via one atomic
+    load while churn is applied {e off to the side} — the event replay
+    (or a plain warm rebuild) runs on the current snapshot's executor
+    thread, serialized with in-flight what-if queries, and the
+    resulting snapshot is atomically {!Snapshot.publish}ed.  In-flight
+    connections keep answering from the snapshot they loaded (its
+    caches are immutable; only its executor retires), so a swap drops
+    nothing. *)
+
+val apply :
+  ?jobs:int ->
+  Snapshot.store ->
+  Stream.Event.t list ->
+  (Stream.Replay.report, string) result
+(** Normalize and replay a churn stream against the current snapshot's
+    model, reconverging affected prefixes warm from its cached states,
+    then publish the post-churn snapshot.  [Error] when no snapshot is
+    published or the current one retired mid-flight (a concurrent
+    reload won the race — retry). *)
+
+val reload :
+  ?jobs:int -> Snapshot.store -> (Protocol.payload, string) result
+(** Rebuild the current snapshot warm ({!Snapshot.rebuild}) and
+    publish the replacement; the [Reloaded] payload reports prefix
+    count, warm-resume hits and build seconds.  Counted in the
+    [serve.reloads] / [serve.reload_resume_hits] metrics. *)

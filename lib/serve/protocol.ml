@@ -5,6 +5,7 @@ type request =
   | Catchment of { egress : Asn.t; prefix : Prefix.t option }
   | Whatif of { a : Asn.t; b : Asn.t }
   | Ping
+  | Reload
   | Shutdown
 
 type whatif_change = { wc_prefix : Prefix.t; wc_changed : int; wc_lost : int }
@@ -25,6 +26,7 @@ type payload =
       changes : whatif_change list;
     }
   | Pong of { prefixes : int; nodes : int }
+  | Reloaded of { prefixes : int; resume_hits : int; build_s : float }
   | Closing
 
 type response = {
@@ -57,6 +59,7 @@ let request_to_json = function
       Json.Obj
         [ ("op", Json.String "whatif"); ("a", Json.Int a); ("b", Json.Int b) ]
   | Ping -> Json.Obj [ ("op", Json.String "ping") ]
+  | Reload -> Json.Obj [ ("op", Json.String "reload") ]
   | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ]
 
 let payload_to_json = function
@@ -118,6 +121,14 @@ let payload_to_json = function
           ("prefixes", Json.Int prefixes);
           ("nodes", Json.Int nodes);
         ]
+  | Reloaded { prefixes; resume_hits; build_s } ->
+      Json.Obj
+        [
+          ("reloaded", Json.Bool true);
+          ("prefixes", Json.Int prefixes);
+          ("resume_hits", Json.Int resume_hits);
+          ("build_s", Json.Float build_s);
+        ]
   | Closing -> Json.Obj [ ("closing", Json.Bool true) ]
 
 let response_to_json r =
@@ -174,6 +185,7 @@ let request_of_json json =
       let* b = field "b" Json.to_int json in
       Ok (Whatif { a; b })
   | "ping" -> Ok Ping
+  | "reload" -> Ok Reload
   | "shutdown" -> Ok Shutdown
   | other -> Error (Printf.sprintf "unknown op %S" other)
 
@@ -203,24 +215,54 @@ let write_frame fd payload =
   in
   push 0
 
-let read_exactly fd buf len =
+let read_exactly ?(off = 0) fd buf len =
   let rec pull off =
     if off >= len then true
     else
       match Unix.read fd buf off (len - off) with
-      | 0 -> false (* peer closed mid-frame (or before one: off = 0) *)
+      | 0 -> false (* peer closed mid-frame *)
       | n -> pull (off + n)
   in
-  pull 0
+  pull off
 
-let read_frame fd =
+let read_timeout_msg = "read timeout"
+
+let read_frame ?(deadline_ms = 0) fd =
   let header = Bytes.create 4 in
-  if not (read_exactly fd header 4) then Ok None
-  else
-    let n = Int32.to_int (Bytes.get_int32_be header 0) in
-    if n < 0 || n > max_frame then
-      Error (Printf.sprintf "bad frame length %d" n)
-    else
-      let buf = Bytes.create n in
-      if not (read_exactly fd buf n) then Error "truncated frame"
-      else Ok (Some (Bytes.to_string buf))
+  (* Waiting for a frame to {e start} is keep-alive idleness, not a
+     stall: the first header read blocks without a deadline.  Once any
+     frame byte has arrived, the socket receive timeout arms for the
+     remainder, so a client stalling mid-frame cannot pin a connection
+     thread forever. *)
+  match Unix.read fd header 0 4 with
+  | 0 -> Ok None (* clean close between frames *)
+  | got -> (
+      let finish () =
+        if not (read_exactly ~off:got fd header 4) then Error "truncated frame"
+        else
+          let n = Int32.to_int (Bytes.get_int32_be header 0) in
+          if n < 0 || n > max_frame then
+            Error (Printf.sprintf "bad frame length %d" n)
+          else
+            let buf = Bytes.create n in
+            if not (read_exactly fd buf n) then Error "truncated frame"
+            else Ok (Some (Bytes.to_string buf))
+      in
+      let run () =
+        if deadline_ms <= 0 then finish ()
+        else begin
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO
+            (float_of_int deadline_ms /. 1000.);
+          Fun.protect
+            ~finally:(fun () ->
+              try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 0.
+              with Unix.Unix_error _ -> ())
+            finish
+        end
+      in
+      try run ()
+      with
+      | Unix.Unix_error
+          ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ETIMEDOUT), _, _)
+      ->
+        Error read_timeout_msg)

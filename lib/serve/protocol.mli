@@ -17,6 +17,9 @@ type request =
   | Whatif of { a : Asn.t; b : Asn.t }
       (** deny the AS link, re-converge warm, diff, revert *)
   | Ping
+  | Reload
+      (** rebuild the snapshot warm off to the side and atomically
+          publish it; served by the server itself (it owns the store) *)
   | Shutdown  (** answer, then stop accepting connections *)
 
 type whatif_change = { wc_prefix : Prefix.t; wc_changed : int; wc_lost : int }
@@ -37,6 +40,7 @@ type payload =
       changes : whatif_change list;  (** capped at 20 entries *)
     }
   | Pong of { prefixes : int; nodes : int }
+  | Reloaded of { prefixes : int; resume_hits : int; build_s : float }
   | Closing
 
 type response = {
@@ -64,6 +68,16 @@ val response_to_string : response -> string
 val write_frame : Unix.file_descr -> string -> unit
 (** Write one length-prefixed frame; loops until fully written. *)
 
-val read_frame : Unix.file_descr -> (string option, string) result
+val read_frame :
+  ?deadline_ms:int -> Unix.file_descr -> (string option, string) result
 (** Read one frame.  [Ok None] on a clean end-of-stream before a
-    header; [Error] on a truncated or oversized frame. *)
+    header; [Error] on a truncated or oversized frame.  With
+    [deadline_ms > 0] (default [0]: never time out), a socket receive
+    timeout arms once the first frame byte has arrived — waiting for a
+    frame to start is keep-alive idleness and never times out, but a
+    peer stalling {e mid-frame} yields [Error] {!read_timeout_msg}
+    after [deadline_ms]. *)
+
+val read_timeout_msg : string
+(** The exact [Error] message {!read_frame} returns on a mid-frame
+    stall, for callers that count timeouts separately. *)

@@ -137,6 +137,10 @@ let eval ?jobs snap (req : Protocol.request) =
              prefixes = List.length model.Qrmodel.prefixes;
              nodes = Net.node_count model.Qrmodel.net;
            })
+  | Protocol.Reload ->
+      (* Reload swaps the store's published snapshot, which only the
+         server owns; a bare snapshot cannot answer it. *)
+      Error "reload requires server context"
   | Protocol.Shutdown -> Ok Protocol.Closing
 
 let eval_timed ?jobs ?deadline_ms snap req : Protocol.response =

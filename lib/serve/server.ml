@@ -2,6 +2,17 @@ type listen = Unix_path of string | Tcp of int
 
 let connections_m = Obs.Metrics.counter "serve.connections"
 
+let accept_retries_m = Obs.Metrics.counter "serve.accept_retries"
+
+let read_timeouts_m = Obs.Metrics.counter "serve.read_timeouts"
+
+let contains haystack needle =
+  let hn = String.length haystack and nn = String.length needle in
+  let rec at i =
+    i + nn <= hn && (String.sub haystack i nn = needle || at (i + 1))
+  in
+  nn = 0 || at 0
+
 let sockaddr_of = function
   | Unix_path path -> Unix.ADDR_UNIX path
   | Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
@@ -36,43 +47,80 @@ let handle_connection srv client =
   let error_response msg =
     { Protocol.result = Error msg; elapsed_us = 0; deadline_missed = false }
   in
+  let eval req =
+    (* A query can race a churn-triggered rebuild-and-swap: the snapshot
+       it loaded retires between [current] and its exclusive section.
+       Re-loading the store and retrying once suffices — the freshly
+       published snapshot is live, and a second loss means reloads are
+       arriving faster than queries, which deserves the honest error. *)
+    let rec go retries =
+      match Snapshot.current srv.store with
+      | None -> error_response "no snapshot published"
+      | Some snap -> (
+          let resp = Query.eval_timed ?deadline_ms:srv.deadline_ms snap req in
+          match resp.Protocol.result with
+          | Error msg when retries > 0 && contains msg "snapshot is retired" ->
+              go (retries - 1)
+          | _ -> resp)
+    in
+    go 1
+  in
+  let reload () =
+    let start = Obs.Trace.now_us () in
+    let result = Churn.reload srv.store in
+    { Protocol.result; elapsed_us = Obs.Trace.now_us () - start;
+      deadline_missed = false }
+  in
   let rec loop () =
-    match Protocol.read_frame client with
+    match Protocol.read_frame ?deadline_ms:srv.deadline_ms client with
     | Ok None -> ()
     | Error msg ->
-        (* A framing error poisons the stream: answer and hang up. *)
+        (* A framing error (or mid-frame stall) poisons the stream:
+           answer and hang up. *)
+        if msg = Protocol.read_timeout_msg then
+          Obs.Metrics.incr read_timeouts_m;
         (try respond (error_response msg) with _ -> ())
     | Ok (Some payload) -> (
         match Protocol.request_of_string payload with
         | Error msg ->
             respond (error_response msg);
             loop ()
+        | Ok Protocol.Reload ->
+            respond (reload ());
+            loop ()
         | Ok req -> (
-            match Snapshot.current srv.store with
-            | None ->
-                respond (error_response "no snapshot published");
-                loop ()
-            | Some snap ->
-                let resp =
-                  Query.eval_timed ?deadline_ms:srv.deadline_ms snap req
-                in
-                respond resp;
-                if req = Protocol.Shutdown then stop srv else loop ()))
+            let resp = eval req in
+            respond resp;
+            match (req, resp.Protocol.result) with
+            | Protocol.Shutdown, Ok _ -> stop srv
+            | _ -> loop ()))
   in
   (try loop () with _ -> ());
   try Unix.close client with Unix.Unix_error _ -> ()
 
 let accept_loop srv () =
-  let rec go () =
-    match Unix.accept srv.fd with
-    | exception Unix.Unix_error _ -> () (* closed by stop *)
-    | client, _addr ->
-        let th = Thread.create (handle_connection srv) client in
-        Mutex.protect srv.conn_mu (fun () ->
-            srv.conn_threads <- th :: srv.conn_threads);
-        go ()
+  (* Transient accept(2) failures must not kill the listener: EINTR and
+     ECONNABORTED retry immediately, fd exhaustion (EMFILE/ENFILE)
+     backs off exponentially until connections drain.  Any other error
+     means the socket is gone (stop closed it): exit. *)
+  let rec go backoff =
+    if not (Atomic.get srv.stopping) then
+      match Unix.accept srv.fd with
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+          Obs.Metrics.incr accept_retries_m;
+          go backoff
+      | exception Unix.Unix_error ((Unix.EMFILE | Unix.ENFILE), _, _) ->
+          Obs.Metrics.incr accept_retries_m;
+          Thread.delay backoff;
+          go (Float.min (backoff *. 2.) 1.0)
+      | exception Unix.Unix_error _ -> () (* closed by stop *)
+      | client, _addr ->
+          let th = Thread.create (handle_connection srv) client in
+          Mutex.protect srv.conn_mu (fun () ->
+              srv.conn_threads <- th :: srv.conn_threads);
+          go 0.01
   in
-  go ()
+  go 0.01
 
 let start ?deadline_ms ~store listen =
   let fd =

@@ -5,7 +5,16 @@
     accepting domain — simulation parallelism lives in the {!Simulator.Pool},
     not here).  Each request frame is answered with exactly one
     response frame.  A [shutdown] request is answered, then the
-    listening socket closes; established connections drain. *)
+    listening socket closes; established connections drain.
+
+    Hardening: the accept loop retries transient failures (EINTR,
+    ECONNABORTED immediately; EMFILE/ENFILE with exponential backoff —
+    [serve.accept_retries] counts them); with a deadline configured,
+    a peer stalling mid-frame is timed out after [deadline_ms]
+    ([serve.read_timeouts]) and hung up on.  A [reload] request
+    rebuilds the snapshot warm and atomically swaps it in
+    ({!Churn.reload}); queries racing the swap retry once against the
+    fresh snapshot, so a reload drops no connections. *)
 
 type listen = Unix_path of string | Tcp of int
 (** TCP binds to loopback only: the service is a local sidecar, not an
@@ -18,7 +27,8 @@ val start : ?deadline_ms:int -> store:Snapshot.store -> listen -> t
     background threads against whatever snapshot {!Snapshot.current}
     returns at request time (queries before the first {!Snapshot.publish}
     get an error response).  [deadline_ms] overrides
-    {!Simulator.Runtime.deadline_ms} for every query.  A pre-existing
+    {!Simulator.Runtime.deadline_ms} for every query and doubles as
+    the per-connection mid-frame read timeout.  A pre-existing
     Unix socket path is replaced. *)
 
 val wait : t -> unit

@@ -70,6 +70,12 @@ type t = {
   exec : exec;
 }
 
+let of_states ?(build_stats = Pool.zero) (model : Qrmodel.t) states =
+  let baseline = Whatif.of_states model states in
+  let by_prefix = Hashtbl.create (max 16 (List.length states)) in
+  List.iter (fun (p, st) -> Hashtbl.replace by_prefix p st) states;
+  { model; states; by_prefix; baseline; build_stats; exec = exec_create () }
+
 let build ?jobs (model : Qrmodel.t) =
   let net = model.Qrmodel.net in
   let prefixes = List.map fst model.Qrmodel.prefixes in
@@ -82,10 +88,7 @@ let build ?jobs (model : Qrmodel.t) =
   (* The cached states reflect everything up to now; drain the touched
      sets so the first what-if resume replays only its own edits. *)
   List.iter (fun p -> Net.clear_touched net p) prefixes;
-  let baseline = Whatif.of_states model states in
-  let by_prefix = Hashtbl.create (List.length states) in
-  List.iter (fun (p, st) -> Hashtbl.replace by_prefix p st) states;
-  { model; states; by_prefix; baseline; build_stats; exec = exec_create () }
+  of_states ~build_stats model states
 
 let model t = t.model
 
@@ -127,6 +130,32 @@ let exclusive t f =
   match Option.get !result with Ok v -> v | Error exn -> raise exn
 
 let retire t = exec_stop t.exec
+
+(* Rebuild off to the side: re-simulate every cached prefix warm from
+   this snapshot's states and return a fresh snapshot (with its own
+   executor) ready to publish.  Originators come from each cached state
+   itself, so prefixes a churn replay added beyond the model's survive
+   the rebuild.  Callers run this through [exclusive] so the rebuild
+   serializes with what-if mutation, then [publish] outside it — the
+   retire inside publish joins this executor, which must not happen
+   from its own thread. *)
+let rebuild ?jobs t =
+  let net = t.model.Qrmodel.net in
+  let prefixes = List.map fst t.states in
+  let states, build_stats =
+    Pool.simulate ?jobs
+      ~sim:(fun p ->
+        let from = state t p in
+        let originators =
+          match from with
+          | Some st -> Engine.originating st
+          | None -> Qrmodel.originators t.model p
+        in
+        Engine.simulate ?from net ~prefix:p ~originators)
+      prefixes
+  in
+  List.iter (fun p -> Net.clear_touched net p) prefixes;
+  of_states ~build_stats t.model states
 
 (* -- atomic swap -- *)
 

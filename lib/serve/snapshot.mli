@@ -24,6 +24,25 @@ val build : ?jobs:int -> Asmodel.Qrmodel.t -> t
     touched sets, and precompute the baseline selected-path snapshot
     what-if diffs compare against. *)
 
+val of_states :
+  ?build_stats:Simulator.Pool.stats ->
+  Asmodel.Qrmodel.t ->
+  (Bgp.Prefix.t * Simulator.Engine.state) list ->
+  t
+(** A snapshot over already-converged states (no simulation) — the
+    churn-replay path: the replay driver reconverged prefixes
+    incrementally and the result becomes the next published snapshot.
+    The state list may extend beyond the model's prefixes (announced /
+    hijacked extras). *)
+
+val rebuild : ?jobs:int -> t -> t
+(** Reconverge every cached prefix {e warm} from this snapshot's
+    states against the (possibly churn-mutated) network and return a
+    fresh snapshot ready to {!publish}.  Run it through {!exclusive}
+    so it serializes with what-if mutation; publish {e outside} the
+    exclusive section (publishing retires this snapshot's executor,
+    which must not be joined from its own thread). *)
+
 val model : t -> Asmodel.Qrmodel.t
 
 val states : t -> (Prefix.t * Simulator.Engine.state) list

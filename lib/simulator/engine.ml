@@ -434,7 +434,8 @@ let resumable net prev =
   && Array.length prev.best = Net.node_count net
 
 (* Precondition: [resumable net prev]. *)
-let warm ?max_events ?max_escalations ?on_best_change net ~prev ~touched =
+let warm ?max_events ?max_escalations ?on_best_change net ~prev ~touched
+    ~originators =
   let st =
     {
       pfx = prev.pfx;
@@ -447,6 +448,22 @@ let warm ?max_events ?max_escalations ?on_best_change net ~prev ~touched =
     }
   in
   let n = Array.length st.best in
+  (* Origination delta: nodes that gain or lose the originated route
+     under the caller's [originators] set re-run their decision process
+     from the warm state — a gained origination injects the route, a
+     lost one withdraws it, and the delta propagates like any other
+     best-route change.  Callers resuming with an unchanged originator
+     set produce an empty delta, so the historical policy-only warm
+     path is untouched. *)
+  let now = Array.make n false in
+  List.iter (fun o -> if o >= 0 && o < n then now.(o) <- true) originators;
+  let origin_delta = ref [] in
+  for u = n - 1 downto 0 do
+    if now.(u) <> st.originates.(u) then begin
+      st.originates.(u) <- now.(u);
+      origin_delta := u :: !origin_delta
+    end
+  done;
   exec ?max_events ?max_escalations ?on_best_change net st ~kind:"warm"
     ~seed:(fun ~enqueue ~replay ->
       (* Replay every touched node's exports unconditionally: peers
@@ -455,7 +472,7 @@ let warm ?max_events ?max_escalations ?on_best_change net ~prev ~touched =
          a replayed import disturbs it.  An unchanged advertisement is
          suppressed by [same_advertisement], so a no-op policy edit
          costs one event and drains immediately. *)
-      ignore enqueue;
+      List.iter enqueue !origin_delta;
       List.iter (fun u -> if u >= 0 && u < n then replay u) touched)
 
 let simulate ?max_events ?max_escalations ?on_best_change ?from ?touched net
@@ -467,12 +484,20 @@ let simulate ?max_events ?max_escalations ?on_best_change ?from ?touched net
         match touched with Some t -> t | None -> Net.touched_nodes net pfx
       in
       warm ?max_events ?max_escalations ?on_best_change net ~prev ~touched
+        ~originators
   | _ ->
       (match from with
       | Some _ -> Obs.Metrics.incr resume_misses_m
       | None -> ());
       cold ?max_events ?max_escalations ?on_best_change net ~prefix:pfx
         ~originators
+
+let originating st =
+  let acc = ref [] in
+  for u = Array.length st.originates - 1 downto 0 do
+    if st.originates.(u) then acc := u :: !acc
+  done;
+  !acc
 
 let best_full_path net st n =
   match best st n with

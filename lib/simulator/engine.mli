@@ -38,9 +38,14 @@ val simulate :
     [from] is a {!resumable} previous state of the {e same} prefix,
     warm: the previous converged state is copied and only the exports
     of the [touched] nodes (default {!Net.touched_nodes}) are
-    replayed.  A non-resumable or wrong-prefix [from] silently falls
-    back to a cold start (counted in the [engine.warm_resume_misses]
-    metric), so callers can pass their cache slot unconditionally.
+    replayed.  A warm resume also honours origination changes: nodes
+    present in [originators] but not originating in [from] (and vice
+    versa) have their flag flipped and their decision process re-run,
+    so announce / withdraw / MOAS events replay incrementally without
+    a cold rebuild.  A non-resumable or wrong-prefix [from] silently
+    falls back to a cold start (counted in the
+    [engine.warm_resume_misses] metric), so callers can pass their
+    cache slot unconditionally.
 
     [max_events] (default [1000 + 200 * node_count]) bounds node
     activations.  When the budget runs out with work still queued, the
@@ -89,6 +94,12 @@ val events : state -> int
 
 val best : state -> int -> Rattr.t option
 (** The node's selected route ([None]: no route). *)
+
+val originating : state -> int list
+(** The nodes that originated the prefix in this run, ascending — the
+    [originators] the state was computed with (including any warm-resume
+    origination delta).  Lets a cache rebuild its originator table from
+    stored states. *)
 
 val rib_in : state -> int -> (int * Rattr.t) list
 (** [(session_index, route)] for every session currently delivering a

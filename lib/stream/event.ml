@@ -1,0 +1,169 @@
+open Bgp
+
+type action =
+  | Announce of { prefix : Prefix.t; origin : Asn.t }
+  | Withdraw of { prefix : Prefix.t; origin : Asn.t }
+  | Session_down of { a : Asn.t; b : Asn.t }
+  | Session_up of { a : Asn.t; b : Asn.t }
+  | Link_fail of { a : Asn.t; b : Asn.t }
+  | Link_restore of { a : Asn.t; b : Asn.t }
+  | Hijack of { prefix : Prefix.t; attacker : Asn.t }
+  | Hijack_end of { prefix : Prefix.t; attacker : Asn.t }
+
+type t = { ts_ms : int; action : action }
+
+let make ~ts_ms action = { ts_ms; action }
+
+(* Action order: constructor rank, then fields.  Only used as the
+   equal-timestamp tie-break of [compare]; any total order works as
+   long as it is deterministic. *)
+let action_rank = function
+  | Announce _ -> 0
+  | Withdraw _ -> 1
+  | Session_down _ -> 2
+  | Session_up _ -> 3
+  | Link_fail _ -> 4
+  | Link_restore _ -> 5
+  | Hijack _ -> 6
+  | Hijack_end _ -> 7
+
+let compare_action x y =
+  match Int.compare (action_rank x) (action_rank y) with
+  | 0 -> (
+      let pfx_as p1 a1 p2 a2 =
+        match Prefix.compare p1 p2 with 0 -> Asn.compare a1 a2 | c -> c
+      in
+      let as_pair a1 b1 a2 b2 =
+        match Asn.compare a1 a2 with 0 -> Asn.compare b1 b2 | c -> c
+      in
+      match (x, y) with
+      | Announce a, Announce b -> pfx_as a.prefix a.origin b.prefix b.origin
+      | Withdraw a, Withdraw b -> pfx_as a.prefix a.origin b.prefix b.origin
+      | Session_down a, Session_down b -> as_pair a.a a.b b.a b.b
+      | Session_up a, Session_up b -> as_pair a.a a.b b.a b.b
+      | Link_fail a, Link_fail b -> as_pair a.a a.b b.a b.b
+      | Link_restore a, Link_restore b -> as_pair a.a a.b b.a b.b
+      | Hijack a, Hijack b -> pfx_as a.prefix a.attacker b.prefix b.attacker
+      | Hijack_end a, Hijack_end b ->
+          pfx_as a.prefix a.attacker b.prefix b.attacker
+      | _ -> 0 (* unreachable: equal ranks imply equal constructors *))
+  | c -> c
+
+let compare x y =
+  match Int.compare x.ts_ms y.ts_ms with
+  | 0 -> compare_action x.action y.action
+  | c -> c
+
+let equal x y = compare x y = 0
+
+let verb = function
+  | Announce _ -> "announce"
+  | Withdraw _ -> "withdraw"
+  | Session_down _ -> "session-down"
+  | Session_up _ -> "session-up"
+  | Link_fail _ -> "link-fail"
+  | Link_restore _ -> "link-restore"
+  | Hijack _ -> "hijack"
+  | Hijack_end _ -> "hijack-end"
+
+let to_string t =
+  match t.action with
+  | Announce { prefix; origin } | Withdraw { prefix; origin } ->
+      Printf.sprintf "%d %s %s %d" t.ts_ms (verb t.action)
+        (Prefix.to_string prefix) origin
+  | Session_down { a; b }
+  | Session_up { a; b }
+  | Link_fail { a; b }
+  | Link_restore { a; b } ->
+      Printf.sprintf "%d %s %d %d" t.ts_ms (verb t.action) a b
+  | Hijack { prefix; attacker } | Hijack_end { prefix; attacker } ->
+      Printf.sprintf "%d %s %s %d" t.ts_ms (verb t.action)
+        (Prefix.to_string prefix) attacker
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let parse_asn s =
+  match Asn.of_string s with
+  | Some a -> Ok a
+  | None -> Error (Printf.sprintf "bad AS number %S" s)
+
+let parse_prefix s =
+  match Prefix.of_string s with
+  | Some p -> Ok p
+  | None -> Error (Printf.sprintf "bad prefix %S" s)
+
+let ( let* ) = Result.bind
+
+let of_string line =
+  let words =
+    String.split_on_char ' ' (String.trim line)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | [ ts; verb; x; y ] -> (
+      let* ts_ms =
+        match int_of_string_opt ts with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "bad timestamp %S" ts)
+      in
+      let pfx_as mk =
+        let* prefix = parse_prefix x in
+        let* asn = parse_asn y in
+        Ok { ts_ms; action = mk prefix asn }
+      in
+      let as_pair mk =
+        let* a = parse_asn x in
+        let* b = parse_asn y in
+        Ok { ts_ms; action = mk a b }
+      in
+      match verb with
+      | "announce" -> pfx_as (fun prefix origin -> Announce { prefix; origin })
+      | "withdraw" -> pfx_as (fun prefix origin -> Withdraw { prefix; origin })
+      | "session-down" -> as_pair (fun a b -> Session_down { a; b })
+      | "session-up" -> as_pair (fun a b -> Session_up { a; b })
+      | "link-fail" -> as_pair (fun a b -> Link_fail { a; b })
+      | "link-restore" -> as_pair (fun a b -> Link_restore { a; b })
+      | "hijack" -> pfx_as (fun prefix attacker -> Hijack { prefix; attacker })
+      | "hijack-end" ->
+          pfx_as (fun prefix attacker -> Hijack_end { prefix; attacker })
+      | other -> Error (Printf.sprintf "unknown event verb %S" other))
+  | _ -> Error (Printf.sprintf "malformed event line %S" line)
+
+let check ~known_as t =
+  if t.ts_ms < 0 then Error "negative timestamp"
+  else
+    let known name a =
+      if known_as a then Ok ()
+      else Error (Printf.sprintf "unknown %s AS %d" name a)
+    in
+    match t.action with
+    | Announce { origin; _ } | Withdraw { origin; _ } -> known "origin" origin
+    | Hijack { attacker; _ } | Hijack_end { attacker; _ } ->
+        known "attacker" attacker
+    | Session_down { a; b }
+    | Session_up { a; b }
+    | Link_fail { a; b }
+    | Link_restore { a; b } ->
+        if a = b then Error "self session/link"
+        else
+          let* () = known "endpoint" a in
+          known "endpoint" b
+
+let normalize ~known_as events =
+  let ok, rejected =
+    List.fold_left
+      (fun (ok, rej) t ->
+        match check ~known_as t with
+        | Ok () -> (t :: ok, rej)
+        | Error reason -> (ok, (t, reason) :: rej))
+      ([], []) events
+  in
+  (* Stable sort on the timestamp alone: equal-timestamp events keep
+     their input order, so normalization is a function of the input
+     list, not of sort internals. *)
+  let sorted =
+    List.stable_sort
+      (fun x y -> Int.compare x.ts_ms y.ts_ms)
+      (List.rev ok)
+  in
+  (sorted, List.rev rejected)

@@ -1,0 +1,67 @@
+(** Typed, timestamped churn events.
+
+    An update stream is a list of events — announcements, withdrawals,
+    session and link state changes, and hijacks — replayed against a
+    model by {!Replay}.  Events carry millisecond timestamps; the
+    stream's semantics depend only on event {e order}, so timestamps
+    exist for scenario realism (inter-event gaps) and deterministic
+    ordering, not for wall-clock scheduling.
+
+    The AS-level vocabulary matches the model: sessions and links are
+    identified by AS pairs (a session is one quasi-router adjacency; a
+    link is every session between the two ASes), and originations by
+    (prefix, AS).  A sub-prefix hijack is simply a [Hijack] whose
+    prefix is a more-specific of a victim prefix; a MOAS conflict is a
+    [Hijack] of a prefix the victim already originates. *)
+
+open Bgp
+
+type action =
+  | Announce of { prefix : Prefix.t; origin : Asn.t }
+      (** [origin] starts originating [prefix]. *)
+  | Withdraw of { prefix : Prefix.t; origin : Asn.t }
+      (** [origin] stops originating [prefix]. *)
+  | Session_down of { a : Asn.t; b : Asn.t }
+      (** One quasi-router session between the ASes stops exchanging
+          routes (the first adjacency, deterministically). *)
+  | Session_up of { a : Asn.t; b : Asn.t }  (** Revert a session-down. *)
+  | Link_fail of { a : Asn.t; b : Asn.t }
+      (** Every session between the two ASes stops exchanging routes. *)
+  | Link_restore of { a : Asn.t; b : Asn.t }  (** Revert a link-fail. *)
+  | Hijack of { prefix : Prefix.t; attacker : Asn.t }
+      (** [attacker] starts originating [prefix] illegitimately:
+          a MOAS conflict when [prefix] is already originated, a
+          sub-prefix hijack when it is a new more-specific. *)
+  | Hijack_end of { prefix : Prefix.t; attacker : Asn.t }
+      (** The attacker withdraws its origination. *)
+
+type t = { ts_ms : int; action : action }
+
+val make : ts_ms:int -> action -> t
+
+val compare : t -> t -> int
+(** Timestamp first, then a total structural order on actions — a
+    deterministic tie-break for equal timestamps. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+(** One-line textual form, e.g. ["120 session-down 3 9"] or
+    ["250 hijack 10.0.1.128/25 666"].  Round-trips with
+    {!of_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parse {!to_string}'s format; [Error] describes the malformation.
+    Never raises. *)
+
+val normalize :
+  known_as:(Asn.t -> bool) -> t list -> t list * (t * string) list
+(** Validate and canonicalize a raw stream: events with a negative
+    timestamp, an unknown AS, or a self session/link ([a = b]) are
+    rejected (returned with a reason); survivors are stably sorted by
+    timestamp, so out-of-order input is reordered and events sharing a
+    timestamp keep their relative input order — same input, same
+    output, always.  Duplicate events are kept: replay semantics make
+    them no-ops. *)

@@ -1,0 +1,654 @@
+open Bgp
+module Engine = Simulator.Engine
+module Net = Simulator.Net
+module Pool = Simulator.Pool
+module Runtime = Simulator.Runtime
+module Warm = Simulator.Warm
+module Qrmodel = Asmodel.Qrmodel
+module Asgraph = Topology.Asgraph
+
+type cls =
+  | Cannounce
+  | Cwithdraw
+  | Csession
+  | Clink
+  | Chijack_sub
+  | Chijack_moas
+
+let cls_name = function
+  | Cannounce -> "announce"
+  | Cwithdraw -> "withdraw"
+  | Csession -> "session"
+  | Clink -> "link"
+  | Chijack_sub -> "hijack_sub"
+  | Chijack_moas -> "hijack_moas"
+
+let cls_rank = function
+  | Cannounce -> 0
+  | Cwithdraw -> 1
+  | Csession -> 2
+  | Clink -> 3
+  | Chijack_sub -> 4
+  | Chijack_moas -> 5
+
+(* -- metrics ------------------------------------------------------- *)
+
+let events_m = Obs.Metrics.counter "stream.events"
+
+let reconv_m = Obs.Metrics.counter "stream.reconvergences"
+
+let quarantined_m = Obs.Metrics.counter "stream.quarantined"
+
+let recovered_m = Obs.Metrics.counter "stream.recovered"
+
+let shifts_m = Obs.Metrics.counter "stream.path_shifts"
+
+let polluted_m = Obs.Metrics.counter "stream.polluted_ases"
+
+let event_us_m = Obs.Metrics.histogram "stream.event_us"
+
+let quarantine_g = Obs.Metrics.gauge "stream.quarantine"
+
+(* Registration is idempotent, so per-class series can be fetched on
+   demand by their stable dotted names. *)
+let cls_events_m c = Obs.Metrics.counter ("stream." ^ cls_name c ^ ".events")
+
+let cls_engine_m c =
+  Obs.Metrics.counter ("stream." ^ cls_name c ^ ".engine_events")
+
+(* -- driver state -------------------------------------------------- *)
+
+(* A down session/link: the half-sessions it silences and the denies
+   this driver placed there (pre-existing denies — refiner filters, an
+   overlapping down — are never recorded, so restore is exact and
+   overlapping downs compose). *)
+type down = {
+  halfs : (int * int) list;
+  mutable added : (int * int * Prefix.t) list;
+}
+
+type down_key = Ksession of Asn.t * Asn.t | Klink of Asn.t * Asn.t
+
+type acc = {
+  mutable a_events : int;
+  mutable a_prefixes : int;
+  mutable a_engine : int;
+  mutable a_warm : int;
+  mutable a_cold : int;
+  mutable a_shifted : int;
+  mutable a_polluted : int;
+  mutable a_wall : float;
+}
+
+type t = {
+  model : Qrmodel.t;
+  jobs : int option;
+  mode : Runtime.Warm_mode.t;
+  states : Engine.state Prefix.Table.t;
+  origins : Asn.Set.t Prefix.Table.t;
+  mutable tracked_rev : Prefix.t list;
+  quarantine : unit Prefix.Table.t;
+  downs : (down_key, down) Hashtbl.t;
+  divergences : int Atomic.t;  (* bumped from pool worker domains *)
+  totals : (cls, acc) Hashtbl.t;
+  mutable events_applied : int;
+  mutable reconvergences : int;
+  mutable retried : int;
+  mutable failed : int;
+  mutable recovered_n : int;
+  mutable wall_s : float;
+}
+
+let tracked t = List.rev t.tracked_rev
+
+let quarantined t =
+  List.filter (Prefix.Table.mem t.quarantine) (tracked t)
+
+let origins t p =
+  match Prefix.Table.find_opt t.origins p with
+  | None -> []
+  | Some ases -> Asn.Set.elements ases
+
+let states t =
+  List.filter_map
+    (fun p ->
+      Option.map (fun st -> (p, st)) (Prefix.Table.find_opt t.states p))
+    (tracked t)
+
+let fingerprint t =
+  (* Sorted prefix order, so the hash is a function of the routing
+     content alone, not of tracking history. *)
+  List.sort Prefix.compare (tracked t)
+  |> List.fold_left
+       (fun h p ->
+         let s =
+           match Prefix.Table.find_opt t.states p with
+           | Some st -> Engine.state_fingerprint st
+           | None -> 0
+         in
+         ((h * 1000003) lxor Prefix.hash p * 0x9e3779b9) lxor (s land max_int))
+       0x42
+
+let originator_nodes t p =
+  let net = t.model.Qrmodel.net in
+  match Prefix.Table.find_opt t.origins p with
+  | None -> []
+  | Some ases ->
+      Asn.Set.elements ases |> List.concat_map (Net.nodes_of_as net)
+
+(* -- sessions ------------------------------------------------------ *)
+
+let half_sessions_toward net a b =
+  List.concat_map
+    (fun n ->
+      List.filter_map
+        (fun (s, peer) -> if Net.asn_of net peer = b then Some (n, s) else None)
+        (Net.sessions_of net n))
+    (Net.nodes_of_as net a)
+
+let link_halfs net a b =
+  half_sessions_toward net a b @ half_sessions_toward net b a
+
+(* One session = the first quasi-router adjacency (deterministic:
+   lowest node ids first), both directions. *)
+let session_halfs net a b =
+  match half_sessions_toward net a b with
+  | [] -> []
+  | (n, s) :: _ ->
+      let peer = Net.session_peer net n s in
+      let rev = Net.session_reverse net n s in
+      [ (n, s); (peer, rev) ]
+
+let norm_pair a b = if a <= b then (a, b) else (b, a)
+
+(* -- creation ------------------------------------------------------ *)
+
+let model_prefix_set (model : Qrmodel.t) =
+  List.fold_left
+    (fun s (p, _) -> Prefix.Set.add p s)
+    Prefix.Set.empty model.Qrmodel.prefixes
+
+let create ?jobs ?mode ?states:seed (model : Qrmodel.t) =
+  let mode = match mode with Some m -> m | None -> Runtime.warm () in
+  let net = model.Qrmodel.net in
+  let t =
+    {
+      model;
+      jobs;
+      mode;
+      states = Prefix.Table.create 64;
+      origins = Prefix.Table.create 64;
+      tracked_rev = [];
+      quarantine = Prefix.Table.create 8;
+      downs = Hashtbl.create 8;
+      divergences = Atomic.make 0;
+      totals = Hashtbl.create 8;
+      events_applied = 0;
+      reconvergences = 0;
+      retried = 0;
+      failed = 0;
+      recovered_n = 0;
+      wall_s = 0.;
+    }
+  in
+  List.iter
+    (fun (p, asn) ->
+      t.tracked_rev <- p :: t.tracked_rev;
+      Prefix.Table.replace t.origins p (Asn.Set.singleton asn))
+    model.Qrmodel.prefixes;
+  (match seed with
+  | Some states ->
+      let known = model_prefix_set model in
+      List.iter
+        (fun (p, st) ->
+          if not (Prefix.Set.mem p known) then begin
+            (* An extra (announced / hijacked) prefix carried over from
+               a previous replay: recover its originators from the
+               state itself. *)
+            t.tracked_rev <- p :: t.tracked_rev;
+            let ases =
+              Engine.originating st
+              |> List.fold_left
+                   (fun s n -> Asn.Set.add (Net.asn_of net n) s)
+                   Asn.Set.empty
+            in
+            Prefix.Table.replace t.origins p ases
+          end;
+          if Engine.converged st then Prefix.Table.replace t.states p st
+          else Prefix.Table.replace t.quarantine p ())
+        states
+  | None ->
+      let prefixes = List.map fst model.Qrmodel.prefixes in
+      let results, stats =
+        Pool.simulate_result ?jobs
+          ~sim:(fun p ->
+            Engine.simulate net ~prefix:p ~originators:(originator_nodes t p))
+          prefixes
+      in
+      t.retried <- t.retried + stats.Pool.retried;
+      t.failed <- t.failed + stats.Pool.failed;
+      List.iter
+        (fun (p, r) ->
+          match r with
+          | Ok st when Engine.converged st ->
+              Prefix.Table.replace t.states p st;
+              Net.clear_touched net p
+          | Ok _ | Error _ -> Prefix.Table.replace t.quarantine p ())
+        results;
+      Obs.Metrics.set_gauge quarantine_g (Prefix.Table.length t.quarantine));
+  t
+
+(* -- event application --------------------------------------------- *)
+
+let dedup_prefixes ps =
+  let seen = Prefix.Table.create (List.length ps) in
+  List.filter
+    (fun p ->
+      if Prefix.Table.mem seen p then false
+      else begin
+        Prefix.Table.replace seen p ();
+        true
+      end)
+    ps
+
+(* A prefix first seen while sessions are down must be silenced on them
+   too, or routes would leak through a failed link. *)
+let extend_downs t p =
+  let net = t.model.Qrmodel.net in
+  Hashtbl.iter
+    (fun _ d ->
+      List.iter
+        (fun (n, s) ->
+          if not (Net.export_denied net n s p) then begin
+            Net.deny_export net n s p;
+            d.added <- (n, s, p) :: d.added
+          end)
+        d.halfs)
+    t.downs
+
+let add_origin t p asn =
+  match Prefix.Table.find_opt t.origins p with
+  | Some ases when Asn.Set.mem asn ases -> [] (* duplicate announce *)
+  | Some ases ->
+      Prefix.Table.replace t.origins p (Asn.Set.add asn ases);
+      [ p ]
+  | None ->
+      t.tracked_rev <- p :: t.tracked_rev;
+      Prefix.Table.replace t.origins p (Asn.Set.singleton asn);
+      extend_downs t p;
+      [ p ]
+
+let remove_origin t p asn =
+  match Prefix.Table.find_opt t.origins p with
+  | Some ases when Asn.Set.mem asn ases ->
+      (* The prefix stays tracked even when fully withdrawn: its state
+         reconverges to route-free, and a later announce revives it. *)
+      Prefix.Table.replace t.origins p (Asn.Set.remove asn ases);
+      [ p ]
+  | _ -> [] (* withdraw of something never announced: no-op *)
+
+let bring_down t key halfs =
+  if Hashtbl.mem t.downs key || halfs = [] then []
+  else begin
+    let net = t.model.Qrmodel.net in
+    let d = { halfs; added = [] } in
+    List.iter
+      (fun (n, s) ->
+        List.iter
+          (fun p ->
+            if not (Net.export_denied net n s p) then begin
+              Net.deny_export net n s p;
+              d.added <- (n, s, p) :: d.added
+            end)
+          (tracked t))
+      halfs;
+    Hashtbl.replace t.downs key d;
+    dedup_prefixes (List.map (fun (_, _, p) -> p) d.added)
+  end
+
+let bring_up t key =
+  match Hashtbl.find_opt t.downs key with
+  | None -> [] (* restore of something not down: no-op *)
+  | Some d ->
+      let net = t.model.Qrmodel.net in
+      List.iter (fun (n, s, p) -> Net.allow_export net n s p) d.added;
+      Hashtbl.remove t.downs key;
+      dedup_prefixes (List.map (fun (_, _, p) -> p) d.added)
+
+let acc_of t cls =
+  match Hashtbl.find_opt t.totals cls with
+  | Some a -> a
+  | None ->
+      let a =
+        {
+          a_events = 0;
+          a_prefixes = 0;
+          a_engine = 0;
+          a_warm = 0;
+          a_cold = 0;
+          a_shifted = 0;
+          a_polluted = 0;
+          a_wall = 0.;
+        }
+      in
+      Hashtbl.replace t.totals cls a;
+      a
+
+(* ASes whose selected path set changed between the cached and the new
+   state; the fingerprint shortcut skips the quadratic walk when the
+   routing content is bit-identical. *)
+let shifted_ases t old_opt new_st =
+  let net = t.model.Qrmodel.net in
+  match old_opt with
+  | Some old
+    when Engine.state_fingerprint old = Engine.state_fingerprint new_st ->
+      0
+  | _ ->
+      List.length
+        (List.filter
+           (fun asn ->
+             let before =
+               match old_opt with
+               | Some o -> Engine.selected_paths net o asn
+               | None -> []
+             in
+             Engine.selected_paths net new_st asn <> before)
+           (Asgraph.nodes t.model.Qrmodel.graph))
+
+let pollution t p attacker =
+  let net = t.model.Qrmodel.net in
+  match Prefix.Table.find_opt t.states p with
+  | None -> 0
+  | Some st ->
+      List.length
+        (List.filter
+           (fun asn ->
+             asn <> attacker
+             && List.exists
+                  (fun path ->
+                    let k = Array.length path in
+                    k > 0 && path.(k - 1) = attacker)
+                  (Engine.selected_paths net st asn))
+           (Asgraph.nodes t.model.Qrmodel.graph))
+
+(* Reconverge a deduplicated prefix batch over the pool, fold the
+   results back into the cache, and quarantine what failed.  Returns
+   (engine_events, warm, cold, shifted, quarantined, recovered). *)
+let reconverge t batch =
+  if batch = [] then (0, 0, 0, 0, [], [])
+  else begin
+    let net = t.model.Qrmodel.net in
+    let mode = t.mode in
+    let warm_hits0 = Obs.Metrics.find_counter "engine.warm_resume_hits" in
+    let sim p =
+      (* Runs in pool worker domains: reads the driver tables (no
+         writer is active during the batch) and bumps only atomics. *)
+      let from =
+        if mode = Runtime.Warm_mode.Off || Prefix.Table.mem t.quarantine p
+        then None
+        else Prefix.Table.find_opt t.states p
+      in
+      let originators = originator_nodes t p in
+      let st = Engine.simulate ?from net ~prefix:p ~originators in
+      match (mode, from) with
+      | Runtime.Warm_mode.Verify, Some prev when Engine.resumable net prev ->
+          let cold_st = Engine.simulate net ~prefix:p ~originators in
+          Warm.note_verified ();
+          if Engine.state_fingerprint st <> Engine.state_fingerprint cold_st
+          then begin
+            Warm.note_divergence ();
+            Atomic.incr t.divergences;
+            cold_st (* ground truth wins *)
+          end
+          else st
+      | _ -> st
+    in
+    let results, stats = Pool.simulate_result ?jobs:t.jobs ~sim batch in
+    let warm =
+      max 0 (Obs.Metrics.find_counter "engine.warm_resume_hits" - warm_hits0)
+    in
+    t.retried <- t.retried + stats.Pool.retried;
+    t.failed <- t.failed + stats.Pool.failed;
+    t.reconvergences <- t.reconvergences + List.length batch;
+    Obs.Metrics.incr ~by:(List.length batch) reconv_m;
+    let shifted = ref 0 in
+    let newly_quarantined = ref [] in
+    let recovered = ref [] in
+    List.iter
+      (fun (p, r) ->
+        match r with
+        | Ok st when Engine.converged st ->
+            shifted :=
+              !shifted + shifted_ases t (Prefix.Table.find_opt t.states p) st;
+            Prefix.Table.replace t.states p st;
+            Net.clear_touched net p;
+            if Prefix.Table.mem t.quarantine p then begin
+              Prefix.Table.remove t.quarantine p;
+              t.recovered_n <- t.recovered_n + 1;
+              Obs.Metrics.incr recovered_m;
+              recovered := p :: !recovered
+            end
+        | Ok st ->
+            Logs.warn (fun m ->
+                m "replay: prefix %a %a; quarantined" Prefix.pp p
+                  Engine.pp_outcome (Engine.outcome st));
+            if not (Prefix.Table.mem t.quarantine p) then begin
+              Prefix.Table.replace t.quarantine p ();
+              Obs.Metrics.incr quarantined_m;
+              newly_quarantined := p :: !newly_quarantined
+            end;
+            (* Drop the cache so every retry is a cold rebuild. *)
+            Prefix.Table.remove t.states p
+        | Error err ->
+            Logs.warn (fun m ->
+                m "replay: prefix %a failed (%a); quarantined" Prefix.pp p
+                  Pool.pp_task_error err);
+            if not (Prefix.Table.mem t.quarantine p) then begin
+              Prefix.Table.replace t.quarantine p ();
+              Obs.Metrics.incr quarantined_m;
+              newly_quarantined := p :: !newly_quarantined
+            end;
+            Prefix.Table.remove t.states p)
+      results;
+    Obs.Metrics.set_gauge quarantine_g (Prefix.Table.length t.quarantine);
+    Obs.Metrics.incr ~by:!shifted shifts_m;
+    let cold = List.length batch - warm in
+    ( stats.Pool.events,
+      warm,
+      max 0 cold,
+      !shifted,
+      List.rev !newly_quarantined,
+      List.rev !recovered )
+  end
+
+type event_report = {
+  event : Event.t;
+  cls : cls;
+  prefixes : int;
+  engine_events : int;
+  warm : int;
+  cold : int;
+  ases_shifted : int;
+  polluted : int;
+  quarantined : Prefix.t list;
+  recovered : Prefix.t list;
+  wall_s : float;
+}
+
+let apply t (ev : Event.t) =
+  let net = t.model.Qrmodel.net in
+  let t0 = Obs.Trace.now_us () in
+  let cls, affected, hijack_target =
+    match ev.Event.action with
+    | Event.Announce { prefix; origin } ->
+        (Cannounce, add_origin t prefix origin, None)
+    | Event.Withdraw { prefix; origin } ->
+        (Cwithdraw, remove_origin t prefix origin, None)
+    | Event.Hijack { prefix; attacker } ->
+        let moas =
+          match Prefix.Table.find_opt t.origins prefix with
+          | Some ases -> not (Asn.Set.is_empty ases)
+          | None -> false
+        in
+        let cls = if moas then Chijack_moas else Chijack_sub in
+        (cls, add_origin t prefix attacker, Some (prefix, attacker))
+    | Event.Hijack_end { prefix; attacker } ->
+        let affected = remove_origin t prefix attacker in
+        let moas =
+          match Prefix.Table.find_opt t.origins prefix with
+          | Some ases -> not (Asn.Set.is_empty ases)
+          | None -> false
+        in
+        ((if moas then Chijack_moas else Chijack_sub), affected, None)
+    | Event.Session_down { a; b } ->
+        let a, b = norm_pair a b in
+        (Csession, bring_down t (Ksession (a, b)) (session_halfs net a b), None)
+    | Event.Session_up { a; b } ->
+        let a, b = norm_pair a b in
+        (Csession, bring_up t (Ksession (a, b)), None)
+    | Event.Link_fail { a; b } ->
+        let a, b = norm_pair a b in
+        (Clink, bring_down t (Klink (a, b)) (link_halfs net a b), None)
+    | Event.Link_restore { a; b } ->
+        let a, b = norm_pair a b in
+        (Clink, bring_up t (Klink (a, b)), None)
+  in
+  (* Quarantined prefixes ride along on every event: sustained churn is
+     exactly when they get their cold retries. *)
+  let batch = dedup_prefixes (affected @ quarantined t) in
+  let engine_events, warm, cold, ases_shifted, newly_q, recovered =
+    reconverge t batch
+  in
+  let polluted =
+    match hijack_target with
+    | Some (p, attacker) -> pollution t p attacker
+    | None -> 0
+  in
+  let wall_s = float_of_int (Obs.Trace.now_us () - t0) /. 1e6 in
+  t.events_applied <- t.events_applied + 1;
+  t.wall_s <- t.wall_s +. wall_s;
+  Obs.Metrics.incr events_m;
+  Obs.Metrics.incr (cls_events_m cls);
+  Obs.Metrics.incr ~by:engine_events (cls_engine_m cls);
+  Obs.Metrics.incr ~by:polluted polluted_m;
+  Obs.Metrics.observe event_us_m (Obs.Trace.now_us () - t0);
+  let a = acc_of t cls in
+  a.a_events <- a.a_events + 1;
+  a.a_prefixes <- a.a_prefixes + List.length batch;
+  a.a_engine <- a.a_engine + engine_events;
+  a.a_warm <- a.a_warm + warm;
+  a.a_cold <- a.a_cold + cold;
+  a.a_shifted <- a.a_shifted + ases_shifted;
+  a.a_polluted <- a.a_polluted + polluted;
+  a.a_wall <- a.a_wall +. wall_s;
+  {
+    event = ev;
+    cls;
+    prefixes = List.length batch;
+    engine_events;
+    warm;
+    cold;
+    ases_shifted;
+    polluted;
+    quarantined = newly_q;
+    recovered;
+    wall_s;
+  }
+
+let retry_quarantined t =
+  match quarantined t with
+  | [] -> []
+  | stuck ->
+      let _, _, _, _, _, recovered = reconverge t stuck in
+      recovered
+
+(* -- reports ------------------------------------------------------- *)
+
+type class_stats = {
+  cs_events : int;
+  cs_prefixes : int;
+  cs_engine_events : int;
+  cs_warm : int;
+  cs_cold : int;
+  cs_ases_shifted : int;
+  cs_polluted : int;
+  cs_wall_s : float;
+}
+
+type report = {
+  events : int;
+  rejected : int;
+  classes : (cls * class_stats) list;
+  reconvergences : int;
+  retried : int;
+  failed : int;
+  quarantine : Prefix.t list;
+  recovered : int;
+  divergences : int;
+  fingerprint : int;
+  wall_s : float;
+}
+
+let report t ~rejected =
+  let classes =
+    Hashtbl.fold
+      (fun cls a acc ->
+        ( cls,
+          {
+            cs_events = a.a_events;
+            cs_prefixes = a.a_prefixes;
+            cs_engine_events = a.a_engine;
+            cs_warm = a.a_warm;
+            cs_cold = a.a_cold;
+            cs_ases_shifted = a.a_shifted;
+            cs_polluted = a.a_polluted;
+            cs_wall_s = a.a_wall;
+          } )
+        :: acc)
+      t.totals []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare (cls_rank a) (cls_rank b))
+  in
+  {
+    events = t.events_applied;
+    rejected;
+    classes;
+    reconvergences = t.reconvergences;
+    retried = t.retried;
+    failed = t.failed;
+    quarantine = quarantined t;
+    recovered = t.recovered_n;
+    divergences = Atomic.get t.divergences;
+    fingerprint = fingerprint t;
+    wall_s = t.wall_s;
+  }
+
+let run ?jobs ?mode ?on_event (model : Qrmodel.t) events =
+  let graph = model.Qrmodel.graph in
+  let stream, rejects =
+    Event.normalize ~known_as:(Asgraph.mem_node graph) events
+  in
+  List.iter
+    (fun (ev, reason) ->
+      Logs.debug (fun m ->
+          m "replay: dropping event %a (%s)" Event.pp ev reason))
+    rejects;
+  let t = create ?jobs ?mode model in
+  List.iter
+    (fun ev ->
+      let r = apply t ev in
+      match on_event with Some f -> f r | None -> ())
+    stream;
+  ignore (retry_quarantined t);
+  (t, report t ~rejected:(List.length rejects))
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d events (%d rejected), %d reconvergences (%d warm / %d cold), %d \
+     shifted, %d recovered, %d quarantined, %d failed, %.2fs"
+    r.events r.rejected r.reconvergences
+    (List.fold_left (fun n (_, c) -> n + c.cs_warm) 0 r.classes)
+    (List.fold_left (fun n (_, c) -> n + c.cs_cold) 0 r.classes)
+    (List.fold_left (fun n (_, c) -> n + c.cs_ases_shifted) 0 r.classes)
+    r.recovered
+    (List.length r.quarantine)
+    r.failed r.wall_s

@@ -35,5 +35,6 @@ let () =
       ("divergence", Test_divergence.suite);
       ("integration", Test_integration.suite);
       ("analysis", Test_analysis.suite);
+      ("stream", Test_stream.suite);
       ("serve", Test_serve.suite);
     ]

@@ -58,6 +58,7 @@ let request_roundtrip () =
       Protocol.Catchment { egress = 4; prefix = None };
       Protocol.Whatif { a = 4; b = 5 };
       Protocol.Ping;
+      Protocol.Reload;
       Protocol.Shutdown;
     ]
   in
@@ -90,6 +91,27 @@ let framing () =
   ignore (Unix.write_substring a "short" 0 5);
   Unix.close a;
   check_bool "truncated frame" true (Result.is_error (Protocol.read_frame b));
+  Unix.close b
+
+let read_timeout () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* A complete frame is unaffected by the deadline. *)
+  Protocol.write_frame a "hello";
+  check_bool "whole frame passes" true
+    (Protocol.read_frame ~deadline_ms:200 b = Ok (Some "hello"));
+  (* A peer stalling mid-frame times out with the dedicated error
+     instead of pinning the reader. *)
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 100l;
+  ignore (Unix.write a header 0 4);
+  ignore (Unix.write_substring a "stall" 0 5);
+  let t0 = Unix.gettimeofday () in
+  (match Protocol.read_frame ~deadline_ms:100 b with
+  | Error msg ->
+      check_bool "timeout error message" true (msg = Protocol.read_timeout_msg)
+  | Ok _ -> Alcotest.fail "mid-frame stall should time out");
+  check_bool "timed out promptly" true (Unix.gettimeofday () -. t0 < 5.0);
+  Unix.close a;
   Unix.close b
 
 (* -- snapshot + queries ----------------------------------------------- *)
@@ -256,6 +278,111 @@ let server_shutdown_stops () =
   | None -> ());
   try Sys.remove path with Sys_error _ -> ()
 
+(* -- churn: rebuild-and-swap ------------------------------------------ *)
+
+let reload_swaps_snapshot () =
+  let store = Snapshot.store () in
+  check_bool "no snapshot yet" true
+    (Result.is_error (Serve.Churn.reload store));
+  let snap0 = build_snapshot () in
+  Snapshot.publish store snap0;
+  (match Serve.Churn.reload store with
+  | Ok (Protocol.Reloaded { prefixes; resume_hits; _ }) ->
+      check_int "all prefixes rebuilt" 5 prefixes;
+      check_bool "rebuild resumed warm" true (resume_hits > 0)
+  | Ok _ -> Alcotest.fail "unexpected payload"
+  | Error e -> Alcotest.failf "reload failed: %s" e);
+  let snap1 =
+    match Snapshot.current store with
+    | Some s -> s
+    | None -> Alcotest.fail "store empty after reload"
+  in
+  check_bool "a fresh snapshot was published" true (not (snap1 == snap0));
+  (* The old snapshot is retired; the new one answers identically. *)
+  check_bool "old snapshot retired" true
+    (match Snapshot.exclusive snap0 (fun () -> ()) with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  (match Query.eval snap1 Protocol.Ping with
+  | Ok (Protocol.Pong { prefixes = 5; _ }) -> ()
+  | _ -> Alcotest.fail "new snapshot does not answer");
+  check_bool "reload via bare Query.eval refused" true
+    (Result.is_error (Query.eval snap1 Protocol.Reload));
+  Snapshot.retire snap1
+
+let churn_apply_publishes () =
+  let store = Snapshot.store () in
+  let snap0 = build_snapshot () in
+  Snapshot.publish store snap0;
+  let p3 = Asn.origin_prefix 3 in
+  let baseline =
+    match Query.eval snap0 (Protocol.Path { prefix = p3; asn = 5 }) with
+    | Ok (Protocol.Paths { paths; _ }) -> paths
+    | _ -> Alcotest.fail "baseline path query failed"
+  in
+  (* A paired stream (down then up) ends back at the baseline, but must
+     go through a real mid-stream disruption. *)
+  let events =
+    [
+      Stream.Event.make ~ts_ms:0 (Stream.Event.Session_down { a = 4; b = 5 });
+      Stream.Event.make ~ts_ms:10 (Stream.Event.Session_up { a = 4; b = 5 });
+    ]
+  in
+  (match Serve.Churn.apply store events with
+  | Ok report ->
+      check_int "both events applied" 2 report.Stream.Replay.events;
+      check_int "no quarantine" 0
+        (List.length report.Stream.Replay.quarantine)
+  | Error e -> Alcotest.failf "churn apply failed: %s" e);
+  let snap1 = Option.get (Snapshot.current store) in
+  check_bool "swap happened" true (not (snap1 == snap0));
+  (match Query.eval snap1 (Protocol.Path { prefix = p3; asn = 5 }) with
+  | Ok (Protocol.Paths { paths; _ }) ->
+      check_bool "post-churn snapshot matches baseline" true (paths = baseline)
+  | _ -> Alcotest.fail "post-churn path query failed");
+  Snapshot.retire snap1
+
+(* The acceptance lock: queries keep succeeding while churn swaps the
+   snapshot underneath them — zero dropped connections, zero errors. *)
+let queries_across_reload () =
+  with_server (fun path ->
+      let errors = Atomic.make 0 in
+      let queries = Atomic.make 0 in
+      let worker _ () =
+        match Server.connect (Server.Unix_path path) with
+        | Error _ -> Atomic.incr errors
+        | Ok conn ->
+            for i = 0 to 39 do
+              let req =
+                match i mod 3 with
+                | 0 -> Protocol.Ping
+                | 1 -> Protocol.Path { prefix = Asn.origin_prefix 3; asn = 5 }
+                | _ -> Protocol.Whatif { a = 4; b = 5 }
+              in
+              (match Server.request conn req with
+              | Ok json
+                when Json.member "ok" json = Some (Json.Bool true) ->
+                  Atomic.incr queries
+              | Ok _ | Error _ -> Atomic.incr errors);
+              Thread.yield ()
+            done;
+            Server.close_conn conn
+      in
+      let threads = List.init 3 (fun i -> Thread.create (worker i) ()) in
+      (* Meanwhile: repeated churn-triggered rebuild-and-swaps. *)
+      let reloader = Result.get_ok (Server.connect (Server.Unix_path path)) in
+      for _ = 1 to 5 do
+        (match Server.request reloader Protocol.Reload with
+        | Ok json when Json.member "ok" json = Some (Json.Bool true) -> ()
+        | Ok json -> Alcotest.failf "reload refused: %s" (Json.to_string json)
+        | Error e -> Alcotest.failf "reload failed: %s" e);
+        Thread.delay 0.01
+      done;
+      Server.close_conn reloader;
+      List.iter Thread.join threads;
+      check_int "zero dropped or failed queries" 0 (Atomic.get errors);
+      check_int "every query answered" 120 (Atomic.get queries))
+
 (* -- immutability under load ------------------------------------------ *)
 
 (* Concurrent mixed queries against one snapshot return bit-identical
@@ -320,12 +447,16 @@ let suite =
     Alcotest.test_case "json rejects garbage" `Quick json_rejects_garbage;
     Alcotest.test_case "request roundtrip" `Quick request_roundtrip;
     Alcotest.test_case "framing" `Quick framing;
+    Alcotest.test_case "read timeout" `Quick read_timeout;
     Alcotest.test_case "snapshot queries" `Quick snapshot_queries;
     Alcotest.test_case "whatif query restores" `Quick whatif_query_restores;
     Alcotest.test_case "run_batch orders results" `Quick
       run_batch_orders_results;
     Alcotest.test_case "server loopback" `Quick server_loopback;
     Alcotest.test_case "server shutdown stops" `Quick server_shutdown_stops;
+    Alcotest.test_case "reload swaps snapshot" `Quick reload_swaps_snapshot;
+    Alcotest.test_case "churn apply publishes" `Quick churn_apply_publishes;
+    Alcotest.test_case "queries across reload" `Quick queries_across_reload;
     Alcotest.test_case "concurrent queries immutable" `Quick
       concurrent_queries_immutable;
   ]
