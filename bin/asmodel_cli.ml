@@ -199,12 +199,16 @@ let finish_obs ?(metrics = false) () =
 
 (* generate *)
 
-let generate seed scale binary out jobs faults trace =
+let generate seed scale ases binary out jobs faults trace =
   init_runtime ();
   apply_jobs jobs;
   apply_faults faults;
   apply_trace trace;
-  let conf = { (Netgen.Conf.scaled scale) with Netgen.Conf.seed } in
+  let conf =
+    match ases with
+    | Some n -> { (Netgen.Conf.sized n) with Netgen.Conf.seed }
+    | None -> { (Netgen.Conf.scaled scale) with Netgen.Conf.seed }
+  in
   Printf.eprintf "generating world: %s\n%!"
     (Format.asprintf "%a" Netgen.Conf.pp conf);
   let world = Netgen.Groundtruth.build conf in
@@ -225,10 +229,45 @@ let generate seed scale binary out jobs faults trace =
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
 
+(* World-size arguments get the --jobs treatment: an explicitly
+   nonsensical value (zero, negative, NaN, sub-minimum AS count) fails
+   hard at parse time instead of producing a silently clamped or
+   unbuildable world. *)
+let positive_float_conv =
+  let parse s =
+    match float_of_string_opt (String.trim s) with
+    | Some f when f > 0.0 && Float.is_finite f -> Ok f
+    | Some _ | None ->
+        Error
+          (`Msg (Printf.sprintf "expected a positive finite number, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let ases_conv =
+  let parse s =
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 50 -> Ok n
+    | Some _ | None ->
+        Error
+          (`Msg (Printf.sprintf "expected an AS count of at least 50, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
 let scale_arg =
   Arg.(
-    value & opt float 1.0
+    value & opt positive_float_conv 1.0
     & info [ "scale" ] ~docv:"F" ~doc:"Scale factor on the AS counts.")
+
+let ases_arg =
+  Arg.(
+    value
+    & opt (some ases_conv) None
+    & info [ "ases" ] ~docv:"N"
+        ~doc:
+          "Generate a paper-shaped world with $(docv) ASes in total \
+           (overrides $(b,--scale)).  Unlike $(b,--scale), the generator \
+           knobs are retuned so 5000+-AS worlds build with bounded \
+           memory.")
 
 let out_arg =
   Arg.(
@@ -246,8 +285,8 @@ let generate_cmd =
     (Cmd.info "generate"
        ~doc:"Generate a synthetic world and write its observed table dumps.")
     Term.(
-      const generate $ seed_arg $ scale_arg $ binary_arg $ out_arg $ jobs_arg
-      $ faults_arg $ trace_arg)
+      const generate $ seed_arg $ scale_arg $ ases_arg $ binary_arg $ out_arg
+      $ jobs_arg $ faults_arg $ trace_arg)
 
 (* stats *)
 

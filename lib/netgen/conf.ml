@@ -59,6 +59,37 @@ let scaled f =
     n_obs_ases = s default.n_obs_ases;
   }
 
+let sized ases =
+  if ases < 50 then invalid_arg "Conf.sized: need at least 50 ASes";
+  let t1 = 10 in
+  let t2 = max 5 (ases * 5 / 100) in
+  let t3 = max 10 (ases * 18 / 100) in
+  let stub = max 1 (ases - t1 - t2 - t3) in
+  {
+    default with
+    n_tier1 = t1;
+    n_tier2 = t2;
+    n_tier3 = t3;
+    n_stub = stub;
+    (* Narrow router ranges keep the node count near 2x the AS count,
+       so a 5k-AS world stays within a laptop-sized heap. *)
+    routers_tier1 = (4, 6);
+    routers_tier2 = (2, 4);
+    routers_tier3 = (1, 3);
+    routers_stub = (1, 2);
+    (* Peering probabilities are per pair, so they must shrink with the
+       tier populations or the session count grows quadratically; keep
+       the expected peerings-per-AS of the default world instead. *)
+    tier2_peer_prob =
+      min default.tier2_peer_prob (14.0 /. float_of_int t2);
+    tier3_peer_prob =
+      min default.tier3_peer_prob (2.2 /. float_of_int t3);
+    (* Bound the prefix universe to ~2x the AS count at scale. *)
+    multi_prefix_frac = 0.3;
+    max_prefixes_per_as = 4;
+    n_obs_ases = max 20 (ases / 8);
+  }
+
 let tiny =
   {
     default with

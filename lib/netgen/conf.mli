@@ -57,6 +57,16 @@ val default : t
 val scaled : float -> t
 (** [scaled f] multiplies the AS counts by [f] (at least 1 each). *)
 
+val sized : int -> t
+(** [sized ases] is a paper-shaped world with [ases] ASes in total: the
+    fixed 10-AS tier-1 clique, ~5% tier-2, ~18% tier-3, the rest stubs.
+    Unlike {!scaled}, the knobs that would otherwise grow superlinearly
+    are re-tuned for scale — router ranges are narrowed (node count
+    ~2x the AS count), per-pair peering probabilities shrink with the
+    tier populations (sessions stay linear in [ases]), and the prefix
+    universe is bounded to ~2x the AS count — so 5000+-AS worlds build
+    with bounded memory.  Raises [Invalid_argument] below 50 ASes. *)
+
 val tiny : t
 (** A few dozen ASes; used by unit tests. *)
 

@@ -149,6 +149,40 @@ let reset () =
               Atomic.set h.samples 0)
         registry)
 
+(* GC gauges, refreshed on demand (bench sections, report dumps) from
+   [Gc.quick_stat] — cheap enough to call at batch granularity and
+   precise enough for the §SCALE allocation accounting.  Word counts
+   are clamped into the gauge's int domain (no-op on 64-bit). *)
+let gc_minor_words_g = gauge "gc.minor_words"
+
+let gc_promoted_words_g = gauge "gc.promoted_words"
+
+let gc_major_words_g = gauge "gc.major_words"
+
+let gc_minor_collections_g = gauge "gc.minor_collections"
+
+let gc_major_collections_g = gauge "gc.major_collections"
+
+let gc_compactions_g = gauge "gc.compactions"
+
+let gc_heap_words_g = gauge "gc.heap_words"
+
+let gc_top_heap_words_g = gauge "gc.top_heap_words"
+
+let words w =
+  if w >= float_of_int max_int then max_int else int_of_float w
+
+let record_gc () =
+  let s = Gc.quick_stat () in
+  set_gauge gc_minor_words_g (words s.Gc.minor_words);
+  set_gauge gc_promoted_words_g (words s.Gc.promoted_words);
+  set_gauge gc_major_words_g (words s.Gc.major_words);
+  set_gauge gc_minor_collections_g s.Gc.minor_collections;
+  set_gauge gc_major_collections_g s.Gc.major_collections;
+  set_gauge gc_compactions_g s.Gc.compactions;
+  set_gauge gc_heap_words_g s.Gc.heap_words;
+  set_gauge gc_top_heap_words_g s.Gc.top_heap_words
+
 let pp_snapshot ppf items =
   Format.fprintf ppf "@[<v>";
   List.iteri

@@ -77,6 +77,15 @@ val reset : unit -> unit
 (** Zero every registered metric (registrations and handles survive);
     for benches and tests that measure deltas of a whole run. *)
 
+val record_gc : unit -> unit
+(** Refresh the [gc.*] gauges from [Gc.quick_stat]: [gc.minor_words],
+    [gc.promoted_words], [gc.major_words] (allocation totals, in
+    words), [gc.minor_collections], [gc.major_collections],
+    [gc.compactions], [gc.heap_words] and [gc.top_heap_words].  Called
+    by the bench harness and report paths at section boundaries so GC
+    pressure lands in the same snapshot as the throughput counters;
+    cheap ([Gc.quick_stat], no heap walk) but not per-event. *)
+
 val pp_snapshot : Format.formatter -> (string * value) list -> unit
 
 val to_json : (string * value) list -> string

@@ -81,8 +81,18 @@ let best_elimination net st asn tail =
   in
   List.fold_left
     (fun acc n ->
+      (* Most nodes never held the observed route at all: screen with
+         the allocation-free candidate fold and only materialize the
+         candidate list for the nodes classify has to grade. *)
+      let present =
+        Engine.fold_candidates st net n ~init:false ~f:(fun acc r ->
+            acc || target r)
+      in
       let verdict =
-        Decision.classify ~med_scope steps ~target (Engine.candidates st net n)
+        if not present then Decision.Not_present
+        else
+          Decision.classify ~med_scope steps ~target
+            (Engine.candidates st net n)
       in
       match (verdict, acc) with
       | Decision.Selected, _ -> `Selected

@@ -91,6 +91,80 @@ let select ?(med_scope = Always_compare) steps candidates =
   in
   run steps candidates
 
+(* In-place counterpart of [survivors] for [select_into]: keep the
+   entries of [buf.(0 .. m-1)] minimizing [step_key], compacted to the
+   front, order preserved.  Returns the survivor count.  [keys] is
+   caller-provided scratch so each candidate's key is computed once,
+   not once per pass. *)
+let keep_min_into step (buf : Rattr.t array) (keys : int array) m =
+  let k0 = step_key step buf.(0) in
+  keys.(0) <- k0;
+  let best = ref k0 in
+  for i = 1 to m - 1 do
+    let k = step_key step buf.(i) in
+    keys.(i) <- k;
+    if k < !best then best := k
+  done;
+  let k = ref 0 in
+  for i = 0 to m - 1 do
+    if keys.(i) = !best then begin
+      buf.(!k) <- buf.(i);
+      incr k
+    end
+  done;
+  !k
+
+(* In-place scoped-MED survivors.  Checking dominance against the
+   already-compacted survivors plus the untouched tail is equivalent to
+   checking against the full original set: domination by an eliminated
+   candidate implies domination by the minimum-MED survivor of the same
+   neighbour group (strictly smaller MED, same group).  [keys] caches
+   each candidate's neighbour AS so the quadratic scan reads ints; the
+   compacted prefix keeps its entries aligned (writes land at [!k <= i],
+   and the tail scan only reads positions [> i], still original). *)
+let scoped_med_into (buf : Rattr.t array) (keys : int array) m =
+  for i = 0 to m - 1 do
+    keys.(i) <- neighbor_as buf.(i)
+  done;
+  let k = ref 0 in
+  for i = 0 to m - 1 do
+    let r = buf.(i) in
+    let na = keys.(i) in
+    let med = r.Rattr.med in
+    let dominated = ref false in
+    for j = 0 to !k - 1 do
+      if keys.(j) = na && buf.(j).Rattr.med < med then dominated := true
+    done;
+    for j = i + 1 to m - 1 do
+      if keys.(j) = na && buf.(j).Rattr.med < med then dominated := true
+    done;
+    if not !dominated then begin
+      buf.(!k) <- r;
+      keys.(!k) <- na;
+      incr k
+    end
+  done;
+  !k
+
+let select_into ?(med_scope = Always_compare) steps (buf : Rattr.t array)
+    ~(keys : int array) m =
+  if m = 0 then None
+  else begin
+    let m = ref m in
+    let steps = ref steps in
+    while !m > 1 && !steps <> [] do
+      match !steps with
+      | [] -> ()
+      | step :: rest ->
+          steps := rest;
+          m :=
+            (match (step, med_scope) with
+            | Med, Same_neighbor -> scoped_med_into buf keys !m
+            | _ -> keep_min_into step buf keys !m)
+    done;
+    Some buf.(0)
+  end
+
 type verdict = Selected | Eliminated_at of step | Tied_not_chosen | Not_present
 
 let classify ?(med_scope = Always_compare) steps ~target candidates =

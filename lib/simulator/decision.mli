@@ -59,6 +59,17 @@ val select : ?med_scope:med_scope -> step list -> Rattr.t list -> Rattr.t option
     first in list order wins — deterministic because RIB-In order is
     session order. *)
 
+val select_into :
+  ?med_scope:med_scope -> step list -> Rattr.t array -> keys:int array ->
+  int -> Rattr.t option
+(** [select_into steps buf ~keys m] is [select steps] over the
+    candidates [buf.(0 .. m-1)] — same elimination, same tie-breaking —
+    but runs in place over the caller's scratch buffers, destroying
+    their contents and allocating nothing.  [keys] is int scratch of at
+    least [m] entries used to cache per-step keys.  The engine's hot
+    path under {!Same_neighbor} MED (where {!compare_routes} does not
+    apply). *)
+
 type verdict =
   | Selected  (** a target route is the best route *)
   | Eliminated_at of step  (** step at which the last target was dropped *)

@@ -12,11 +12,20 @@ let pp_outcome ppf = function
   | Diverged { cycle_len } ->
       Format.fprintf ppf "diverged (cycle of %d events)" cycle_len
 
+(* Flat-memory per-prefix state.  The RIB-In is one contiguous route
+   slab in the CSR slot order of {!Net.Csr}: node [n]'s slots are
+   [off.(n) .. off.(n+1) - 1], and an empty slot holds the physical
+   sentinel {!Rattr.no_route} instead of an option box.  Together with
+   hash-consed routes ({!Intern.rattr}) this keeps the whole per-prefix
+   state in three flat arrays: no per-node arrays to chase, warm copies
+   are two [Array.copy] calls, and fingerprinting is a linear scan. *)
 type state = {
   pfx : Prefix.t;
   gen : int;  (* Net.generation at run time; gates warm resumption *)
-  rib_in : Rattr.t option array array;  (* node -> session index -> route *)
-  best : Rattr.t option array;
+  nodes : int;
+  off : int array;  (* shared with the Csr of [gen]; length nodes + 1 *)
+  slab : Rattr.t array;  (* RIB-In slots; Rattr.no_route = empty *)
+  best : Rattr.t array;  (* per node; Rattr.no_route = no route *)
   originates : bool array;
   mutable outcome : outcome;
   mutable events : int;
@@ -51,151 +60,58 @@ let events st = st.events
 
 (* Nodes created after a run (the refiner's duplicates) have no state
    yet: report them as empty rather than out of bounds. *)
-let best st n = if n >= Array.length st.best then None else st.best.(n)
+let best st n =
+  if n >= st.nodes then None
+  else
+    let r = st.best.(n) in
+    if Rattr.is_route r then Some r else None
 
 let rib_in st n =
-  if n >= Array.length st.rib_in then []
-  else
-  let slots = st.rib_in.(n) in
-  let acc = ref [] in
-  for i = Array.length slots - 1 downto 0 do
-    match slots.(i) with Some r -> acc := (i, r) :: !acc | None -> ()
-  done;
+  if n >= st.nodes then []
+  else begin
+    let base = st.off.(n) in
+    let acc = ref [] in
+    for k = st.off.(n + 1) - 1 downto base do
+      let r = st.slab.(k) in
+      if Rattr.is_route r then acc := (k - base, r) :: !acc
+    done;
+    !acc
+  end
+
+(* Candidate traversal without building a list: the originated route
+   (if any) first, then the RIB-In slots in session order — exactly the
+   decision-process input order. *)
+let iter_candidates st net n f =
+  if n < st.nodes then begin
+    if st.originates.(n) then
+      f (Rattr.originated ~own_ip:(Ipv4.to_int (Net.ip_of net n)));
+    for k = st.off.(n) to st.off.(n + 1) - 1 do
+      let r = st.slab.(k) in
+      if Rattr.is_route r then f r
+    done
+  end
+
+let fold_candidates st net n ~init ~f =
+  let acc = ref init in
+  iter_candidates st net n (fun r -> acc := f !acc r);
   !acc
 
 let candidates st net n =
-  let own =
-    if n < Array.length st.originates && st.originates.(n) then
-      [ Rattr.originated ~own_ip:(Ipv4.to_int (Net.ip_of net n)) ]
-    else []
-  in
-  own @ List.map snd (rib_in st n)
+  List.rev (fold_candidates st net n ~init:[] ~f:(fun acc r -> r :: acc))
 
-(* What node [n] advertises over session [s] (described by [si]) given
-   its best route; [None] means withdraw.  [ebgp_path] is the
-   own-AS-prepended path, computed once per best change. *)
-let compute_export net st n s (si : Net.session_info) best ~ebgp_path =
-  match best with
-  | None -> None
-  | Some (r : Rattr.t) ->
-      if r.Rattr.from_node = si.Net.si_peer then None
-      else if
-        si.Net.si_kind = Net.Ibgp
-        && r.Rattr.learned = Rattr.From_ibgp
-        && not
-             (* RFC 4456 route reflection: an iBGP-learned route is
-                re-advertised over iBGP to clients always, and to
-                non-clients when it was learned from a client. *)
-             (si.Net.si_rr_client
-             || (r.Rattr.from_session >= 0 && Net.rr_client net n r.Rattr.from_session))
-      then None
-      else if Net.export_denied net n s st.pfx then None
-      else if
-        si.Net.si_kind = Net.Ebgp
-        && not
-             (Net.export_matrix net ~learned_class:r.Rattr.learned_class
-                ~to_class:si.Net.si_class)
-      then None
-      else
-        let path =
-          match si.Net.si_kind with
-          | Net.Ebgp -> ebgp_path
-          | Net.Ibgp -> r.Rattr.path
-        in
-        Some (path, r)
-
-(* Import processing at [peer] for an advertisement from [n] over the
-   peer-side session [ps] (described by [ri]). *)
-let import net st ~sender:n ~sender_ip ~peer ~peer_as ~peer_session:ps
-    (ri : Net.session_info) adv =
-  match adv with
-  | None -> None
-  | Some (path, (orig : Rattr.t)) -> (
-      match ri.Net.si_kind with
-      | Net.Ebgp ->
-          if Array.exists (fun a -> a = peer_as) path then None
-          else
-            let lpref =
-              match Net.import_lpref_for net peer ps st.pfx with
-              | Some v -> v
-              | None ->
-                  if ri.Net.si_carry then orig.Rattr.lpref
-                  else match ri.Net.si_lpref with Some v -> v | None -> 100
-            in
-            let med =
-              match Net.session_med net peer ps st.pfx with
-              | Some v -> v
-              | None -> Net.default_med net
-            in
-            Some
-              {
-                Rattr.path;
-                lpref;
-                med;
-                igp = 0;
-                from_node = n;
-                from_ip = sender_ip;
-                from_session = ps;
-                learned = Rattr.From_ebgp;
-                learned_class = ri.Net.si_class;
-              }
-      | Net.Ibgp ->
-          (* LOCAL_PREF and MED travel unchanged inside the AS; the IGP
-             cost to the egress (the announcing router) implements
-             hot-potato ranking. *)
-          Some
-            {
-              Rattr.path;
-              lpref = orig.Rattr.lpref;
-              med = orig.Rattr.med;
-              igp = Net.igp_cost net peer n;
-              from_node = n;
-              from_ip = sender_ip;
-              from_session = ps;
-              learned = Rattr.From_ibgp;
-              learned_class = ri.Net.si_class;
-            })
-
-(* Re-export node [u]'s current best over every session, importing at
-   each peer and enqueueing peers whose RIB-In changed.  Shared between
-   the per-event processing and the warm-start replay of touched
-   nodes. *)
-let push_exports net st enqueue u best' =
-  let ebgp_path =
-    match best' with
-    | None -> [||]
-    | Some (r : Rattr.t) ->
-        Intern.prepend ~own_as:(Net.asn_of net u) r.Rattr.path
-  in
-  let own_ip = Ipv4.to_int (Net.ip_of net u) in
-  Net.iter_sessions net u (fun s _peer ->
-      let si = Net.session_info net u s in
-      let peer = si.Net.si_peer in
-      let adv = compute_export net st u s si best' ~ebgp_path in
-      let ps = si.Net.si_reverse in
-      let ri = Net.session_info net peer ps in
-      let imported =
-        import net st ~sender:u ~sender_ip:own_ip ~peer
-          ~peer_as:(Net.asn_of net peer) ~peer_session:ps ri adv
-      in
-      if not (Rattr.same_advertisement st.rib_in.(peer).(ps) imported)
-      then begin
-        st.rib_in.(peer).(ps) <- imported;
-        enqueue peer
-      end)
-
-let mix_route mix = function
-  | None -> mix 0x5bd1e995
-  | Some (r : Rattr.t) ->
-      mix (Intern.path_hash r.Rattr.path);
-      mix r.Rattr.lpref;
-      mix r.Rattr.med;
-      mix r.Rattr.igp;
-      mix r.Rattr.from_node;
-      mix r.Rattr.from_ip;
-      mix r.Rattr.from_session;
-      mix (Hashtbl.hash r.Rattr.learned);
-      mix (Hashtbl.hash r.Rattr.learned_class)
+let mix_route mix (r : Rattr.t) =
+  if Rattr.is_route r then begin
+    mix (Intern.path_hash r.Rattr.path);
+    mix r.Rattr.lpref;
+    mix r.Rattr.med;
+    mix r.Rattr.igp;
+    mix r.Rattr.from_node;
+    mix r.Rattr.from_ip;
+    mix r.Rattr.from_session;
+    mix (Hashtbl.hash r.Rattr.learned);
+    mix (Hashtbl.hash r.Rattr.learned_class)
+  end
+  else mix 0x5bd1e995
 
 (* Full-state fingerprint for the oscillation watchdog.  The transition
    function is deterministic, so an exact repeat of (RIBs, best routes,
@@ -204,13 +120,15 @@ let mix_route mix = function
    deep/wide structures such as long AS-paths — so every route is
    folded field by field into a polynomial hash over the full
    native-int range, with paths contributing their (memoized) full-width
-   content hash ({!Intern.path_hash}). *)
-let fingerprint st queue queued =
+   content hash ({!Intern.path_hash}).  The slab is mixed in linear
+   order, which is the reference engine's node-major slot order — the
+   two implementations fingerprint identically by construction. *)
+let fingerprint st iter_queue queued =
   let h = ref 0x42 in
   let mix x = h := (!h * 1000003) lxor (x land max_int) in
-  Array.iter (mix_route mix) st.best;
-  Array.iter (fun slots -> Array.iter (mix_route mix) slots) st.rib_in;
-  Queue.iter (fun u -> mix (u + 0x9e3779b9)) queue;
+  Array.iter (fun r -> mix_route mix r) st.best;
+  Array.iter (fun r -> mix_route mix r) st.slab;
+  iter_queue (fun u -> mix (u + 0x9e3779b9));
   Array.iter (fun q -> mix (Bool.to_int q)) queued;
   !h
 
@@ -221,28 +139,27 @@ let fingerprint st queue queued =
 let state_fingerprint st =
   let h = ref 0x42 in
   let mix x = h := (!h * 1000003) lxor (x land max_int) in
-  Array.iter (mix_route mix) st.best;
-  Array.iter (fun slots -> Array.iter (mix_route mix) slots) st.rib_in;
+  Array.iter (fun r -> mix_route mix r) st.best;
+  Array.iter (fun r -> mix_route mix r) st.slab;
   !h
 
 let same_state a b =
-  a.pfx = b.pfx
-  && Array.length a.best = Array.length b.best
+  a.pfx = b.pfx && a.nodes = b.nodes
+  && a.off = b.off
   && (let ok = ref true in
       Array.iteri
-        (fun i r -> if not (Rattr.same_advertisement r b.best.(i)) then ok := false)
+        (fun i r -> if not (Rattr.same_route r b.best.(i)) then ok := false)
         a.best;
       Array.iteri
-        (fun i slots ->
-          let slots' = b.rib_in.(i) in
-          if Array.length slots <> Array.length slots' then ok := false
-          else
-            Array.iteri
-              (fun s r ->
-                if not (Rattr.same_advertisement r slots'.(s)) then ok := false)
-              slots)
-        a.rib_in;
+        (fun k r -> if not (Rattr.same_route r b.slab.(k)) then ok := false)
+        a.slab;
       !ok)
+
+(* Loop detection without [Array.exists]'s closure allocation. *)
+let path_mem (path : int array) x =
+  let n = Array.length path in
+  let rec go i = i < n && (path.(i) = x || go (i + 1)) in
+  go 0
 
 (* The watchdog keeps at most this many fingerprints; real oscillation
    cycles are tiny (the bad gadget's is < 20 events), so a bounded
@@ -254,12 +171,18 @@ let watchdog_history_cap = 4096
    until the queue empties, the budget (after escalations) runs out, or
    the watchdog proves a cycle.  [seed ~enqueue ~replay] fills the
    initial queue; [replay u] re-exports [u]'s current best, charging
-   one event. *)
+   one event.
+
+   The whole hot path runs on the {!Net.Csr} arrays hoisted into locals
+   below: walking a node's sessions is a linear int-array scan, the
+   mirror slot at the peer is one [rev] read, and the work queue is a
+   ring buffer, so the only per-event allocation is a short-lived
+   candidate record on an actual RIB-In change. *)
 let exec ?max_events ?max_escalations ?on_best_change net st ~kind ~seed =
   let t0 = Obs.Trace.now_us () in
   let escalated = ref 0 in
   let fingerprinted = ref 0 in
-  let n = Array.length st.best in
+  let n = st.nodes in
   let budget =
     match max_events with Some b -> b | None -> 1000 + (200 * n)
   in
@@ -274,34 +197,147 @@ let exec ?max_events ?max_escalations ?on_best_change net st ~kind ~seed =
     | None, Some _ -> 0
     | None, None -> 2
   in
-  let queue = Queue.create () in
+  let c = Net.csr net in
+  let off = Net.Csr.off c in
+  let peer = Net.Csr.peer c in
+  let rev = Net.Csr.rev c in
+  let kinds = Net.Csr.kinds c in
+  let classes = Net.Csr.classes c in
+  let lprefs = Net.Csr.lprefs c in
+  let carries = Net.Csr.carries c in
+  let rrs = Net.Csr.rr_clients c in
+  let asns = Net.Csr.asns c in
+  let ips = Net.Csr.ips c in
+  let slab = st.slab in
+  let med_default = Net.default_med net in
+  let nslots = Array.length slab in
+  (* Per-run flattening of the per-prefix policy tables and the export
+     matrix: one hash lookup (or closure call) per slot/class pair at
+     run start instead of one per advertisement.  The net is frozen
+     while a simulation runs (mutation discipline), so these snapshots
+     cannot go stale mid-run. *)
+  let deny = Array.make nslots false in
+  let med_in = Array.make nslots min_int in
+  let lpref_for = Array.make nslots min_int in
+  for k = 0 to nslots - 1 do
+    if Net.Csr.slot_export_denied c k st.pfx then deny.(k) <- true;
+    (match Net.Csr.slot_med c k st.pfx with
+    | Some v -> med_in.(k) <- v
+    | None -> ());
+    match Net.Csr.slot_import_lpref_for c k st.pfx with
+    | Some v -> lpref_for.(k) <- v
+    | None -> ()
+  done;
+  (* Session classes (and hence learned classes, which are session
+     classes or -1 for originated routes) are small non-negative ints,
+     so the export matrix collapses to a dense boolean table. *)
+  let maxc =
+    let m = ref 0 in
+    Array.iter (fun cl -> if cl > !m then m := cl) classes;
+    !m
+  in
+  let cw = maxc + 2 in
+  let export_ok = Array.make (cw * cw) false in
+  for lc = -1 to maxc do
+    for tc = -1 to maxc do
+      export_ok.(((lc + 1) * cw) + tc + 1) <-
+        Net.export_matrix net ~learned_class:lc ~to_class:tc
+    done
+  done;
+  (* FIFO work queue as a ring over an int array: the [queued] dedup
+     bitmap bounds occupancy at [n], so capacity [n + 1] never
+     overflows and the drain loop allocates nothing per event (a
+     [Queue.t] would cons one cell per push). *)
+  let qcap = n + 1 in
+  let qbuf = Array.make qcap 0 in
+  let qhead = ref 0 in
+  let qtail = ref 0 in
   let queued = Array.make n false in
   let enqueue u =
     if not queued.(u) then begin
       queued.(u) <- true;
-      Queue.push u queue
+      qbuf.(!qtail) <- u;
+      let t = !qtail + 1 in
+      qtail := if t = qcap then 0 else t
     end
+  in
+  let queue_empty () = !qhead = !qtail in
+  let dequeue () =
+    let u = qbuf.(!qhead) in
+    let h = !qhead + 1 in
+    qhead := if h = qcap then 0 else h;
+    u
+  in
+  (* Head-to-tail iteration preserves FIFO order, so watchdog
+     fingerprints match the reference engine's [Queue.iter]. *)
+  let iter_queue f =
+    let i = ref !qhead in
+    while !i <> !qtail do
+      f qbuf.(!i);
+      let j = !i + 1 in
+      i := if j = qcap then 0 else j
+    done
   in
   let steps = Net.decision_steps net in
   let med_scope = Net.med_scope net in
   (* Neighbour-scoped MED (RFC 4271 §9.1.2.2) is not a total order over
      candidates, so the pairwise-minimum fast path below would be wrong
-     for it: run the real elimination process instead. *)
+     for it: run the real elimination process instead — in place over a
+     per-run scratch buffer sized to the widest node. *)
   let scoped_med =
     med_scope = Decision.Same_neighbor && List.mem Decision.Med steps
   in
+  let scratch =
+    if not scoped_med then [||]
+    else begin
+      let maxdeg = ref 0 in
+      for u = 0 to n - 1 do
+        let d = off.(u + 1) - off.(u) in
+        if d > !maxdeg then maxdeg := d
+      done;
+      Array.make (!maxdeg + 1) Rattr.no_route
+    end
+  in
+  let scratch_keys = Array.make (Array.length scratch) 0 in
+  (* Per-run lazy memo of the IGP cost per receiving slot: the user's
+     igp function can be arbitrarily expensive (netgen's does hash
+     lookups), and convergence re-imports over the same iBGP slot many
+     times.  The net is frozen during a run, so the cost cannot
+     change. *)
+  let igp_memo = Array.make nslots min_int in
+  let igp_at kr p u =
+    let g = igp_memo.(kr) in
+    if g <> min_int then g
+    else begin
+      let g = Net.igp_cost net p u in
+      igp_memo.(kr) <- g;
+      g
+    end
+  in
+  (* Originated routes are stable for the whole run: intern each
+     originator's once instead of allocating per decision process. *)
+  let orig = Array.make n Rattr.no_route in
+  for u = 0 to n - 1 do
+    if st.originates.(u) then
+      orig.(u) <- Intern.rattr (Rattr.originated ~own_ip:ips.(u))
+  done;
+  let originated u = orig.(u) in
   let recompute_best_scoped u =
-    let acc = ref [] in
-    let slots = st.rib_in.(u) in
-    for i = Array.length slots - 1 downto 0 do
-      match slots.(i) with Some r -> acc := r :: !acc | None -> ()
+    let m = ref 0 in
+    if st.originates.(u) then begin
+      scratch.(0) <- originated u;
+      m := 1
+    end;
+    for k = off.(u) to off.(u + 1) - 1 do
+      let r = slab.(k) in
+      if Rattr.is_route r then begin
+        scratch.(!m) <- r;
+        incr m
+      end
     done;
-    let candidates =
-      if st.originates.(u) then
-        Rattr.originated ~own_ip:(Ipv4.to_int (Net.ip_of net u)) :: !acc
-      else !acc
-    in
-    Decision.select ~med_scope steps candidates
+    match Decision.select_into ~med_scope steps scratch ~keys:scratch_keys !m with
+    | Some r -> r
+    | None -> Rattr.no_route
   in
   (* Allocation-free best computation: the elimination process equals
      the lexicographic minimum under Decision.compare_routes, first in
@@ -309,34 +345,142 @@ let exec ?max_events ?max_escalations ?on_best_change net st ~kind ~seed =
   let recompute_best u =
     if scoped_med then recompute_best_scoped u
     else begin
-      let best = ref None in
-      if st.originates.(u) then
-        best := Some (Rattr.originated ~own_ip:(Ipv4.to_int (Net.ip_of net u)));
-      let slots = st.rib_in.(u) in
-      for i = 0 to Array.length slots - 1 do
-        match slots.(i) with
-        | None -> ()
-        | Some r -> (
-            match !best with
-            | None -> best := Some r
-            | Some b ->
-                if Decision.compare_routes steps r b < 0 then best := Some r)
+      let best = ref Rattr.no_route in
+      if st.originates.(u) then best := originated u;
+      for k = off.(u) to off.(u + 1) - 1 do
+        let r = slab.(k) in
+        if Rattr.is_route r then
+          if not (Rattr.is_route !best) then best := r
+          else if Decision.compare_routes steps r !best < 0 then best := r
       done;
       !best
     end
   in
+  (* Re-export node [u]'s current best over every slot, importing at
+     each peer's mirror slot and enqueueing peers whose RIB-In changed.
+     The export and import decisions of the reference engine, fused:
+     the advertisement either dies (sentinel) or becomes one interned
+     route written straight into the peer's slab slot. *)
+  let push_exports u best' =
+    let has = Rattr.is_route best' in
+    let ebgp_path =
+      if has then Intern.prepend ~own_as:asns.(u) best'.Rattr.path else [||]
+    in
+    let own_ip = ips.(u) in
+    let base = off.(u) in
+    (* The advertisement died on this session: withdraw the incumbent
+       if there is one. *)
+    let kill kr p =
+      if Rattr.is_route slab.(kr) then begin
+        slab.(kr) <- Rattr.no_route;
+        enqueue p
+      end
+    in
+    (* The advertisement survived: compare the computed fields against
+       the incumbent (the [same_route] criteria, inlined) and allocate
+       a record only on an actual change — suppressed imports, the
+       vast majority, allocate nothing.  The records are deliberately
+       NOT table-interned either: measured on 2k-AS worlds,
+       cold-convergence imports almost never recur, so an
+       {!Intern.rattr} probe per write costs 20-35% throughput while
+       the table only retains garbage.  Sharing where reuse is real
+       comes from {!Intern.prepend} (paths) and the interned
+       originated routes. *)
+    let store kr p path lpref med igp learned =
+      let cur = slab.(kr) in
+      if
+        Rattr.is_route cur
+        && cur.Rattr.from_node = u
+        && (cur.Rattr.path == path || cur.Rattr.path = path)
+        && cur.Rattr.lpref = lpref
+        && cur.Rattr.med = med
+        && cur.Rattr.igp = igp
+      then ()
+      else begin
+        slab.(kr) <-
+          {
+            Rattr.path;
+            lpref;
+            med;
+            igp;
+            from_node = u;
+            from_ip = own_ip;
+            from_session = kr - off.(p);
+            learned;
+            learned_class = classes.(kr);
+          };
+        enqueue p
+      end
+    in
+    for k = base to off.(u + 1) - 1 do
+      let p = peer.(k) in
+      let kr = rev.(k) in
+      if not has then kill kr p
+      else begin
+        let r = best' in
+        let ibgp = kinds.(k) = 1 in
+        if r.Rattr.from_node = p then kill kr p
+        else if
+          ibgp
+          && r.Rattr.learned = Rattr.From_ibgp
+          && not
+               (* RFC 4456 route reflection: an iBGP-learned route is
+                  re-advertised over iBGP to clients always, and to
+                  non-clients when it was learned from a client. *)
+               (rrs.(k) = 1
+               || (r.Rattr.from_session >= 0
+                  && rrs.(base + r.Rattr.from_session) = 1))
+        then kill kr p
+        else if deny.(k) then kill kr p
+        else if
+          (not ibgp)
+          && not export_ok.(((r.Rattr.learned_class + 1) * cw) + classes.(k) + 1)
+        then kill kr p
+        else begin
+          let path = if ibgp then r.Rattr.path else ebgp_path in
+          if kinds.(kr) = 0 then begin
+            (* eBGP import at [p]: loop check, then import policy. *)
+            if path_mem path asns.(p) then kill kr p
+            else begin
+              let lpref =
+                let lp = lpref_for.(kr) in
+                if lp <> min_int then lp
+                else if carries.(kr) = 1 then r.Rattr.lpref
+                else
+                  let l = lprefs.(kr) in
+                  if l = Net.Csr.no_lpref then 100 else l
+              in
+              let med =
+                let m = med_in.(kr) in
+                if m <> min_int then m else med_default
+              in
+              store kr p path lpref med 0 Rattr.From_ebgp
+            end
+          end
+          else
+            (* LOCAL_PREF and MED travel unchanged inside the AS; the
+               IGP cost to the egress (the announcing router)
+               implements hot-potato ranking. *)
+            store kr p path r.Rattr.lpref r.Rattr.med (igp_at kr p u)
+              Rattr.From_ibgp
+        end
+      end
+    done
+  in
   let process u =
     st.events <- st.events + 1;
     let best' = recompute_best u in
-    if not (Rattr.same_advertisement st.best.(u) best') then begin
+    if not (Rattr.same_route st.best.(u) best') then begin
       st.best.(u) <- best';
-      (match on_best_change with Some f -> f u best' | None -> ());
-      push_exports net st enqueue u best'
+      (match on_best_change with
+      | Some f -> f u (if Rattr.is_route best' then Some best' else None)
+      | None -> ());
+      push_exports u best'
     end
   in
   let replay u =
     st.events <- st.events + 1;
-    push_exports net st enqueue u st.best.(u)
+    push_exports u st.best.(u)
   in
   seed ~enqueue ~replay;
   (* Fingerprinting every event would tax the common case, so the
@@ -346,7 +490,7 @@ let exec ?max_events ?max_escalations ?on_best_change net st ~kind ~seed =
   let threshold = budget / 2 in
   let history = Hashtbl.create 64 in
   let rec drain budget escalations_left =
-    if not (Queue.is_empty queue) then
+    if not (queue_empty ()) then
       if st.events >= budget then
         if escalations_left > 0 then begin
           Logs.debug (fun m ->
@@ -364,11 +508,11 @@ let exec ?max_events ?max_escalations ?on_best_change net st ~kind ~seed =
                 Prefix.pp st.pfx st.events budget)
         end
       else begin
-        let u = Queue.pop queue in
+        let u = dequeue () in
         queued.(u) <- false;
         process u;
-        if st.events >= threshold && not (Queue.is_empty queue) then
-          let fp = (incr fingerprinted; fingerprint st queue queued) in
+        if st.events >= threshold && not (queue_empty ()) then
+          let fp = (incr fingerprinted; fingerprint st iter_queue queued) in
           match Hashtbl.find_opt history fp with
           | Some e0 ->
               st.outcome <- Diverged { cycle_len = st.events - e0 };
@@ -412,13 +556,16 @@ let exec ?max_events ?max_escalations ?on_best_change net st ~kind ~seed =
 
 let cold ?max_events ?max_escalations ?on_best_change net ~prefix:pfx
     ~originators =
-  let n = Net.node_count net in
+  let c = Net.csr net in
+  let n = Net.Csr.node_count c in
   let st =
     {
       pfx;
       gen = Net.generation net;
-      rib_in = Array.init n (fun i -> Array.make (Net.session_count_of net i) None);
-      best = Array.make n None;
+      nodes = n;
+      off = Net.Csr.off c;
+      slab = Array.make (Net.Csr.slot_count c) Rattr.no_route;
+      best = Array.make n Rattr.no_route;
       originates = Array.make n false;
       outcome = Converged;
       events = 0;
@@ -431,23 +578,27 @@ let cold ?max_events ?max_escalations ?on_best_change net ~prefix:pfx
 let resumable net prev =
   converged prev
   && prev.gen = Net.generation net
-  && Array.length prev.best = Net.node_count net
+  && prev.nodes = Net.node_count net
 
-(* Precondition: [resumable net prev]. *)
+(* Precondition: [resumable net prev].  The flat layout makes the warm
+   copy two [Array.copy] calls over contiguous arrays — no per-node
+   copying. *)
 let warm ?max_events ?max_escalations ?on_best_change net ~prev ~touched
     ~originators =
   let st =
     {
       pfx = prev.pfx;
       gen = prev.gen;
-      rib_in = Array.map Array.copy prev.rib_in;
+      nodes = prev.nodes;
+      off = prev.off;
+      slab = Array.copy prev.slab;
       best = Array.copy prev.best;
       originates = Array.copy prev.originates;
       outcome = Converged;
       events = 0;
     }
   in
-  let n = Array.length st.best in
+  let n = st.nodes in
   (* Origination delta: nodes that gain or lose the originated route
      under the caller's [originators] set re-run their decision process
      from the warm state — a gained origination injects the route, a
@@ -470,8 +621,8 @@ let warm ?max_events ?max_escalations ?on_best_change net ~prev ~touched
          whose RIB-In changes under the new policy enqueue themselves;
          the touched node itself re-runs its decision process whenever
          a replayed import disturbs it.  An unchanged advertisement is
-         suppressed by [same_advertisement], so a no-op policy edit
-         costs one event and drains immediately. *)
+         suppressed by [same_route], so a no-op policy edit costs one
+         event and drains immediately. *)
       List.iter enqueue !origin_delta;
       List.iter (fun u -> if u >= 0 && u < n then replay u) touched)
 

@@ -109,6 +109,14 @@ val candidates : state -> Net.t -> int -> Rattr.t list
 (** The decision-process input at a node: originated route (if the node
     originates the prefix) followed by the RIB-In routes. *)
 
+val iter_candidates : state -> Net.t -> int -> (Rattr.t -> unit) -> unit
+(** Visit the node's candidates in {!candidates} order without building
+    a list — the allocation-free traversal the hot analysis paths use. *)
+
+val fold_candidates :
+  state -> Net.t -> int -> init:'a -> f:('a -> Rattr.t -> 'a) -> 'a
+(** Fold over the node's candidates in {!candidates} order. *)
+
 val best_full_path : Net.t -> state -> int -> int array option
 (** The node's selected AS-level path including its own AS — directly
     comparable with an observed AS-path. *)

@@ -97,3 +97,53 @@ let path_hash (p : int array) =
         if Tbl.length tbl >= table_cap then Tbl.reset tbl;
         Tbl.add tbl p h;
         h
+
+(* Hash-consing of whole route-attribute records (the PR-3 path idea
+   extended to [Rattr.t]).  Worth its probe only where the same record
+   genuinely recurs: the engine interns originated routes (re-derived
+   once per run per originator, shared across runs of a domain), not
+   per-import candidates — cold-convergence imports almost never
+   repeat, so funnelling them through the table measured 20-35 % of
+   engine throughput for no sharing (see Engine.push_exports).  Keyed
+   on every field: two routes that differ in any provenance field are
+   different records (state fingerprints fold all fields in). *)
+module RattrTbl = Hashtbl.Make (struct
+  type t = Rattr.t
+
+  let equal (a : Rattr.t) b =
+    a == b
+    || (a.Rattr.from_node = b.Rattr.from_node
+       && a.Rattr.lpref = b.Rattr.lpref
+       && a.Rattr.med = b.Rattr.med
+       && a.Rattr.igp = b.Rattr.igp
+       && a.Rattr.from_ip = b.Rattr.from_ip
+       && a.Rattr.from_session = b.Rattr.from_session
+       && a.Rattr.learned = b.Rattr.learned
+       && a.Rattr.learned_class = b.Rattr.learned_class
+       && Rattr.same_path a.Rattr.path b.Rattr.path)
+
+  let hash (r : Rattr.t) =
+    let h = ref (fold_path_hash r.Rattr.path) in
+    let mix x = h := (!h * 1000003) lxor (x land max_int) in
+    mix r.Rattr.lpref;
+    mix r.Rattr.med;
+    mix r.Rattr.igp;
+    mix r.Rattr.from_node;
+    mix r.Rattr.from_ip;
+    mix r.Rattr.from_session;
+    mix (Hashtbl.hash r.Rattr.learned);
+    mix r.Rattr.learned_class;
+    !h land max_int
+end)
+
+let rattrs_key : Rattr.t RattrTbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> RattrTbl.create 1024)
+
+let rattr (r : Rattr.t) =
+  let tbl = Domain.DLS.get rattrs_key in
+  match RattrTbl.find_opt tbl r with
+  | Some q -> q
+  | None ->
+      if RattrTbl.length tbl >= table_cap then RattrTbl.reset tbl;
+      RattrTbl.add tbl r r;
+      r

@@ -46,6 +46,32 @@ type session = {
 
 type node = { asn : Asn.t; ip : Ipv4.t; sessions : session Vec.t }
 
+(* Frozen CSR-style session index.  [c_off] maps a node to its first
+   half-session slot (length node_count + 1, so a node's slots are
+   [c_off.(n) .. c_off.(n+1) - 1]); every other array is indexed by
+   slot.  The index is immutable once built and keyed on the generation
+   counter, so the engine's hot path walks flat int arrays instead of
+   chasing node records, session Vecs and option fields.  [c_sess]
+   keeps the session records themselves for per-prefix policy-table
+   lookups — those tables mutate in place without a generation bump, so
+   going through the record keeps the index valid across per-prefix
+   policy edits. *)
+type csr = {
+  c_gen : int;
+  c_off : int array;
+  c_peer : int array;  (* slot -> peer node id *)
+  c_rev : int array;  (* slot -> slot of the mirror half-session; -1 if none *)
+  c_revloc : int array;  (* slot -> peer-local index of the mirror *)
+  c_kind : int array;  (* 0 = eBGP, 1 = iBGP *)
+  c_class : int array;
+  c_lpref : int array;  (* import LOCAL_PREF; [min_int] = unset *)
+  c_carry : int array;  (* 0/1 *)
+  c_rr : int array;  (* 0/1 *)
+  c_asn : int array;  (* node -> ASN *)
+  c_ip : int array;  (* node -> numeric router address *)
+  c_sess : session array;
+}
+
 type t = {
   nodes : node Vec.t;
   by_as : (Asn.t, int list ref) Hashtbl.t;  (* node ids, reverse order *)
@@ -63,6 +89,10 @@ type t = {
      run replays. *)
   mutable generation : int;
   touched : (int, unit) Hashtbl.t Prefix.Table.t;
+  (* Lazily built structural index, invalidated by generation mismatch.
+     An [Atomic] because Pool workers may race to build it: the value is
+     immutable and any winner is equivalent, so the race is benign. *)
+  csr_cache : csr option Atomic.t;
 }
 
 let dummy_session =
@@ -94,6 +124,7 @@ let create () =
     nsessions = 0;
     generation = 0;
     touched = Prefix.Table.create 64;
+    csr_cache = Atomic.make None;
   }
 
 let generation t = t.generation
@@ -214,8 +245,130 @@ let sessions_of t n =
   Vec.iteri (fun i s -> acc := (i, s.peer) :: !acc) (node t n).sessions;
   List.rev !acc
 
+let build_csr t =
+  let n = Vec.length t.nodes in
+  let off = Array.make (n + 1) 0 in
+  let total = ref 0 in
+  for u = 0 to n - 1 do
+    off.(u) <- !total;
+    total := !total + Vec.length (Vec.get t.nodes u).sessions
+  done;
+  off.(n) <- !total;
+  let total = !total in
+  let peer = Array.make total (-1) in
+  let rev = Array.make total (-1) in
+  let revloc = Array.make total (-1) in
+  let kind = Array.make total 0 in
+  let cls = Array.make total class_none in
+  let lpref = Array.make total min_int in
+  let carry = Array.make total 0 in
+  let rr = Array.make total 0 in
+  let sess = Array.make total dummy_session in
+  let asn = Array.make n 0 in
+  let ip = Array.make n 0 in
+  for u = 0 to n - 1 do
+    let nd = Vec.get t.nodes u in
+    asn.(u) <- nd.asn;
+    ip.(u) <- Ipv4.to_int nd.ip;
+    let base = off.(u) in
+    Vec.iteri
+      (fun s ss ->
+        let k = base + s in
+        peer.(k) <- ss.peer;
+        revloc.(k) <- ss.peer_session;
+        (* A corrupted net (Unsafe) can dangle: guard the global slot so
+           the index stays constructible for the lint to inspect. *)
+        rev.(k) <-
+          (if ss.peer >= 0 && ss.peer < n && ss.peer_session >= 0 then
+             off.(ss.peer) + ss.peer_session
+           else -1);
+        kind.(k) <- (match ss.kind with Ebgp -> 0 | Ibgp -> 1);
+        cls.(k) <- ss.s_class;
+        (match ss.lpref_in with Some v -> lpref.(k) <- v | None -> ());
+        if ss.carry_lpref then carry.(k) <- 1;
+        if ss.rr_client then rr.(k) <- 1;
+        sess.(k) <- ss)
+      nd.sessions
+  done;
+  {
+    c_gen = t.generation;
+    c_off = off;
+    c_peer = peer;
+    c_rev = rev;
+    c_revloc = revloc;
+    c_kind = kind;
+    c_class = cls;
+    c_lpref = lpref;
+    c_carry = carry;
+    c_rr = rr;
+    c_asn = asn;
+    c_ip = ip;
+    c_sess = sess;
+  }
+
+let csr t =
+  match Atomic.get t.csr_cache with
+  | Some c when c.c_gen = t.generation -> c
+  | _ ->
+      let c = build_csr t in
+      Atomic.set t.csr_cache (Some c);
+      c
+
+(* A fresh index only when the cache is already valid: mutation-time
+   callers (generators, the refiner between runs) must not trigger an
+   O(nodes + sessions) rebuild per call. *)
+let fresh_csr t =
+  match Atomic.get t.csr_cache with
+  | Some c when c.c_gen = t.generation -> Some c
+  | _ -> None
+
+module Csr = struct
+  type nonrec t = csr
+
+  let no_lpref = min_int
+
+  let node_count c = Array.length c.c_asn
+
+  let slot_count c = Array.length c.c_peer
+
+  let off c = c.c_off
+
+  let peer c = c.c_peer
+
+  let rev c = c.c_rev
+
+  let reverse_local c = c.c_revloc
+
+  let kinds c = c.c_kind
+
+  let classes c = c.c_class
+
+  let lprefs c = c.c_lpref
+
+  let carries c = c.c_carry
+
+  let rr_clients c = c.c_rr
+
+  let asns c = c.c_asn
+
+  let ips c = c.c_ip
+
+  let slot_med c k p = Prefix.Table.find_opt c.c_sess.(k).med_in p
+
+  let slot_import_lpref_for c k p =
+    Prefix.Table.find_opt c.c_sess.(k).lpref_in_pfx p
+
+  let slot_export_denied c k p = Prefix.Table.mem c.c_sess.(k).deny_out p
+end
+
 let iter_sessions t n f =
-  Vec.iteri (fun i s -> f i s.peer) (node t n).sessions
+  match fresh_csr t with
+  | Some c ->
+      let base = c.c_off.(n) in
+      for k = base to c.c_off.(n + 1) - 1 do
+        f (k - base) c.c_peer.(k)
+      done
+  | None -> Vec.iteri (fun i s -> f i s.peer) (node t n).sessions
 
 let session_count_of t n = Vec.length (node t n).sessions
 
@@ -232,16 +385,30 @@ type session_info = {
 }
 
 let session_info t n s =
-  let ss = session t n s in
-  {
-    si_peer = ss.peer;
-    si_reverse = ss.peer_session;
-    si_kind = ss.kind;
-    si_class = ss.s_class;
-    si_lpref = ss.lpref_in;
-    si_carry = ss.carry_lpref;
-    si_rr_client = ss.rr_client;
-  }
+  match fresh_csr t with
+  | Some c ->
+      let k = c.c_off.(n) + s in
+      {
+        si_peer = c.c_peer.(k);
+        si_reverse = c.c_revloc.(k);
+        si_kind = (if c.c_kind.(k) = 1 then Ibgp else Ebgp);
+        si_class = c.c_class.(k);
+        si_lpref =
+          (if c.c_lpref.(k) = min_int then None else Some c.c_lpref.(k));
+        si_carry = c.c_carry.(k) = 1;
+        si_rr_client = c.c_rr.(k) = 1;
+      }
+  | None ->
+      let ss = session t n s in
+      {
+        si_peer = ss.peer;
+        si_reverse = ss.peer_session;
+        si_kind = ss.kind;
+        si_class = ss.s_class;
+        si_lpref = ss.lpref_in;
+        si_carry = ss.carry_lpref;
+        si_rr_client = ss.rr_client;
+      }
 
 let session_med t n s p = Prefix.Table.find_opt (session t n s).med_in p
 
@@ -440,6 +607,44 @@ let duplicate_node t n =
       t.nsessions <- t.nsessions + 2)
     orig.sessions;
   id
+
+(* Deterministic digest of everything the simulation outcome depends
+   on: nodes, sessions, session attributes and per-prefix policies.
+   Per-prefix tables are folded order-independently (XOR of per-entry
+   hashes) because hash-table iteration order is unspecified.  Two nets
+   built by identical generator runs fingerprint identically. *)
+let structure_fingerprint t =
+  let h = ref 0x9e37 in
+  let mix x = h := (!h * 1000003) lxor (x land max_int) in
+  let c = csr t in
+  mix (Vec.length t.nodes);
+  mix t.nsessions;
+  mix t.med_default;
+  Array.iter mix c.c_asn;
+  Array.iter mix c.c_ip;
+  Array.iter mix c.c_off;
+  Array.iter mix c.c_peer;
+  Array.iter mix c.c_revloc;
+  Array.iter mix c.c_kind;
+  Array.iter mix c.c_class;
+  Array.iter mix c.c_lpref;
+  Array.iter mix c.c_carry;
+  Array.iter mix c.c_rr;
+  let acc = ref 0 in
+  Array.iteri
+    (fun k ss ->
+      Prefix.Table.iter
+        (fun p v -> acc := !acc lxor Hashtbl.hash (k, 0, p, v))
+        ss.med_in;
+      Prefix.Table.iter
+        (fun p v -> acc := !acc lxor Hashtbl.hash (k, 1, p, v))
+        ss.lpref_in_pfx;
+      Prefix.Table.iter
+        (fun p () -> acc := !acc lxor Hashtbl.hash (k, 2, p))
+        ss.deny_out)
+    c.c_sess;
+  mix !acc;
+  !h
 
 let pp_summary ppf t =
   let denies, meds = count_policies t in

@@ -88,7 +88,87 @@ type session_info = {
 }
 
 val session_info : t -> int -> int -> session_info
-(** All per-session fields in one lookup — the engine's hot path. *)
+(** All per-session fields in one lookup.  Backed by the {!Csr} index
+    when one is current (simulation phases), falling back to the node
+    records during mutation phases. *)
+
+(** {2 Frozen CSR session index}
+
+    A dense, immutable, per-generation index of the whole session
+    structure: a node's half-sessions occupy the contiguous slot range
+    [off.(n) .. off.(n+1) - 1], and every per-slot attribute is a flat
+    int array.  This is the engine's hot-path view: walking a node's
+    sessions is a linear scan of int arrays, and the mirror half-session
+    at the peer is one array read ({!Csr.rev}) instead of a node-record
+    chase.  The arrays are shared, not copied — callers must treat them
+    as read-only. *)
+module Csr : sig
+  type t
+
+  val node_count : t -> int
+
+  val slot_count : t -> int
+  (** Total half-session slots ([= session_count] of the net). *)
+
+  val off : t -> int array
+  (** Length [node_count + 1]; slot range of node [n] is
+      [off.(n) .. off.(n+1) - 1]. *)
+
+  val peer : t -> int array
+  (** Slot -> peer node id. *)
+
+  val rev : t -> int array
+  (** Slot -> global slot of the mirror half-session at the peer
+      ([-1] when dangling — corrupted nets only). *)
+
+  val reverse_local : t -> int array
+  (** Slot -> peer-local index of the mirror half-session. *)
+
+  val kinds : t -> int array
+  (** Slot -> [0] for eBGP, [1] for iBGP. *)
+
+  val classes : t -> int array
+  (** Slot -> relationship class. *)
+
+  val lprefs : t -> int array
+  (** Slot -> import LOCAL_PREF, or {!no_lpref} when unset. *)
+
+  val no_lpref : int
+  (** Sentinel ([min_int]) in {!lprefs} for "no import preference". *)
+
+  val carries : t -> int array
+  (** Slot -> 1 iff the session carries the announcer's LOCAL_PREF. *)
+
+  val rr_clients : t -> int array
+  (** Slot -> 1 iff the peer is a route-reflection client. *)
+
+  val asns : t -> int array
+  (** Node -> ASN. *)
+
+  val ips : t -> int array
+  (** Node -> numeric router address (the final tie-break value). *)
+
+  val slot_med : t -> int -> Prefix.t -> int option
+  (** Per-prefix import MED of a slot.  Reads the live policy table, so
+      per-prefix edits (which do not bump the generation) are visible
+      through a cached index. *)
+
+  val slot_import_lpref_for : t -> int -> Prefix.t -> int option
+
+  val slot_export_denied : t -> int -> Prefix.t -> bool
+end
+
+val csr : t -> Csr.t
+(** The CSR index for the net's current generation, built on first use
+    and cached until the next structural mutation.  Safe to call from
+    concurrent readers (Pool workers): the cache is atomic and rebuild
+    races are benign.  Cost when cached: two loads and a compare. *)
+
+val structure_fingerprint : t -> int
+(** Deterministic digest of the full simulation-relevant structure:
+    nodes, sessions, session attributes, global knob defaults and
+    per-prefix policies (order-independently).  Identical generator runs
+    produce identical fingerprints — the netgen determinism gate. *)
 
 val session_med : t -> int -> int -> Prefix.t -> int option
 (** Alias of {!import_med}; named for the engine's import step. *)

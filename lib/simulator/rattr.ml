@@ -29,6 +29,25 @@ let originated ~own_ip =
     learned_class = -1;
   }
 
+(* Physical sentinel for flat route slabs: "no route in this slot"
+   without an option box.  Identified by [==] only — its field values
+   are deliberately absurd so an accidental structural use is visible,
+   but nothing may ever compare it structurally. *)
+let no_route =
+  {
+    path = [| -1 |];
+    lpref = min_int;
+    med = min_int;
+    igp = min_int;
+    from_node = min_int;
+    from_ip = min_int;
+    from_session = min_int;
+    learned = Originated;
+    learned_class = min_int;
+  }
+
+let is_route r = r != no_route
+
 let full_path ~own_as r =
   let n = Array.length r.path in
   let out = Array.make (n + 1) own_as in
@@ -51,6 +70,20 @@ let same_advertisement a b =
       && a.lpref = b.lpref
       && a.med = b.med
       && a.igp = b.igp
+
+(* Sentinel-aware variant of [same_advertisement] for flat slabs:
+   [no_route] plays the role of [None].  The physical check settles
+   both the sentinel cases and interned routes re-derived in the same
+   domain; the structural fallback (same fields as
+   [same_advertisement]) covers routes from other domains. *)
+let same_route a b =
+  a == b
+  || (is_route a && is_route b
+     && a.from_node = b.from_node
+     && same_path a.path b.path
+     && a.lpref = b.lpref
+     && a.med = b.med
+     && a.igp = b.igp)
 
 let pp ~own_as ppf r =
   let path = full_path ~own_as r in

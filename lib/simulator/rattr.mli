@@ -35,6 +35,15 @@ val originated_lpref : int
 
 val originated : own_ip:int -> t
 
+val no_route : t
+(** Physical sentinel meaning "no route in this slot", used by the
+    engine's flat route slab instead of [option] boxing.  Identity is
+    [==] only ({!is_route}); never compare it structurally and never
+    read its fields. *)
+
+val is_route : t -> bool
+(** [is_route r] is [r != no_route]. *)
+
 val full_path : own_as:Asn.t -> t -> int array
 (** The complete AS-level path as an observation point peering with the
     holder would see it: own AS prepended. *)
@@ -48,5 +57,11 @@ val same_path : int array -> int array -> bool
 val same_advertisement : t option -> t option -> bool
 (** Do two RIB-In slots hold the same announcement (same sender, same
     path, same attributes)?  Used to suppress redundant propagation. *)
+
+val same_route : t -> t -> bool
+(** {!same_advertisement} over sentinel-boxed values: {!no_route} plays
+    the role of [None].  Tries physical equality first (engine routes
+    are hash-consed per domain, see {!Intern.rattr}), then the same
+    structural fields as {!same_advertisement}. *)
 
 val pp : own_as:Asn.t -> Format.formatter -> t -> unit

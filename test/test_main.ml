@@ -36,5 +36,6 @@ let () =
       ("integration", Test_integration.suite);
       ("analysis", Test_analysis.suite);
       ("stream", Test_stream.suite);
+      ("scale", Test_scale.suite);
       ("serve", Test_serve.suite);
     ]
