@@ -76,17 +76,22 @@ let saved_mu = Mutex.create ()
 
 let norm_pair a b = if Asn.compare a b <= 0 then (a, b) else (b, a)
 
-let disable_as_link (model : Qrmodel.t) a b =
+let disable_as_link ?prefixes (model : Qrmodel.t) a b =
   let net = model.Qrmodel.net in
+  let prefixes =
+    match prefixes with
+    | Some ps -> ps
+    | None -> List.map fst model.Qrmodel.prefixes
+  in
   let halves = sessions_between model a b @ sessions_between model b a in
   if halves <> [] then begin
     let pre =
       List.concat_map
         (fun (n, s) ->
           List.filter_map
-            (fun (p, _) ->
+            (fun p ->
               if Net.export_denied net n s p then Some (n, s, p) else None)
-            model.Qrmodel.prefixes)
+            prefixes)
         halves
     in
     let pair = norm_pair a b in
@@ -98,13 +103,17 @@ let disable_as_link (model : Qrmodel.t) a b =
     Mutex.unlock saved_mu
   end;
   List.iter
-    (fun (n, s) ->
-      List.iter (fun (p, _) -> Net.deny_export net n s p) model.Qrmodel.prefixes)
+    (fun (n, s) -> List.iter (fun p -> Net.deny_export net n s p) prefixes)
     halves;
   List.length halves
 
-let enable_as_link (model : Qrmodel.t) a b =
+let enable_as_link ?prefixes (model : Qrmodel.t) a b =
   let net = model.Qrmodel.net in
+  let prefixes =
+    match prefixes with
+    | Some ps -> ps
+    | None -> List.map fst model.Qrmodel.prefixes
+  in
   let halves = sessions_between model a b @ sessions_between model b a in
   let pair = norm_pair a b in
   let entry =
@@ -123,8 +132,8 @@ let enable_as_link (model : Qrmodel.t) a b =
   List.iter
     (fun (n, s) ->
       List.iter
-        (fun (p, _) -> if not (keep n s p) then Net.allow_export net n s p)
-        model.Qrmodel.prefixes)
+        (fun p -> if not (keep n s p) then Net.allow_export net n s p)
+        prefixes)
     halves;
   List.length halves
 
@@ -140,42 +149,57 @@ type diff = {
   ases_affected : int;
 }
 
+let diff_prefix p per_as_before per_as_after =
+  let before_tbl = Hashtbl.create 64 in
+  List.iter (fun (a, paths) -> Hashtbl.replace before_tbl a paths)
+    per_as_before;
+  let after_tbl = Hashtbl.create 64 in
+  List.iter (fun (a, paths) -> Hashtbl.replace after_tbl a paths)
+    per_as_after;
+  let all_ases =
+    List.sort_uniq Asn.compare
+      (List.map fst per_as_before @ List.map fst per_as_after)
+  in
+  let changed, lost =
+    List.fold_left
+      (fun (changed, lost) a ->
+        let b = Hashtbl.find_opt before_tbl a in
+        let f = Hashtbl.find_opt after_tbl a in
+        match (b, f) with
+        | Some _, None -> (a :: changed, a :: lost)
+        | Some pb, Some pf when pb <> pf -> (a :: changed, lost)
+        | None, Some _ -> (a :: changed, lost)
+        | Some _, Some _ | None, None -> (changed, lost))
+      ([], []) all_ases
+  in
+  if changed = [] then None
+  else
+    Some
+      { prefix = p; ases_changed = List.rev changed; ases_lost = List.rev lost }
+
 let diff before after =
+  (* Joined by prefix key, as a full outer join: churn can add
+     (announce / hijack) or drop (quarantine) prefixes between two
+     snapshots, so the lists need not align positionally or even cover
+     the same set.  A prefix only in [before] reads as every AS losing
+     it; one only in [after] as every AS gaining it. *)
+  let after_tbl = Prefix.Table.create (max 16 (List.length after)) in
+  List.iter (fun (p, per_as) -> Prefix.Table.replace after_tbl p per_as) after;
+  let before_set = Prefix.Table.create (max 16 (List.length before)) in
+  List.iter (fun (p, _) -> Prefix.Table.replace before_set p ()) before;
   let changes =
     List.filter_map
-      (fun ((p, per_as_before), (p', per_as_after)) ->
-        assert (Prefix.equal p p');
-        let before_tbl = Hashtbl.create 64 in
-        List.iter (fun (a, paths) -> Hashtbl.replace before_tbl a paths)
-          per_as_before;
-        let after_tbl = Hashtbl.create 64 in
-        List.iter (fun (a, paths) -> Hashtbl.replace after_tbl a paths)
-          per_as_after;
-        let all_ases =
-          List.sort_uniq Asn.compare
-            (List.map fst per_as_before @ List.map fst per_as_after)
+      (fun (p, per_as_before) ->
+        let per_as_after =
+          Option.value ~default:[] (Prefix.Table.find_opt after_tbl p)
         in
-        let changed, lost =
-          List.fold_left
-            (fun (changed, lost) a ->
-              let b = Hashtbl.find_opt before_tbl a in
-              let f = Hashtbl.find_opt after_tbl a in
-              match (b, f) with
-              | Some _, None -> (a :: changed, a :: lost)
-              | Some pb, Some pf when pb <> pf -> (a :: changed, lost)
-              | None, Some _ -> (a :: changed, lost)
-              | Some _, Some _ | None, None -> (changed, lost))
-            ([], []) all_ases
-        in
-        if changed = [] then None
-        else
-          Some
-            {
-              prefix = p;
-              ases_changed = List.rev changed;
-              ases_lost = List.rev lost;
-            })
-      (List.combine before after)
+        diff_prefix p per_as_before per_as_after)
+      before
+    @ List.filter_map
+        (fun (p, per_as_after) ->
+          if Prefix.Table.mem before_set p then None
+          else diff_prefix p [] per_as_after)
+        after
   in
   let ases_affected =
     List.fold_left

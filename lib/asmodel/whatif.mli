@@ -23,22 +23,25 @@ val of_states :
 (** Build a snapshot from already-converged states — the serve layer's
     path: it caches per-prefix states and must not re-simulate. *)
 
-val disable_as_link : Qrmodel.t -> Asn.t -> Asn.t -> int
-(** Stop all route exchange between two ASes by denying every model
-    prefix on every session between their quasi-routers, in both
-    directions.  Returns the number of half-sessions touched; [0] means
-    the ASes share no session.  Sessions are kept, and the set of denies
-    that pre-existed on those half-sessions (e.g. refiner-placed
-    filters) is recorded, so the change can be reverted exactly with
-    {!enable_as_link}. *)
+val disable_as_link :
+  ?prefixes:Prefix.t list -> Qrmodel.t -> Asn.t -> Asn.t -> int
+(** Stop all route exchange between two ASes by denying every prefix in
+    [prefixes] (default: every model prefix — pass the served set when
+    it differs, e.g. a churned snapshot's) on every session between
+    their quasi-routers, in both directions.  Returns the number of
+    half-sessions touched; [0] means the ASes share no session.
+    Sessions are kept, and the set of denies that pre-existed on those
+    half-sessions (e.g. refiner-placed filters) is recorded, so the
+    change can be reverted exactly with {!enable_as_link}. *)
 
-val enable_as_link : Qrmodel.t -> Asn.t -> Asn.t -> int
-(** Revert a {!disable_as_link}: remove the per-prefix denies it added
-    on sessions between the two ASes while keeping any deny that
-    pre-existed (refiner-placed filters survive the round trip).
-    Without a matching [disable_as_link] record — e.g. across a process
-    restart — falls back to clearing every deny on those sessions.
-    Returns the number of half-sessions touched. *)
+val enable_as_link :
+  ?prefixes:Prefix.t list -> Qrmodel.t -> Asn.t -> Asn.t -> int
+(** Revert a {!disable_as_link} (pass the same [prefixes]): remove the
+    per-prefix denies it added on sessions between the two ASes while
+    keeping any deny that pre-existed (refiner-placed filters survive
+    the round trip).  Without a matching [disable_as_link] record —
+    e.g. across a process restart — falls back to clearing every deny
+    on those sessions.  Returns the number of half-sessions touched. *)
 
 type change = {
   prefix : Prefix.t;
@@ -53,6 +56,10 @@ type diff = {
 }
 
 val diff : snapshot -> snapshot -> diff
-(** Compare two snapshots taken over the same prefix list. *)
+(** Compare two snapshots, joined by prefix (a full outer join — the
+    prefix sets need not match: churn adds and drops prefixes between
+    snapshots).  A prefix only in the first snapshot reads as every AS
+    losing its routes; one only in the second as every AS gaining
+    them. *)
 
 val pp_diff : Format.formatter -> diff -> unit

@@ -7,7 +7,13 @@ let reloads_m = Obs.Metrics.counter "serve.reloads"
 
 let reload_resume_m = Obs.Metrics.counter "serve.reload_resume_hits"
 
+(* Both writers run their whole read-modify-publish transaction under
+   the store's churn mutex: a concurrent apply/reload pair would
+   otherwise both build from the same snapshot's states and the second
+   publish would silently discard the first one's applied events. *)
+
 let reload ?jobs store =
+  Snapshot.locked store @@ fun () ->
   match Snapshot.current store with
   | None -> Error "no snapshot published"
   | Some snap -> (
@@ -36,6 +42,7 @@ let reload ?jobs store =
                }))
 
 let apply ?jobs store events =
+  Snapshot.locked store @@ fun () ->
   match Snapshot.current store with
   | None -> Error "no snapshot published"
   | Some snap -> (
@@ -46,13 +53,29 @@ let apply ?jobs store events =
             let stream, rejects =
               Event.normalize ~known_as:(Asgraph.mem_node graph) events
             in
+            (* Resume the replay driver from the published snapshot's
+               persisted state, so a down/up (or hijack/hijack-end)
+               pair split across apply calls still matches up. *)
             let rp =
-              Replay.create ?jobs ~states:(Snapshot.states snap) model
+              Replay.create ?jobs
+                ~states:(Snapshot.states snap)
+                ?resume:(Snapshot.replay snap) model
             in
-            List.iter (fun ev -> ignore (Replay.apply rp ev)) stream;
-            ignore (Replay.retry_quarantined rp);
-            let report = Replay.report rp ~rejected:(List.length rejects) in
-            (Snapshot.of_states model (Replay.states rp), report))
+            match
+              List.iter (fun ev -> ignore (Replay.apply rp ev)) stream;
+              ignore (Replay.retry_quarantined rp);
+              Replay.report rp ~rejected:(List.length rejects)
+            with
+            | report ->
+                ( Snapshot.of_states ~replay:(Replay.persist rp) model
+                    (Replay.states rp),
+                  report )
+            | exception exn ->
+                (* The old snapshot stays published: undo the denies
+                   this replay already placed on the shared net so it
+                   keeps matching the published caches. *)
+                Replay.rollback_net rp;
+                raise exn)
       with
       | exception exn -> Error (Printexc.to_string exn)
       | next, report ->

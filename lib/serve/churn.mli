@@ -16,9 +16,16 @@ val apply :
   (Stream.Replay.report, string) result
 (** Normalize and replay a churn stream against the current snapshot's
     model, reconverging affected prefixes warm from its cached states,
-    then publish the post-churn snapshot.  [Error] when no snapshot is
-    published or the current one retired mid-flight (a concurrent
-    reload won the race — retry). *)
+    then publish the post-churn snapshot.  The replay driver resumes
+    from the snapshot's persisted state ({!Snapshot.replay}), so churn
+    streams compose across calls: a [Session_up] / [Link_restore] /
+    [Hijack_end] whose matching down arrived in an earlier [apply]
+    still restores it.  Concurrent [apply]/{!reload} callers serialize
+    on the store ({!Snapshot.locked}); the later one builds on the
+    earlier one's published snapshot, nothing is discarded.  [Error]
+    when no snapshot is published or the replay raised mid-stream — in
+    that case the denies it had already placed are rolled back and the
+    previous snapshot stays published and consistent. *)
 
 val reload :
   ?jobs:int -> Snapshot.store -> (Protocol.payload, string) result

@@ -68,7 +68,12 @@ let eval_whatif ?jobs snap a b =
   Snapshot.exclusive snap (fun () ->
       let model = Snapshot.model snap in
       let net = model.Qrmodel.net in
-      let half_sessions = Whatif.disable_as_link model a b in
+      (* The snapshot may track prefixes beyond the model's (announced /
+         hijacked extras from a churn replay) or fewer (quarantined
+         drops); deny, simulate and diff exactly the set it serves so
+         the baseline diff joins cleanly. *)
+      let targets = List.map fst (Snapshot.states snap) in
+      let half_sessions = Whatif.disable_as_link ~prefixes:targets model a b in
       if half_sessions = 0 then
         Ok
           (Protocol.Whatif_summary
@@ -83,17 +88,22 @@ let eval_whatif ?jobs snap a b =
              })
       else begin
         let finally () =
-          ignore (Whatif.enable_as_link model a b);
-          List.iter (fun (p, _) -> Net.clear_touched net p) model.Qrmodel.prefixes
+          ignore (Whatif.enable_as_link ~prefixes:targets model a b);
+          List.iter (fun p -> Net.clear_touched net p) targets
         in
         Fun.protect ~finally (fun () ->
             let hits0 = Obs.Metrics.find_counter "engine.warm_resume_hits" in
             let states, _stats =
               Pool.simulate ?jobs
                 ~sim:(fun p ->
-                  Engine.simulate ?from:(Snapshot.state snap p) net ~prefix:p
-                    ~originators:(Qrmodel.originators model p))
-                (List.map fst model.Qrmodel.prefixes)
+                  let from = Snapshot.state snap p in
+                  let originators =
+                    match from with
+                    | Some st -> Engine.originating st
+                    | None -> Qrmodel.originators model p
+                  in
+                  Engine.simulate ?from net ~prefix:p ~originators)
+                targets
             in
             let resume_hits =
               max 0

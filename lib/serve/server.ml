@@ -123,6 +123,12 @@ let accept_loop srv () =
   go 0.01
 
 let start ?deadline_ms ~store listen =
+  (* A client that disconnects before its response is written must
+     surface as EPIPE on that connection's write, not as a SIGPIPE that
+     kills the whole process — per-connection exception handlers cannot
+     catch a signal. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let fd =
     Unix.socket
       (match listen with Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET)

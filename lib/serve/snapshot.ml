@@ -4,6 +4,7 @@ module Net = Simulator.Net
 module Pool = Simulator.Pool
 module Qrmodel = Asmodel.Qrmodel
 module Whatif = Asmodel.Whatif
+module Replay = Stream.Replay
 
 (* Executor: a dedicated systhread that runs every what-if mutation.
    Systhreads stay in the domain that created them, so funnelling all
@@ -67,14 +68,23 @@ type t = {
   by_prefix : (Prefix.t, Engine.state) Hashtbl.t;
   baseline : Whatif.snapshot;
   build_stats : Pool.stats;
+  replay : Replay.persist option;
   exec : exec;
 }
 
-let of_states ?(build_stats = Pool.zero) (model : Qrmodel.t) states =
+let of_states ?(build_stats = Pool.zero) ?replay (model : Qrmodel.t) states =
   let baseline = Whatif.of_states model states in
   let by_prefix = Hashtbl.create (max 16 (List.length states)) in
   List.iter (fun (p, st) -> Hashtbl.replace by_prefix p st) states;
-  { model; states; by_prefix; baseline; build_stats; exec = exec_create () }
+  {
+    model;
+    states;
+    by_prefix;
+    baseline;
+    build_stats;
+    replay;
+    exec = exec_create ();
+  }
 
 let build ?jobs (model : Qrmodel.t) =
   let net = model.Qrmodel.net in
@@ -97,6 +107,8 @@ let states t = t.states
 let state t p = Hashtbl.find_opt t.by_prefix p
 
 let baseline t = t.baseline
+
+let replay t = t.replay
 
 let build_stats t = t.build_stats
 
@@ -155,16 +167,23 @@ let rebuild ?jobs t =
       prefixes
   in
   List.iter (fun p -> Net.clear_touched net p) prefixes;
-  of_states ~build_stats t.model states
+  of_states ~build_stats ?replay:t.replay t.model states
 
 (* -- atomic swap -- *)
 
-type store = t option Atomic.t
+(* The mutex serializes whole churn transactions (read current →
+   replay/rebuild → publish); without it two writers that both read
+   the same snapshot would each build from its states and the second
+   publish would silently discard the first one's applied events.
+   Readers never take it: [current] stays one atomic load. *)
+type store = { cell : t option Atomic.t; churn_mu : Mutex.t }
 
-let store () = Atomic.make None
+let store () = { cell = Atomic.make None; churn_mu = Mutex.create () }
 
 let publish store t =
-  let prev = Atomic.exchange store (Some t) in
+  let prev = Atomic.exchange store.cell (Some t) in
   match prev with Some old when old != t -> retire old | _ -> ()
 
-let current store = Atomic.get store
+let current store = Atomic.get store.cell
+
+let locked store f = Mutex.protect store.churn_mu f

@@ -26,6 +26,7 @@ val build : ?jobs:int -> Asmodel.Qrmodel.t -> t
 
 val of_states :
   ?build_stats:Simulator.Pool.stats ->
+  ?replay:Stream.Replay.persist ->
   Asmodel.Qrmodel.t ->
   (Bgp.Prefix.t * Simulator.Engine.state) list ->
   t
@@ -33,7 +34,9 @@ val of_states :
     churn-replay path: the replay driver reconverged prefixes
     incrementally and the result becomes the next published snapshot.
     The state list may extend beyond the model's prefixes (announced /
-    hijacked extras). *)
+    hijacked extras).  [replay] is the driver state the replay ended
+    with; the next {!Churn.apply} resumes from it so down/up pairs may
+    span apply calls. *)
 
 val rebuild : ?jobs:int -> t -> t
 (** Reconverge every cached prefix {e warm} from this snapshot's
@@ -51,6 +54,12 @@ val states : t -> (Prefix.t * Simulator.Engine.state) list
 val state : t -> Prefix.t -> Simulator.Engine.state option
 
 val baseline : t -> Asmodel.Whatif.snapshot
+
+val replay : t -> Stream.Replay.persist option
+(** The churn-replay driver state this snapshot was published with
+    ([None] for fresh builds): origins per tracked prefix and down
+    sessions/links with their denies, carried so later churn streams
+    can restore them. *)
 
 val build_stats : t -> Simulator.Pool.stats
 
@@ -80,3 +89,10 @@ val publish : store -> t -> unit
 
 val current : store -> t option
 (** One atomic load; no locking on the read path. *)
+
+val locked : store -> (unit -> 'a) -> 'a
+(** Run [f] under the store's churn mutex.  Every read-modify-publish
+    transaction ({!Churn.apply} / {!Churn.reload}) runs inside it, so
+    concurrent writers serialize on the {e store} and the second one
+    builds from the first one's published snapshot instead of silently
+    overwriting it.  Readers ({!current}) never take the lock. *)

@@ -69,6 +69,21 @@ type down = {
 
 type down_key = Ksession of Asn.t * Asn.t | Klink of Asn.t * Asn.t
 
+(* Export-policy mutations this driver applied to the shared net, most
+   recent first — the undo log a failed replay is reverse-applied from. *)
+type jmut = Jdeny of int * int * Prefix.t | Jallow of int * int * Prefix.t
+
+(* Driver state that must outlive the driver: a serve snapshot carries
+   it so the next [create ~resume] picks up where the previous apply
+   stream stopped — without it a Session_up / Link_restore / Hijack_end
+   arriving in a later apply call would be a silent no-op. *)
+type persist = {
+  p_tracked : Prefix.t list;  (* tracking order *)
+  p_origins : (Prefix.t * Asn.t list) list;
+  p_downs : (down_key * (int * int) list * (int * int * Prefix.t) list) list;
+  p_quarantine : Prefix.t list;
+}
+
 type acc = {
   mutable a_events : int;
   mutable a_prefixes : int;
@@ -89,6 +104,7 @@ type t = {
   mutable tracked_rev : Prefix.t list;
   quarantine : unit Prefix.Table.t;
   downs : (down_key, down) Hashtbl.t;
+  mutable journal : jmut list;
   divergences : int Atomic.t;  (* bumped from pool worker domains *)
   totals : (cls, acc) Hashtbl.t;
   mutable events_applied : int;
@@ -163,12 +179,17 @@ let norm_pair a b = if a <= b then (a, b) else (b, a)
 
 (* -- creation ------------------------------------------------------ *)
 
-let model_prefix_set (model : Qrmodel.t) =
-  List.fold_left
-    (fun s (p, _) -> Prefix.Set.add p s)
-    Prefix.Set.empty model.Qrmodel.prefixes
+let persist t =
+  let prefixes = tracked t in
+  {
+    p_tracked = prefixes;
+    p_origins = List.map (fun p -> (p, origins t p)) prefixes;
+    p_downs =
+      Hashtbl.fold (fun key d acc -> (key, d.halfs, d.added) :: acc) t.downs [];
+    p_quarantine = quarantined t;
+  }
 
-let create ?jobs ?mode ?states:seed (model : Qrmodel.t) =
+let create ?jobs ?mode ?states:seed ?resume (model : Qrmodel.t) =
   let mode = match mode with Some m -> m | None -> Runtime.warm () in
   let net = model.Qrmodel.net in
   let t =
@@ -181,6 +202,7 @@ let create ?jobs ?mode ?states:seed (model : Qrmodel.t) =
       tracked_rev = [];
       quarantine = Prefix.Table.create 8;
       downs = Hashtbl.create 8;
+      journal = [];
       divergences = Atomic.make 0;
       totals = Hashtbl.create 8;
       events_applied = 0;
@@ -191,14 +213,34 @@ let create ?jobs ?mode ?states:seed (model : Qrmodel.t) =
       wall_s = 0.;
     }
   in
-  List.iter
-    (fun (p, asn) ->
-      t.tracked_rev <- p :: t.tracked_rev;
-      Prefix.Table.replace t.origins p (Asn.Set.singleton asn))
-    model.Qrmodel.prefixes;
+  (match resume with
+  | Some prev ->
+      (* Pick up a previous driver's tracking/origin/down state; the
+         down records are copied so this driver's mutations never leak
+         into the snapshot the persist is still published in. *)
+      t.tracked_rev <- List.rev prev.p_tracked;
+      List.iter
+        (fun (p, ases) ->
+          Prefix.Table.replace t.origins p (Asn.Set.of_list ases))
+        prev.p_origins;
+      List.iter
+        (fun (key, halfs, added) ->
+          Hashtbl.replace t.downs key { halfs; added })
+        prev.p_downs;
+      List.iter (fun p -> Prefix.Table.replace t.quarantine p ()) prev.p_quarantine
+  | None ->
+      List.iter
+        (fun (p, asn) ->
+          t.tracked_rev <- p :: t.tracked_rev;
+          Prefix.Table.replace t.origins p (Asn.Set.singleton asn))
+        model.Qrmodel.prefixes);
   (match seed with
   | Some states ->
-      let known = model_prefix_set model in
+      let known =
+        List.fold_left
+          (fun s p -> Prefix.Set.add p s)
+          Prefix.Set.empty (tracked t)
+      in
       List.iter
         (fun (p, st) ->
           if not (Prefix.Set.mem p known) then begin
@@ -261,6 +303,7 @@ let extend_downs t p =
         (fun (n, s) ->
           if not (Net.export_denied net n s p) then begin
             Net.deny_export net n s p;
+            t.journal <- Jdeny (n, s, p) :: t.journal;
             d.added <- (n, s, p) :: d.added
           end)
         d.halfs)
@@ -298,6 +341,7 @@ let bring_down t key halfs =
           (fun p ->
             if not (Net.export_denied net n s p) then begin
               Net.deny_export net n s p;
+              t.journal <- Jdeny (n, s, p) :: t.journal;
               d.added <- (n, s, p) :: d.added
             end)
           (tracked t))
@@ -311,7 +355,11 @@ let bring_up t key =
   | None -> [] (* restore of something not down: no-op *)
   | Some d ->
       let net = t.model.Qrmodel.net in
-      List.iter (fun (n, s, p) -> Net.allow_export net n s p) d.added;
+      List.iter
+        (fun (n, s, p) ->
+          Net.allow_export net n s p;
+          t.journal <- Jallow (n, s, p) :: t.journal)
+        d.added;
       Hashtbl.remove t.downs key;
       dedup_prefixes (List.map (fun (_, _, p) -> p) d.added)
 
@@ -561,6 +609,19 @@ let retry_quarantined t =
   | stuck ->
       let _, _, _, _, _, recovered = reconverge t stuck in
       recovered
+
+let rollback_net t =
+  (* Reverse-chronological undo: the journal is most-recent-first, so a
+     deny placed and later lifted inside the same driver nets out. The
+     driver's own tables are left inconsistent on purpose — after a
+     rollback it must be discarded, only the shared net matters. *)
+  let net = t.model.Qrmodel.net in
+  List.iter
+    (function
+      | Jdeny (n, s, p) -> Net.allow_export net n s p
+      | Jallow (n, s, p) -> Net.deny_export net n s p)
+    t.journal;
+  t.journal <- []
 
 (* -- reports ------------------------------------------------------- *)
 

@@ -50,17 +50,43 @@ val cls_name : cls -> string
 
 type t
 
+type persist
+(** Frozen driver state — per-prefix originator sets, down
+    sessions/links with the exact export denies they placed, and the
+    quarantine — captured by {!persist} and handed back to {!create}
+    via [?resume].  A serve snapshot carries one so churn streams may
+    span multiple [apply] calls: a [Session_up] / [Link_restore] /
+    [Hijack_end] whose matching down/hijack happened in an earlier call
+    still finds it. *)
+
 val create :
   ?jobs:int ->
   ?mode:Simulator.Runtime.Warm_mode.t ->
   ?states:(Prefix.t * Simulator.Engine.state) list ->
+  ?resume:persist ->
   Asmodel.Qrmodel.t ->
   t
 (** A driver over [model].  [states] seeds the cache (e.g. from a
     {e serve} snapshot — prefixes beyond the model's get their
     originators from the state itself); without it every model prefix
-    is simulated cold over the pool first.  [mode] defaults to
+    is simulated cold over the pool first.  [resume] seeds the
+    tracking / origin / down / quarantine tables from a previous
+    driver's {!persist} instead of the model's prefix list, so paired
+    events split across drivers still match up.  [mode] defaults to
     {!Simulator.Runtime.warm}; [jobs] to the runtime worker count. *)
+
+val persist : t -> persist
+(** Capture the driver state a successor needs ([create ?resume]).
+    The capture is immutable: later mutations of this driver do not
+    leak into it. *)
+
+val rollback_net : t -> unit
+(** Reverse-apply every export deny/allow this driver placed on the
+    shared net (creation-time seeding from [?resume] is {e not}
+    undone — those denies belong to the previously published state).
+    For the failure path: a replay that raised mid-stream left the net
+    ahead of the still-published snapshot; rolling back restores it
+    exactly.  The driver must be discarded afterwards. *)
 
 type event_report = {
   event : Event.t;

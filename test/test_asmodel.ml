@@ -168,6 +168,32 @@ let whatif_double_disable () =
   let denies_after, _ = Net.count_policies net in
   check_int "no leaked denies" denies_before denies_after
 
+(* diff joins by prefix, not position: reordered or mismatched prefix
+   sets (churn adds and drops prefixes between snapshots) must diff
+   cleanly instead of raising from a positional combine. *)
+let whatif_diff_keyed () =
+  let m = Qrmodel.initial graph in
+  let all = List.map fst m.Qrmodel.prefixes in
+  let before = Asmodel.Whatif.snapshot ~prefixes:all m in
+  let reordered = Asmodel.Whatif.snapshot ~prefixes:(List.rev all) m in
+  let d = Asmodel.Whatif.diff before reordered in
+  check_int "reorder is no change" 0 d.Asmodel.Whatif.prefixes_affected;
+  (* A prefix missing from the after set reads as every AS losing it. *)
+  let after = Asmodel.Whatif.snapshot ~prefixes:(List.tl all) m in
+  let d2 = Asmodel.Whatif.diff before after in
+  check_int "one prefix affected" 1 d2.Asmodel.Whatif.prefixes_affected;
+  (match d2.Asmodel.Whatif.changes with
+  | [ c ] ->
+      check_bool "the dropped prefix" true
+        (Prefix.equal c.Asmodel.Whatif.prefix (List.hd all));
+      check_bool "every AS lost it" true
+        (c.Asmodel.Whatif.ases_lost <> []
+        && c.Asmodel.Whatif.ases_lost = c.Asmodel.Whatif.ases_changed)
+  | _ -> Alcotest.fail "expected exactly one change");
+  (* And one only in the after set reads as gained, not an exception. *)
+  let d3 = Asmodel.Whatif.diff after before in
+  check_int "gain counted" 1 d3.Asmodel.Whatif.prefixes_affected
+
 let suite =
   [
     Alcotest.test_case "initial model" `Quick initial_model;
@@ -181,4 +207,5 @@ let suite =
     Alcotest.test_case "whatif roundtrip preserves filters" `Quick
       whatif_roundtrip_preserves_filters;
     Alcotest.test_case "whatif double disable" `Quick whatif_double_disable;
+    Alcotest.test_case "whatif diff keyed by prefix" `Quick whatif_diff_keyed;
   ]

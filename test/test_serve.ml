@@ -342,6 +342,160 @@ let churn_apply_publishes () =
   | _ -> Alcotest.fail "post-churn path query failed");
   Snapshot.retire snap1
 
+(* A client that hangs up before reading its response must cost only
+   that connection: SIGPIPE is ignored in Server.start, so the write
+   fails with EPIPE and the server keeps answering (without it the
+   signal killed the whole process — a per-connection exception handler
+   cannot catch a signal). *)
+let client_disconnect_keeps_serving () =
+  with_server (fun path ->
+      for _ = 1 to 5 do
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        (* A what-if is slow enough that the server is usually still
+           computing when the peer vanishes, so the response write hits
+           a closed socket. *)
+        Protocol.write_frame fd
+          (Protocol.request_to_string (Protocol.Whatif { a = 4; b = 5 }));
+        Unix.close fd
+      done;
+      Thread.delay 0.05;
+      let conn = Result.get_ok (Server.connect (Server.Unix_path path)) in
+      (match Server.request conn Protocol.Ping with
+      | Ok json ->
+          check_bool "still serving" true
+            (Json.member "ok" json = Some (Json.Bool true))
+      | Error e -> Alcotest.failf "server died after disconnects: %s" e);
+      Server.close_conn conn)
+
+(* Paired events split across Churn.apply calls must still match up:
+   each apply resumes the replay driver from the snapshot's persisted
+   state (before the fix the up/end half was a silent no-op, leaving
+   the link down and the hijack in force forever). *)
+let churn_pairs_across_applies () =
+  let store = Snapshot.store () in
+  let snap0 = build_snapshot () in
+  let net = (Snapshot.model snap0).Qrmodel.net in
+  let denies0, _ = Net.count_policies net in
+  Snapshot.publish store snap0;
+  let p3 = Asn.origin_prefix 3 in
+  let path_now () =
+    match
+      Query.eval
+        (Option.get (Snapshot.current store))
+        (Protocol.Path { prefix = p3; asn = 5 })
+    with
+    | Ok (Protocol.Paths { paths; _ }) -> paths
+    | _ -> Alcotest.fail "path query failed"
+  in
+  let baseline = path_now () in
+  let apply_one ev =
+    match Serve.Churn.apply store [ Stream.Event.make ~ts_ms:0 ev ] with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "apply failed: %s" e
+  in
+  (* Link down in one call... *)
+  apply_one (Stream.Event.Session_down { a = 4; b = 5 });
+  check_bool "denies placed" true (fst (Net.count_policies net) > denies0);
+  check_bool "rerouted while down" true (path_now () <> baseline);
+  (* ...restored by a separate call. *)
+  apply_one (Stream.Event.Session_up { a = 4; b = 5 });
+  check_int "denies removed by the later apply" denies0
+    (fst (Net.count_policies net));
+  check_bool "baseline restored" true (path_now () = baseline);
+  (* Same for a MOAS hijack started and ended in different calls. *)
+  apply_one (Stream.Event.Hijack { prefix = p3; attacker = 5 });
+  check_bool "hijack shifted routes" true (path_now () <> baseline);
+  apply_one (Stream.Event.Hijack_end { prefix = p3; attacker = 5 });
+  check_bool "hijack ended across applies" true (path_now () = baseline);
+  match Snapshot.current store with
+  | Some s -> Snapshot.retire s
+  | None -> ()
+
+(* What-if queries keep working after churn changed the served prefix
+   set: the diff joins by prefix and the simulation covers the
+   snapshot's own prefixes (the old positional diff raised once a
+   hijack added one, poisoning every later what-if). *)
+let whatif_after_churn_hijack () =
+  let store = Snapshot.store () in
+  Snapshot.publish store (build_snapshot ());
+  let p3 = Asn.origin_prefix 3 in
+  let sub = Prefix.make (Prefix.network p3) (Prefix.length p3 + 1) in
+  (match
+     Serve.Churn.apply store
+       [
+         Stream.Event.make ~ts_ms:0
+           (Stream.Event.Hijack { prefix = sub; attacker = 5 });
+       ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "hijack apply failed: %s" e);
+  let snap = Option.get (Snapshot.current store) in
+  check_int "hijacked prefix tracked" 6 (List.length (Snapshot.states snap));
+  let net = (Snapshot.model snap).Qrmodel.net in
+  let denies0, _ = Net.count_policies net in
+  let run () =
+    match Query.eval snap (Protocol.Whatif { a = 4; b = 5 }) with
+    | Ok (Protocol.Whatif_summary _ as p) -> p
+    | Ok _ -> Alcotest.fail "unexpected payload"
+    | Error e -> Alcotest.failf "whatif after churn failed: %s" e
+  in
+  let r1 = run () in
+  check_int "net restored exactly" denies0 (fst (Net.count_policies net));
+  let r2 = run () in
+  check_bool "repeatable" true (r1 = r2);
+  Snapshot.retire snap
+
+(* Concurrent writers serialize on the store: the later one builds on
+   the earlier one's published snapshot, so neither's effect is
+   silently discarded (before the fix the second publish overwrote the
+   first's applied events while both returned Ok). *)
+let concurrent_apply_reload () =
+  let store = Snapshot.store () in
+  let snap0 = build_snapshot () in
+  let net = (Snapshot.model snap0).Qrmodel.net in
+  let denies0, _ = Net.count_policies net in
+  Snapshot.publish store snap0;
+  let apply_r = ref (Error "unset") and reload_r = ref (Error "unset") in
+  let ta =
+    Thread.create
+      (fun () ->
+        apply_r :=
+          Result.map ignore
+            (Serve.Churn.apply store
+               [
+                 Stream.Event.make ~ts_ms:0
+                   (Stream.Event.Session_down { a = 4; b = 5 });
+               ]))
+      ()
+  in
+  let tb =
+    Thread.create
+      (fun () -> reload_r := Result.map ignore (Serve.Churn.reload store))
+      ()
+  in
+  Thread.join ta;
+  Thread.join tb;
+  (match !apply_r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "apply lost the race: %s" e);
+  (match !reload_r with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "reload lost the race: %s" e);
+  (* The applied down survived both publishes... *)
+  check_bool "down still in force" true (fst (Net.count_policies net) > denies0);
+  (* ...and is still matchable by its up. *)
+  (match
+     Serve.Churn.apply store
+       [ Stream.Event.make ~ts_ms:10 (Stream.Event.Session_up { a = 4; b = 5 }) ]
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "restore failed: %s" e);
+  check_int "clean restore" denies0 (fst (Net.count_policies net));
+  match Snapshot.current store with
+  | Some s -> Snapshot.retire s
+  | None -> ()
+
 (* The acceptance lock: queries keep succeeding while churn swaps the
    snapshot underneath them — zero dropped connections, zero errors. *)
 let queries_across_reload () =
@@ -456,6 +610,14 @@ let suite =
     Alcotest.test_case "server shutdown stops" `Quick server_shutdown_stops;
     Alcotest.test_case "reload swaps snapshot" `Quick reload_swaps_snapshot;
     Alcotest.test_case "churn apply publishes" `Quick churn_apply_publishes;
+    Alcotest.test_case "client disconnect keeps serving" `Quick
+      client_disconnect_keeps_serving;
+    Alcotest.test_case "churn pairs across applies" `Quick
+      churn_pairs_across_applies;
+    Alcotest.test_case "whatif after churn hijack" `Quick
+      whatif_after_churn_hijack;
+    Alcotest.test_case "concurrent apply and reload" `Quick
+      concurrent_apply_reload;
     Alcotest.test_case "queries across reload" `Quick queries_across_reload;
     Alcotest.test_case "concurrent queries immutable" `Quick
       concurrent_queries_immutable;

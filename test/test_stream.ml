@@ -388,6 +388,50 @@ let malformed_text_never_crashes () =
   QCheck.Test.check_exn
     (QCheck.Test.make ~name:"of_string total" ~count:200 arb prop)
 
+(* Driver state survives across drivers via persist/resume: the up half
+   of a pair applied by a successor driver still finds the down placed
+   by its predecessor (before the fix it was a silent no-op and the
+   down's denies leaked forever). *)
+let persist_resumes_across_drivers () =
+  let m = model () in
+  let net = m.Qrmodel.net in
+  let denies0, _ = Net.count_policies net in
+  let rp = Replay.create m in
+  let fp0 = Replay.fingerprint rp in
+  ignore
+    (Replay.apply rp (Event.make ~ts_ms:0 (Event.Session_down { a = 4; b = 5 })));
+  let fp_down = Replay.fingerprint rp in
+  check_bool "down changed routing" true (fp_down <> fp0);
+  let rp2 =
+    Replay.create ~states:(Replay.states rp) ~resume:(Replay.persist rp) m
+  in
+  check_bool "carried state is bit-identical" true
+    (Replay.fingerprint rp2 = fp_down);
+  ignore
+    (Replay.apply rp2 (Event.make ~ts_ms:10 (Event.Session_up { a = 4; b = 5 })));
+  check_bool "up matched the earlier driver's down" true
+    (Replay.fingerprint rp2 = fp0);
+  let denies1, _ = Net.count_policies net in
+  check_int "denies fully lifted" denies0 denies1
+
+(* The failure path of a churn apply: rollback_net reverse-applies
+   exactly the denies one driver placed, restoring the shared net. *)
+let rollback_restores_net () =
+  let m = model () in
+  let net = m.Qrmodel.net in
+  let denies0, _ = Net.count_policies net in
+  let rp = Replay.create m in
+  let fp0 = Replay.fingerprint rp in
+  ignore
+    (Replay.apply rp (Event.make ~ts_ms:0 (Event.Link_fail { a = 4; b = 5 })));
+  ignore
+    (Replay.apply rp (Event.make ~ts_ms:10 (Event.Session_down { a = 1; b = 2 })));
+  check_bool "denies placed" true (fst (Net.count_policies net) > denies0);
+  Replay.rollback_net rp;
+  check_int "denies rolled back" denies0 (fst (Net.count_policies net));
+  let rp2 = Replay.create m in
+  check_bool "pre-churn routing restored" true (Replay.fingerprint rp2 = fp0)
+
 let suite =
   [
     Alcotest.test_case "event roundtrip" `Quick event_roundtrip;
@@ -415,4 +459,7 @@ let suite =
       fuzz_streams_never_crash;
     Alcotest.test_case "malformed text never crashes" `Quick
       malformed_text_never_crashes;
+    Alcotest.test_case "persist resumes across drivers" `Quick
+      persist_resumes_across_drivers;
+    Alcotest.test_case "rollback restores net" `Quick rollback_restores_net;
   ]
