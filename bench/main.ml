@@ -729,6 +729,9 @@ type check_report = {
   off_vs_warm : float;
   check_violations : int;
   lint_errors : int;
+  race_wall : float;
+  race_overhead : float;
+  race_findings : int;
 }
 
 let experiment_check prepared (warm : warm_report) =
@@ -776,17 +779,40 @@ let experiment_check prepared (warm : warm_report) =
     Analysis.Report.error_count (Analysis.Lint.check on_r.Refine.Refiner.model)
   in
   Analysis.Ownership.reset ();
+  (* The race detector serializes every probe behind one mutex; the row
+     records the honest price of RD_CHECK=race on the same workload and
+     gates on it finding nothing in a clean run. *)
+  Analysis.Race.reset ();
+  let _, race_wall = run "CHECK race jobs=1" Analysis.Ownership.Race in
+  let race_findings =
+    Analysis.Race.race_count () + Analysis.Ownership.violation_count ()
+  in
+  Analysis.Race.reset ();
+  Analysis.Ownership.reset ();
   let overhead_ratio = if off_wall > 0.0 then on_wall /. off_wall else 0.0 in
+  let race_overhead = if off_wall > 0.0 then race_wall /. off_wall else 0.0 in
   let off_vs_warm =
     if warm.warm_wall > 0.0 then off_wall /. warm.warm_wall else 0.0
   in
   Format.printf
     "RD_CHECK=off wall: %.2fs (min of 2; %.2fx of the WARM warm run — want \
-     <= 1.02)@.RD_CHECK=on wall: %.2fs (%.2fx of off)@.violations recorded \
-     under RD_CHECK=on: %d (want 0)@.lint errors on the refined model: %d \
-     (want 0)@."
-    off_wall off_vs_warm on_wall overhead_ratio check_violations lint_errors;
-  { off_wall; on_wall; overhead_ratio; off_vs_warm; check_violations; lint_errors }
+     <= 1.02)@.RD_CHECK=on wall: %.2fs (%.2fx of off)@.RD_CHECK=race wall: \
+     %.2fs (%.2fx of off)@.violations recorded under RD_CHECK=on: %d (want \
+     0)@.race/audit findings under RD_CHECK=race: %d (want 0)@.lint errors \
+     on the refined model: %d (want 0)@."
+    off_wall off_vs_warm on_wall overhead_ratio race_wall race_overhead
+    check_violations race_findings lint_errors;
+  {
+    off_wall;
+    on_wall;
+    overhead_ratio;
+    off_vs_warm;
+    check_violations;
+    lint_errors;
+    race_wall;
+    race_overhead;
+    race_findings;
+  }
 
 type obs_report = {
   trace_off_wall : float;
@@ -1520,7 +1546,11 @@ let write_bench_json path ~scale ~seed ~jobs warm check obs serve churn
       Printf.bprintf b "    \"off_vs_warm_ratio\": %s,\n"
         (json_num c.off_vs_warm);
       Printf.bprintf b "    \"violations\": %d,\n" c.check_violations;
-      Printf.bprintf b "    \"lint_errors\": %d\n" c.lint_errors;
+      Printf.bprintf b "    \"lint_errors\": %d,\n" c.lint_errors;
+      Printf.bprintf b "    \"race_wall_s\": %.3f,\n" c.race_wall;
+      Printf.bprintf b "    \"overhead_race_vs_off\": %s,\n"
+        (json_num c.race_overhead);
+      Printf.bprintf b "    \"race_findings\": %d\n" c.race_findings;
       Printf.bprintf b "  },\n");
   (match obs with
   | None -> Printf.bprintf b "  \"obs\": null,\n"

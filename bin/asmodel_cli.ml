@@ -167,15 +167,44 @@ let check_arg =
   Arg.(
     value
     & opt (some check_conv) None
-    & info [ "check" ] ~docv:"on|off"
+    & info [ "check" ] ~docv:"off|on|race"
         ~doc:
-          "Audit mutation discipline during refinement (default: \
-           $(b,RD_CHECK) or $(b,off)); violations are reported, not \
-           raised.")
+          "Audit mutation discipline during the run (default: \
+           $(b,RD_CHECK) or $(b,off)); $(b,race) additionally runs the \
+           happens-before race detector.  Findings are reported, not \
+           raised; $(b,--strict) escalates them to exit 4.")
 
 let apply_check = function
   | Some m -> Analysis.Ownership.set m
   | None -> ()
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Treat every recorded finding as fatal: lint warnings, and any \
+           RD_CHECK violation or race recorded during the run, exit 4.")
+
+(* Recorded checker findings (mutation-discipline violations, races)
+   are normally advisory; with [--strict] a clean run that recorded any
+   escalates to the lint exit code. *)
+let checker_exit ~strict code =
+  let v = Analysis.Ownership.violation_count () in
+  let r = Analysis.Race.race_count () in
+  if v + r > 0 then begin
+    List.iter
+      (fun x -> Format.eprintf "%a@." Analysis.Ownership.pp_violation x)
+      (Analysis.Ownership.violations ());
+    List.iter
+      (fun x -> Format.eprintf "%a@." Analysis.Race.pp_race x)
+      (Analysis.Race.races ());
+    Printf.eprintf
+      "RD_CHECK recorded %d mutation-discipline violation(s) and %d race(s)\n%!"
+      v r;
+    if strict && code = 0 then 4 else code
+  end
+  else code
 
 let metrics_arg =
   Arg.(
@@ -396,7 +425,7 @@ let max_iter_arg =
     & info [ "max-iterations" ] ~docv:"N" ~doc:"Cap refinement iterations.")
 
 let build input split_seed train_fraction by_origin model_out max_iter jobs
-    faults warm check trace metrics =
+    faults warm check strict trace metrics =
   init_runtime ();
   apply_jobs jobs;
   apply_faults faults;
@@ -473,7 +502,7 @@ let build input split_seed train_fraction by_origin model_out max_iter jobs
       Printf.printf "model saved to %s\n" path
   | None -> ());
   finish_obs ~metrics ();
-  0
+  checker_exit ~strict 0
 
 let build_cmd =
   Cmd.v
@@ -484,7 +513,7 @@ let build_cmd =
     Term.(
       const build $ in_arg $ split_seed_arg $ train_fraction_arg $ by_origin_arg
       $ model_out_arg $ max_iter_arg $ jobs_arg $ faults_arg $ warm_arg
-      $ check_arg $ trace_arg $ metrics_arg)
+      $ check_arg $ strict_arg $ trace_arg $ metrics_arg)
 
 (* eval *)
 
@@ -660,11 +689,6 @@ let export_cbgp_cmd =
 
 (* lint *)
 
-let strict_arg =
-  Arg.(
-    value & flag
-    & info [ "strict" ] ~doc:"Treat warnings as fatal (exit 4 on any finding).")
-
 let lint model_path strict =
   match Asmodel.Serialize.load model_path with
   | Error msg ->
@@ -685,6 +709,78 @@ let lint_cmd =
           membership, reachability, shadowed/orphan/conflicting policy \
           rules, dispute-wheel risk.  Exits 4 when any Error is found.")
     Term.(const lint $ model_arg $ strict_arg)
+
+(* check *)
+
+let checker_findings () =
+  List.map
+    (fun v ->
+      {
+        Analysis.Report.severity = Analysis.Report.Error;
+        rule = "rd-check-" ^ v.Analysis.Ownership.rule;
+        location = Analysis.Report.Network;
+        message = Format.asprintf "%a" Analysis.Ownership.pp_violation v;
+        hint =
+          "mutate nets from their owning domain, outside Pool batches, \
+           through the safe API";
+      })
+    (Analysis.Ownership.violations ())
+  @ Analysis.Race.findings ()
+
+let check_run model_path check jobs strict =
+  init_runtime ();
+  apply_jobs jobs;
+  apply_check check;
+  match Asmodel.Serialize.load model_path with
+  | Error msg ->
+      Printf.eprintf "cannot load model: %s\n" msg;
+      2
+  | Ok model ->
+      let net = model.Asmodel.Qrmodel.net in
+      let prefixes = List.map fst model.Asmodel.Qrmodel.prefixes in
+      (* Simulate every model prefix through the regular pool (so a
+         --check race run exercises the instrumented parallel path),
+         then audit each frozen state against the live net. *)
+      let states, stats =
+        Simulator.Pool.simulate
+          ~sim:(fun p ->
+            Simulator.Engine.simulate net ~prefix:p
+              ~originators:(Asmodel.Qrmodel.originators model p))
+          prefixes
+      in
+      (* Loading a model replays its policies into a fresh net, which
+         fills the touched sets; the states just simulated reflect all
+         of them, so drain the sets or every audit reads as stale. *)
+      List.iter (fun p -> Simulator.Net.clear_touched net p) prefixes;
+      Printf.eprintf "simulated %a\n%!"
+        (fun oc s -> Printf.fprintf oc "%d prefixes on %d jobs" s.Simulator.Pool.prefixes s.Simulator.Pool.jobs)
+        stats;
+      let findings =
+        Analysis.Report.findings (Analysis.Lint.check model)
+        @ List.concat_map
+            (fun (_, st) -> Analysis.Audit.state net st)
+            states
+        @ Analysis.Audit.sentinel_lint ()
+        @ checker_findings ()
+      in
+      let report = Analysis.Report.of_findings findings in
+      Format.printf "%a@." Analysis.Report.pp report;
+      let errors = Analysis.Report.error_count report in
+      let warns = Analysis.Report.warn_count report in
+      if errors > 0 || (strict && warns > 0) then 4 else 0
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Deep-check a saved model: every lint rule, plus the structural \
+          audit of the frozen fast-path structures (CSR session index, \
+          route slabs, intern tables) against a fresh simulation of every \
+          model prefix, the no_route sentinel source lint, and any \
+          RD_CHECK violation or data race recorded during the run \
+          (enable the detector with --check race).  Exits 4 when \
+          anything is found.")
+    Term.(const check_run $ model_arg $ check_arg $ jobs_arg $ strict_arg)
 
 (* whatif *)
 
@@ -750,12 +846,13 @@ let stream_seed_arg =
           "Seed of the churn-stream generator (the same model, scenario \
            and seed replay identically).")
 
-let replay_run model_path scenario events stream_seed jobs faults warm trace
-    metrics =
+let replay_run model_path scenario events stream_seed jobs faults warm check
+    strict trace metrics =
   init_runtime ();
   apply_jobs jobs;
   apply_faults faults;
   apply_warm warm;
+  apply_check check;
   apply_trace trace;
   match Stream.Streamgen.of_name scenario with
   | None ->
@@ -779,7 +876,8 @@ let replay_run model_path scenario events stream_seed jobs faults warm trace
           Printf.printf "unrecovered failures: %d\n"
             report.Stream.Replay.failed;
           finish_obs ~metrics ();
-          if report.Stream.Replay.failed > 0 then 3 else 0)
+          checker_exit ~strict
+            (if report.Stream.Replay.failed > 0 then 3 else 0))
 
 let replay_cmd =
   Cmd.v
@@ -791,8 +889,8 @@ let replay_cmd =
           failure survives the retries.")
     Term.(
       const replay_run $ model_arg $ scenario_arg $ events_arg
-      $ stream_seed_arg $ jobs_arg $ faults_arg $ warm_arg $ trace_arg
-      $ metrics_arg)
+      $ stream_seed_arg $ jobs_arg $ faults_arg $ warm_arg $ check_arg
+      $ strict_arg $ trace_arg $ metrics_arg)
 
 (* serve / query *)
 
@@ -984,6 +1082,7 @@ let main_cmd =
       compact_cmd;
       export_cbgp_cmd;
       lint_cmd;
+      check_cmd;
       whatif_cmd;
       replay_cmd;
       serve_cmd;
@@ -991,7 +1090,8 @@ let main_cmd =
     ]
 
 (* Exit codes: 0 success, 1 usage, 2 input parse, 3 simulation/runtime
-   failure, 4 lint findings.  [~catch:false] lets exceptions reach the
+   failure, 4 lint/check findings (including --strict escalation of
+   recorded RD_CHECK violations).  [~catch:false] lets exceptions reach the
    handlers below so a broken input or a persistently failing
    simulation produces a one-line error and a meaningful code, not a
    backtrace. *)

@@ -1,0 +1,58 @@
+(** Structural auditor for the frozen fast-path structures.
+
+    The flat-memory engine core (PR 8) trades safety for speed: the CSR
+    session index, the route slab with its physical [no_route] sentinel
+    and the domain-local intern tables all {e duplicate} information
+    whose ground truth lives in the mutable {!Simulator.Net}.  This
+    module cross-validates the copies against the truth — each check
+    reads both sides through independent code paths, so a stale cache,
+    a bypassed generation bump or a corrupted slab surfaces as a
+    finding rather than a silently wrong simulation.
+
+    Audits are pure reads and report via {!Report.finding}; findings of
+    one rule are capped (a systematically broken structure yields a
+    bounded report plus a suppression note). *)
+
+val csr : Simulator.Net.t -> Report.finding list
+(** Compare the CSR index ({!Simulator.Net.csr}) against the live node
+    records: generation currency, offset shape, per-slot
+    peer/kind/class/lpref/carry/rr agreement, [rev]/[reverse_local]
+    round-trips, per-node ASN and address tables.  Rules
+    [audit-csr-*]. *)
+
+val state : Simulator.Net.t -> Simulator.Engine.state -> Report.finding list
+(** Audit a frozen engine state against the net it claims to model:
+    slab discipline (slot/session agreement, sentinel never cloned
+    structurally, eBGP paths start at the announcing AS and are
+    loop-free) and — when the state is converged and the net unchanged
+    — full exporter consistency (each RIB-In entry is exactly what the
+    peer's best route exports under the live policies) and best-route
+    agreement with {!Simulator.Decision.select}.  A state computed at
+    an older generation (or with pending per-prefix edits) yields a
+    [Warn] and skips the checks that would be meaningless.  Rules
+    [audit-slab-*], [audit-best], [audit-sentinel-clone],
+    [audit-stale-*]. *)
+
+val intern_integrity : unit -> Report.finding list
+(** Exercise the hash-consing contract of {!Simulator.Intern} in the
+    calling domain: interning equal values returns physically equal
+    results, a freshly spawned domain gets its own table (no canonical
+    value crosses domains), and no table exceeds
+    {!Simulator.Intern.table_cap}.  Spawns (and joins) one short-lived
+    domain.  Rules [audit-intern-*]. *)
+
+val sentinel_lint : ?root:string -> unit -> Report.finding list
+(** Source-scan [lib/simulator] (or [root]) for structural comparison
+    with [no_route] — [=], [<>] or [compare] adjacent to the token,
+    outside comments and strings.  The sentinel contract is [==]-only;
+    a structural compare reads absurd field values and breaks on
+    clones.  Returns [[]] when no sources can be located (installed
+    binaries).  Rule [sentinel-compare]. *)
+
+val net : Simulator.Net.t -> Report.finding list
+(** The net-level audits ({!csr}) — what {!Lint.check_net} folds in. *)
+
+val model : Asmodel.Qrmodel.t -> Report.finding list
+(** The model-level static audits — {!csr} of the model's net.
+    State-level audits need simulated states; [asmodel check] runs
+    those explicitly. *)

@@ -1,11 +1,15 @@
 (** Lint entry points: run every rule family over a model.
 
-    Pure static analysis — no simulation is run, so linting is cheap
-    enough for CI and for the refiner's post-run self-check. *)
+    Static rules ({!Rules}) plus the structural audits ({!Audit}) that
+    cross-validate the frozen fast-path structures against the live
+    net.  No simulation is run, so linting is cheap enough for CI and
+    for the refiner's post-run self-check ([check] does spawn one
+    short-lived domain for the intern-table isolation audit). *)
 
 val check_net : Simulator.Net.t -> Report.t
-(** Structural rules only (no origin-table context). *)
+(** Structural rules and the CSR audit (no origin-table context). *)
 
 val check : Asmodel.Qrmodel.t -> Report.t
-(** Structural and policy rules.  A freshly refined model is expected
-    to be clean of [Error]s; [asmodel lint] exits non-zero otherwise. *)
+(** Structural and policy rules, the CSR audit and the intern-table
+    integrity audit.  A freshly refined model is expected to be clean
+    of [Error]s; [asmodel lint] exits non-zero otherwise. *)

@@ -2,7 +2,7 @@ module Net = Simulator.Net
 module Pool = Simulator.Pool
 module Runtime = Simulator.Runtime
 
-type mode = Runtime.Check_mode.t = Off | On
+type mode = Runtime.Check_mode.t = Off | On | Race
 
 let parse s = Result.to_option (Runtime.Check_mode.parse s)
 
@@ -106,7 +106,12 @@ let uninstall () =
     Net.set_mutation_hook None
   end
 
-let sync m = match m with On -> install () | Off -> uninstall ()
+(* [Race] is a strict superset of [On]: the mutation-discipline hook
+   stays installed and the happens-before detector's probe hook comes
+   up beside it (Race.sync). *)
+let sync m =
+  (match m with On | Race -> install () | Off -> uninstall ());
+  Race.sync m
 
 let set m =
   Runtime.set_check m;

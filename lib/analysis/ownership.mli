@@ -22,17 +22,20 @@
     [RD_CHECK=off] (the default) no hook is installed and mutators pay
     one load and a branch. *)
 
-type mode = Simulator.Runtime.Check_mode.t = Off | On
+type mode = Simulator.Runtime.Check_mode.t = Off | On | Race
 
 val parse : string -> mode option
-(** ["off"]/["0"]/["false"]/[""] and ["on"]/["1"]/["true"]. *)
+(** ["off"]/["0"]/["false"]/[""], ["on"]/["1"]/["true"] and
+    ["race"]/["hb"]. *)
 
 val mode_to_string : mode -> string
 
 val set : mode -> unit
 (** Process-wide override (wired to tests and the bench driver):
     records the mode in {!Simulator.Runtime} and installs or removes
-    the {!Simulator.Net} hook accordingly. *)
+    the {!Simulator.Net} hook accordingly.  [Race] keeps this hook and
+    additionally installs the {!Race} happens-before detector's
+    {!Obs.Probe} hook — a strict superset of [On]. *)
 
 val current : unit -> mode
 (** The mode in force, read from {!Simulator.Runtime} (the value set

@@ -1,0 +1,59 @@
+(** Happens-before race detector (the [RD_CHECK=race] mode).
+
+    A vector-clock/epoch checker over the {!Obs.Probe} instrumentation:
+    {!Simulator.Pool} publishes worker spawn/join as release/acquire
+    edges, the Snapshot executor publishes its hand-off, and the shared
+    structures (net structure and policy tables, the CSR publish,
+    engine state slabs, replay journals, metrics counters) record their
+    accesses.  Two accesses to the same object race when at least one
+    is a write, they come from different domains, and neither
+    happens-before the other under the published edges; each race is
+    recorded once per (object, sites) pair with both access sites and
+    both domain ids.
+
+    Documented benign races are declared — with a written
+    justification — in the single {!allowlist}; the detector still
+    sees them (they count in {!benign_count}) but they produce no
+    finding.  {e Anything undeclared fails.}
+
+    Like {!Ownership}, the detector records rather than raises, and is
+    synced to the ambient {!Simulator.Runtime.Check_mode} by
+    [Ownership.sync] — [Race] installs both the ownership hook and
+    this one (a strict superset of [on]). *)
+
+type access = { site : string; domain : int }
+
+type race = {
+  obj : string;  (** shared-object name, e.g. ["net#3/policy"] *)
+  conflict : string;  (** ["write-write"], ["read-write"], ["write-read"] *)
+  prior : access;
+  current : access;
+}
+
+val allowlist : (string * string) list
+(** The declared benign races: [(object-name fragment, justification)].
+    An access pair on a matching object is suppressed and counted in
+    {!benign_count} instead of reported. *)
+
+val sync : Simulator.Runtime.Check_mode.t -> unit
+(** Install the probe hook for [Race], remove it otherwise.  Called by
+    [Ownership.sync]; callers normally go through [Ownership.set]. *)
+
+val races : unit -> race list
+(** Non-benign races since the last {!reset}, oldest first,
+    de-duplicated by (object, conflict, sites). *)
+
+val race_count : unit -> int
+
+val benign_count : unit -> int
+(** Allowlisted race observations — proof the declarations are doing
+    work, not masking silence. *)
+
+val findings : unit -> Report.finding list
+(** {!races} rendered as [Error] findings (rule [race-*]) for
+    {!Lint}-style reporting and the [asmodel check] exit code. *)
+
+val reset : unit -> unit
+(** Drop recorded races, clocks, channels and object histories. *)
+
+val pp_race : Format.formatter -> race -> unit

@@ -161,6 +161,7 @@ let refine ?(options = default_options) ?on_iteration model ~training =
   Analysis.Ownership.ensure ();
   let refine_span = Obs.Trace.begin_span "refiner.refine" in
   let violations_before = Analysis.Ownership.violation_count () in
+  let races_before = Analysis.Race.race_count () in
   let net = model.Qrmodel.net in
   let work = training_suffixes training in
   let total =
@@ -498,20 +499,26 @@ let refine ?(options = default_options) ?on_iteration model ~training =
      we just built — a malformed refined model means the run's results
      cannot be trusted, so it is reported loudly (but not raised: the
      checker observes, callers and CI decide). *)
-  (if Analysis.Ownership.current () = Analysis.Ownership.On then begin
-     let fresh =
-       Analysis.Ownership.violation_count () - violations_before
-     in
-     if fresh > 0 then
-       Logs.err (fun m ->
-           m "refiner: %d mutation-discipline violation(s) during refinement"
-             fresh);
-     let report = Analysis.Lint.check model in
-     if not (Analysis.Report.is_clean report) then
-       Logs.err (fun m ->
-           m "refiner: refined model fails lint:@.%a" Analysis.Report.pp
-             report)
-   end);
+  (match Analysis.Ownership.current () with
+  | Analysis.Ownership.Off -> ()
+  | Analysis.Ownership.On | Analysis.Ownership.Race ->
+      let fresh =
+        Analysis.Ownership.violation_count () - violations_before
+      in
+      if fresh > 0 then
+        Logs.err (fun m ->
+            m "refiner: %d mutation-discipline violation(s) during refinement"
+              fresh);
+      let fresh_races = Analysis.Race.race_count () - races_before in
+      if fresh_races > 0 then
+        Logs.err (fun m ->
+            m "refiner: %d data race(s) detected during refinement"
+              fresh_races);
+      let report = Analysis.Lint.check model in
+      if not (Analysis.Report.is_clean report) then
+        Logs.err (fun m ->
+            m "refiner: refined model fails lint:@.%a" Analysis.Report.pp
+              report));
   Obs.Metrics.set_gauge discrepancies_m (total - !final_matched);
   Obs.Metrics.set_gauge quarantine_m !final_quarantined;
   Obs.Trace.end_span

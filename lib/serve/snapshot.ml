@@ -115,12 +115,27 @@ let build_stats t = t.build_stats
 let converged t =
   List.for_all (fun (_, st) -> Engine.converged st) t.states
 
+(* Per-call channel ids for the happens-before edges published below:
+   the submitting caller may sit in a different domain than the
+   executor thread, so under RD_CHECK=race the enqueue/signal pair is
+   declared as release/acquire (and the result hand-back as the reverse
+   pair) — exactly the ordering the mutex+condvar already provide. *)
+let exclusive_uid = Atomic.make 0
+
 let exclusive t f =
   let result = ref None in
   let mu = Mutex.create () in
   let cond = Condition.create () in
+  let probing = Obs.Probe.enabled () in
+  let chan =
+    if probing then
+      Printf.sprintf "snapshot.exec.%d" (Atomic.fetch_and_add exclusive_uid 1)
+    else ""
+  in
   let job () =
+    if probing then Obs.Probe.acquire ~chan:(chan ^ ".submit");
     let r = try Ok (f ()) with exn -> Error exn in
+    if probing then Obs.Probe.release ~chan:(chan ^ ".done");
     Mutex.lock mu;
     result := Some r;
     Condition.signal cond;
@@ -131,6 +146,7 @@ let exclusive t f =
     Mutex.unlock t.exec.mu;
     invalid_arg "Snapshot.exclusive: snapshot is retired"
   end;
+  if probing then Obs.Probe.release ~chan:(chan ^ ".submit");
   Queue.add job t.exec.jobs;
   Condition.signal t.exec.cond;
   Mutex.unlock t.exec.mu;
@@ -139,6 +155,7 @@ let exclusive t f =
     Condition.wait cond mu
   done;
   Mutex.unlock mu;
+  if probing then Obs.Probe.acquire ~chan:(chan ^ ".done");
   match Option.get !result with Ok v -> v | Error exn -> raise exn
 
 let retire t = exec_stop t.exec

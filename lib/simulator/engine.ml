@@ -52,6 +52,8 @@ let resume_misses_m = Obs.Metrics.counter "engine.warm_resume_misses"
 
 let prefix st = st.pfx
 
+let generation st = st.gen
+
 let outcome st = st.outcome
 
 let converged st = st.outcome = Converged
@@ -197,6 +199,10 @@ let exec ?max_events ?max_escalations ?on_best_change net st ~kind ~seed =
     | None, Some _ -> 0
     | None, None -> 2
   in
+  (* One read-side probe per run: the whole drain reads the structure
+     (via the CSR arrays) and the per-prefix policy tables (flattened
+     below), so a mutation unordered with this run races it. *)
+  Net.probe_read net ~site:"engine.exec";
   let c = Net.csr net in
   let off = Net.Csr.off c in
   let peer = Net.Csr.peer c in
@@ -554,8 +560,17 @@ let exec ?max_events ?max_escalations ?on_best_change net st ~kind ~seed =
       ();
   st
 
+(* Slab-install probe: a state slab is written by exactly one run; the
+   object is named per (net, prefix) so two unordered runs of the same
+   prefix — or a reader holding the previous state — surface as a
+   race.  Name formatting only happens with a probe hook installed. *)
+let state_obj net pfx =
+  Format.asprintf "%s/state/%a" (Net.probe_name net) Prefix.pp pfx
+
 let cold ?max_events ?max_escalations ?on_best_change net ~prefix:pfx
     ~originators =
+  if Obs.Probe.enabled () then
+    Obs.Probe.write ~obj:(state_obj net pfx) ~site:"engine.install-cold";
   let c = Net.csr net in
   let n = Net.Csr.node_count c in
   let st =
@@ -585,6 +600,11 @@ let resumable net prev =
    copying. *)
 let warm ?max_events ?max_escalations ?on_best_change net ~prev ~touched
     ~originators =
+  if Obs.Probe.enabled () then begin
+    let obj = state_obj net prev.pfx in
+    Obs.Probe.read ~obj ~site:"engine.resume";
+    Obs.Probe.write ~obj ~site:"engine.install-warm"
+  end;
   let st =
     {
       pfx = prev.pfx;

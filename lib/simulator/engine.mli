@@ -82,6 +82,11 @@ val same_state : state -> state -> bool
 
 val prefix : state -> Prefix.t
 
+val generation : state -> int
+(** The {!Net.generation} the state was computed at — the warm-resume
+    gate, exposed so [Analysis.Audit] can cross-check a state against
+    the live net before comparing offsets. *)
+
 val outcome : state -> outcome
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -147,3 +147,13 @@ let rattr (r : Rattr.t) =
       if RattrTbl.length tbl >= table_cap then RattrTbl.reset tbl;
       RattrTbl.add tbl r r;
       r
+
+type stats = { paths : int; prepends : int; hashes : int; rattrs : int }
+
+let stats () =
+  {
+    paths = Tbl.length (Domain.DLS.get paths_key);
+    prepends = PrependTbl.length (Domain.DLS.get prepends_key);
+    hashes = Tbl.length (Domain.DLS.get hashes_key);
+    rattrs = RattrTbl.length (Domain.DLS.get rattrs_key);
+  }

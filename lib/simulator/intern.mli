@@ -31,3 +31,12 @@ val rattr : Rattr.t -> Rattr.t
     across the runs of a domain); per-import candidates are better left
     plain — they rarely repeat, and the table probe was measured at
     20-35 % of engine throughput.  Never pass {!Rattr.no_route}. *)
+
+type stats = { paths : int; prepends : int; hashes : int; rattrs : int }
+(** Fill of the {e current domain's} tables. *)
+
+val stats : unit -> stats
+
+val table_cap : int
+(** Per-table entry cap; a table is reset (not grown) past it, so
+    [Analysis.Audit] asserts every fill stays [<= table_cap]. *)

@@ -73,6 +73,10 @@ type csr = {
 }
 
 type t = {
+  uid : int;  (* process-unique; names the Obs.Probe shared objects *)
+  o_structure : string;  (* probe object: nodes/sessions/global knobs *)
+  o_policy : string;  (* probe object: per-prefix policy tables *)
+  o_csr : string;  (* probe object: the csr_cache Atomic (benign) *)
   nodes : node Vec.t;
   by_as : (Asn.t, int list ref) Hashtbl.t;  (* node ids, reverse order *)
   mutable export_ok : learned_class:int -> to_class:int -> bool;
@@ -112,8 +116,15 @@ let dummy_session =
 let dummy_node =
   { asn = 0; ip = Ipv4.of_int 0; sessions = Vec.create dummy_session }
 
+let next_uid = Atomic.make 0
+
 let create () =
+  let uid = Atomic.fetch_and_add next_uid 1 in
   {
+    uid;
+    o_structure = Printf.sprintf "net#%d/structure" uid;
+    o_policy = Printf.sprintf "net#%d/policy" uid;
+    o_csr = Printf.sprintf "net#%d/csr" uid;
     nodes = Vec.create dummy_node;
     by_as = Hashtbl.create 256;
     export_ok = (fun ~learned_class:_ ~to_class:_ -> true);
@@ -146,14 +157,26 @@ let set_mutation_hook h = mutation_hook := h
 let bump_generation t = t.generation <- t.generation + 1
 
 let notify_structural t rule =
+  Obs.Probe.write ~obj:t.o_structure ~site:rule;
   match !mutation_hook with
   | None -> ()
   | Some f -> f t (Structural { rule; generation = t.generation })
 
 let notify_policy t rule p node =
+  Obs.Probe.write ~obj:t.o_policy ~site:rule;
   match !mutation_hook with
   | None -> ()
   | Some f -> f t (Policy { rule; prefix = p; node })
+
+(* Read-side probes: the engine (and any other reader that walks the
+   structure or the policy tables for a whole run) records one read
+   per object per run, so a mutation that is not ordered after the
+   run by a Pool join or executor hand-off surfaces as a race. *)
+let probe_read t ~site =
+  Obs.Probe.read ~obj:t.o_structure ~site;
+  Obs.Probe.read ~obj:t.o_policy ~site
+
+let probe_name t = Printf.sprintf "net#%d" t.uid
 
 let note_touched t p n =
   let set =
@@ -307,10 +330,17 @@ let build_csr t =
   }
 
 let csr t =
+  (* Both the cached-generation check and a rebuild read the live
+     structure; the publish into the Atomic is the one declared benign
+     race (immutable value, any winner equivalent) — it is probed as a
+     write on the csr object so the detector sees it and the allowlist,
+     not blindness, suppresses it. *)
+  Obs.Probe.read ~obj:t.o_structure ~site:"net.csr";
   match Atomic.get t.csr_cache with
   | Some c when c.c_gen = t.generation -> c
   | _ ->
       let c = build_csr t in
+      Obs.Probe.write ~obj:t.o_csr ~site:"net.csr-publish";
       Atomic.set t.csr_cache (Some c);
       c
 
@@ -326,6 +356,8 @@ module Csr = struct
   type nonrec t = csr
 
   let no_lpref = min_int
+
+  let generation c = c.c_gen
 
   let node_count c = Array.length c.c_asn
 
@@ -680,4 +712,13 @@ module Unsafe = struct
     match Hashtbl.find_opt t.by_as (asn_of t n) with
     | Some l -> l := List.filter (fun id -> id <> n) !l
     | None -> ()
+
+  (* Seeded-race negative control: run [f t] on a freshly spawned
+     domain with NO synchronization edge published to the probe layer
+     — the Domain.join below really orders the mutation, but the
+     detector is only told what the probes tell it, so a happens-before
+     checker must flag the access and the ownership checker must see a
+     second mutating domain.  A detector that stays silent here is
+     broken. *)
+  let from_foreign_domain t f = Domain.join (Domain.spawn (fun () -> f t))
 end

@@ -105,6 +105,10 @@ val session_info : t -> int -> int -> session_info
 module Csr : sig
   type t
 
+  val generation : t -> int
+  (** The {!Net.generation} the index was built at — equal to the
+      net's current generation iff the index is current. *)
+
   val node_count : t -> int
 
   val slot_count : t -> int
@@ -339,6 +343,18 @@ val set_mutation_hook : (t -> mutation -> unit) option -> unit
     must not itself mutate the net.  [duplicate_node] reports a single
     [add-node] event — it performs one generation bump. *)
 
+val probe_read : t -> site:string -> unit
+(** Record a read-side access to the net's structure and policy
+    objects with {!Obs.Probe} — the engine calls it once per run, so
+    under [RD_CHECK=race] a mutation unordered with the run is a race
+    finding.  Mutators probe the write side themselves; with no probe
+    hook installed this is two loads and branches. *)
+
+val probe_name : t -> string
+(** The net's probe-object name prefix ([net#N]) — shared-object names
+    derived from a net (engine states, journals) build on it so race
+    findings group by net. *)
+
 val pp_summary : Format.formatter -> t -> unit
 
 (** {2 Deliberate corruption — test helper}
@@ -366,4 +382,12 @@ module Unsafe : sig
 
   val detach_from_as : t -> int -> unit
   (** Remove a node from its AS's [nodes_of_as] list. *)
+
+  val from_foreign_domain : t -> (t -> unit) -> unit
+  (** [from_foreign_domain t f] runs [f t] on a freshly spawned domain
+      with no synchronization edge published to {!Obs.Probe} — the
+      seeded-race negative control: under [RD_CHECK=race] a mutation
+      inside [f] must be reported as a race, and under [RD_CHECK=on]
+      as a cross-domain ownership violation.  Joins before
+      returning. *)
 end

@@ -35,6 +35,13 @@ let batch_depth = Atomic.make 0
 
 let batch_active () = Atomic.get batch_depth > 0
 
+(* Batch ids name the per-worker happens-before channels published to
+   Obs.Probe: the spawning domain releases its history before each
+   Domain.spawn and re-acquires the worker's after each Domain.join,
+   mirroring the real ordering those operations provide.  Channels are
+   per (batch, worker) so edges never leak between batches. *)
+let batch_uid = Atomic.make 0
+
 let pp_task_error ppf e =
   Format.fprintf ppf "task %d: %s" e.index (Printexc.to_string e.exn)
 
@@ -112,9 +119,23 @@ let map_result ?jobs ?chunk ?on_recover ?on_slot f l =
             done
         done
       in
-      let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      let probing = Obs.Probe.enabled () in
+      let bid = if probing then Atomic.fetch_and_add batch_uid 1 else 0 in
+      let chan k dir = Printf.sprintf "pool.%d.%d.%s" bid k dir in
+      let domains =
+        List.init (jobs - 1) (fun k ->
+            if probing then Obs.Probe.release ~chan:(chan k "spawn");
+            Domain.spawn (fun () ->
+                if probing then Obs.Probe.acquire ~chan:(chan k "spawn");
+                worker ();
+                if probing then Obs.Probe.release ~chan:(chan k "join")))
+      in
       worker ();
-      List.iter Domain.join domains
+      List.iteri
+        (fun k d ->
+          Domain.join d;
+          if probing then Obs.Probe.acquire ~chan:(chan k "join"))
+        domains
     end;
     (* One sequential retry for every failed slot, after all domains
        have joined: rules out Domain-interaction effects and recovers

@@ -14,15 +14,17 @@ module Warm_mode = struct
 end
 
 module Check_mode = struct
-  type t = Off | On
+  type t = Off | On | Race
 
-  let to_string = function Off -> "off" | On -> "on"
+  let to_string = function Off -> "off" | On -> "on" | Race -> "race"
 
   let parse s =
     match String.lowercase_ascii (String.trim s) with
     | "" | "off" | "0" | "false" -> Ok Off
     | "on" | "1" | "true" -> Ok On
-    | other -> Error (Printf.sprintf "bad check mode %S (want on|off)" other)
+    | "race" | "hb" -> Ok Race
+    | other ->
+        Error (Printf.sprintf "bad check mode %S (want off|on|race)" other)
 end
 
 module Fault = struct

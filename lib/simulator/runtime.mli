@@ -27,12 +27,16 @@ module Warm_mode : sig
   val to_string : t -> string
 end
 
-(** Mutation-discipline checking mode (see [Analysis.Ownership]). *)
+(** Mutation-discipline checking mode (see [Analysis.Ownership]).
+    [Race] is a strict superset of [On]: ownership auditing plus the
+    happens-before race detector of [Analysis.Race], fed by the
+    {!Obs.Probe} instrumentation points. *)
 module Check_mode : sig
-  type t = Off | On
+  type t = Off | On | Race
 
   val parse : string -> (t, string) result
-  (** Accepts [off]/[0]/[false]/empty and [on]/[1]/[true]. *)
+  (** Accepts [off]/[0]/[false]/empty, [on]/[1]/[true] and
+      [race]/[hb]. *)
 
   val to_string : t -> string
 end

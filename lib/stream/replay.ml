@@ -97,6 +97,10 @@ type acc = {
 
 type t = {
   model : Qrmodel.t;
+  o_journal : string;
+      (* probe-object name of the journal/driver tables: under
+         RD_CHECK=race every journal mutation is recorded, so a driver
+         shared across domains without ordering is a race finding *)
   jobs : int option;
   mode : Runtime.Warm_mode.t;
   states : Engine.state Prefix.Table.t;
@@ -189,12 +193,17 @@ let persist t =
     p_quarantine = quarantined t;
   }
 
+let replay_uid = Atomic.make 0
+
 let create ?jobs ?mode ?states:seed ?resume (model : Qrmodel.t) =
   let mode = match mode with Some m -> m | None -> Runtime.warm () in
   let net = model.Qrmodel.net in
   let t =
     {
       model;
+      o_journal =
+        Printf.sprintf "%s/journal#%d" (Net.probe_name net)
+          (Atomic.fetch_and_add replay_uid 1);
       jobs;
       mode;
       states = Prefix.Table.create 64;
@@ -297,6 +306,7 @@ let dedup_prefixes ps =
    too, or routes would leak through a failed link. *)
 let extend_downs t p =
   let net = t.model.Qrmodel.net in
+  Obs.Probe.write ~obj:t.o_journal ~site:"replay.journal";
   Hashtbl.iter
     (fun _ d ->
       List.iter
@@ -334,6 +344,7 @@ let bring_down t key halfs =
   if Hashtbl.mem t.downs key || halfs = [] then []
   else begin
     let net = t.model.Qrmodel.net in
+    Obs.Probe.write ~obj:t.o_journal ~site:"replay.journal";
     let d = { halfs; added = [] } in
     List.iter
       (fun (n, s) ->
@@ -355,6 +366,7 @@ let bring_up t key =
   | None -> [] (* restore of something not down: no-op *)
   | Some d ->
       let net = t.model.Qrmodel.net in
+      Obs.Probe.write ~obj:t.o_journal ~site:"replay.journal";
       List.iter
         (fun (n, s, p) ->
           Net.allow_export net n s p;
@@ -616,6 +628,7 @@ let rollback_net t =
      driver's own tables are left inconsistent on purpose — after a
      rollback it must be discarded, only the shared net matters. *)
   let net = t.model.Qrmodel.net in
+  Obs.Probe.write ~obj:t.o_journal ~site:"replay.rollback";
   List.iter
     (function
       | Jdeny (n, s, p) -> Net.allow_export net n s p

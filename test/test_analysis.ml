@@ -312,6 +312,245 @@ let refine_clean_under_check () =
       let report = Lint.check m in
       check_int "no findings" 0 (List.length (Report.findings report)))
 
+(* -- happens-before race detector (RD_CHECK=race) --------------------- *)
+
+module Race = Analysis.Race
+module Audit = Analysis.Audit
+module Engine = Simulator.Engine
+
+let with_race f =
+  let prior = Ownership.current () in
+  Ownership.reset ();
+  Race.reset ();
+  Ownership.set Ownership.Race;
+  Fun.protect
+    ~finally:(fun () ->
+      Ownership.set prior;
+      Ownership.reset ();
+      Race.reset ())
+    f
+
+(* Raw Domain.spawn/join with the ordering edges published to the
+   probe, mirroring what Pool does — so a test can run code in another
+   domain without manufacturing a false race. *)
+let sync_uid = ref 0
+
+let spawn_ordered f =
+  incr sync_uid;
+  let chan = Printf.sprintf "test.sync.%d" !sync_uid in
+  Obs.Probe.release ~chan:(chan ^ ".spawn");
+  let d =
+    Domain.spawn (fun () ->
+        Obs.Probe.acquire ~chan:(chan ^ ".spawn");
+        let r = f () in
+        Obs.Probe.release ~chan:(chan ^ ".join");
+        r)
+  in
+  (d, chan)
+
+let join_ordered (d, chan) =
+  let r = Domain.join d in
+  Obs.Probe.acquire ~chan:(chan ^ ".join");
+  r
+
+(* Satellite: the seeded-race negative control.  A mutation from a
+   foreign domain with no sync edge must fire the detector under
+   [race]... *)
+let seeded_race_detected () =
+  with_race (fun () ->
+      let net, a, b = two_nodes () in
+      let p = Asn.origin_prefix 2 in
+      let s = session net a b in
+      Net.deny_export net a s p;
+      check_int "no race from the owning domain" 0 (Race.race_count ());
+      Net.Unsafe.from_foreign_domain net (fun net ->
+          Net.set_import_med net a s p 7);
+      check_bool "foreign mutation detected" true (Race.race_count () > 0);
+      (match Race.races () with
+      | [] -> Alcotest.fail "no race recorded"
+      | r :: _ ->
+          check_bool "write conflict" true
+            (r.Race.conflict = "write-write" || r.Race.conflict = "read-write");
+          check_bool "two domains involved" true
+            (r.Race.prior.Race.domain <> r.Race.current.Race.domain));
+      check_int "findings mirror races" (Race.race_count ())
+        (List.length (Race.findings ())))
+
+(* ...and the ownership checker must catch the same helper under [on]. *)
+let seeded_race_ownership () =
+  with_checker (fun () ->
+      let net, a, b = two_nodes () in
+      let p = Asn.origin_prefix 2 in
+      let s = session net a b in
+      Net.set_import_med net a s p 1;
+      check_int "owner mutation clean" 0 (Ownership.violation_count ());
+      Net.Unsafe.from_foreign_domain net (fun net ->
+          Net.set_import_med net a s p 9);
+      check_bool "cross-domain ownership violation" true
+        (List.exists
+           (fun v ->
+             String.length v.Ownership.detail >= 12
+             && String.sub v.Ownership.detail 0 12 = "cross-domain")
+           (Ownership.violations ())))
+
+(* Pool-ordered cross-domain work is exactly what the published edges
+   legitimize: a parallel simulation batch must be silent. *)
+let pool_clean_under_race () =
+  with_race (fun () ->
+      let m = triangle_model () in
+      let net = m.Qrmodel.net in
+      let prefixes = List.map fst m.Qrmodel.prefixes in
+      let states, _ =
+        Pool.simulate ~jobs:4
+          ~sim:(fun p ->
+            Engine.simulate net ~prefix:p
+              ~originators:(Qrmodel.originators m p))
+          prefixes
+      in
+      check_int "batch raced nothing" 0 (Race.race_count ());
+      check_int "all prefixes simulated" (List.length prefixes)
+        (List.length states);
+      (* A second batch reuses worker slots: the join edges must carry
+         the first batch's history forward. *)
+      let _ =
+        Pool.simulate ~jobs:4
+          ~sim:(fun p ->
+            Engine.simulate net ~prefix:p
+              ~originators:(Qrmodel.originators m p))
+          prefixes
+      in
+      check_int "second batch clean too" 0 (Race.race_count ()))
+
+(* Satellite: two domains racing the same-generation CSR rebuild must
+   publish equivalent structures and zero findings (the one declared
+   benign publish race). *)
+let concurrent_csr_rebuild () =
+  with_race (fun () ->
+      let net, _, _ = two_nodes () in
+      let gate = Atomic.make 0 in
+      let worker () =
+        Atomic.incr gate;
+        while Atomic.get gate < 2 do
+          Domain.cpu_relax ()
+        done;
+        Net.csr net
+      in
+      let h1 = spawn_ordered worker in
+      let h2 = spawn_ordered worker in
+      let c1 = join_ordered h1 in
+      let c2 = join_ordered h2 in
+      check_bool "same generation" true
+        (Net.Csr.generation c1 = Net.Csr.generation c2);
+      check_bool "bit-identical structures" true
+        (c1 == c2
+        || (Net.Csr.off c1 = Net.Csr.off c2
+           && Net.Csr.peer c1 = Net.Csr.peer c2
+           && Net.Csr.rev c1 = Net.Csr.rev c2
+           && Net.Csr.reverse_local c1 = Net.Csr.reverse_local c2
+           && Net.Csr.kinds c1 = Net.Csr.kinds c2
+           && Net.Csr.classes c1 = Net.Csr.classes c2
+           && Net.Csr.lprefs c1 = Net.Csr.lprefs c2
+           && Net.Csr.carries c1 = Net.Csr.carries c2
+           && Net.Csr.rr_clients c1 = Net.Csr.rr_clients c2
+           && Net.Csr.asns c1 = Net.Csr.asns c2
+           && Net.Csr.ips c1 = Net.Csr.ips c2));
+      check_int "zero race findings" 0 (Race.race_count ());
+      (* the winner is now cached for everyone *)
+      let c3 = Net.csr net in
+      check_bool "one structure published" true (c3 == c1 || c3 == c2))
+
+(* The allowlist suppresses declared objects and nothing else. *)
+let allowlist_benign () =
+  with_race (fun () ->
+      let hit obj site =
+        let d = Domain.spawn (fun () -> Obs.Probe.write ~obj ~site) in
+        Domain.join d
+      in
+      hit "test#0/csr" "w1";
+      hit "test#0/csr" "w2";
+      check_int "declared object suppressed" 0 (Race.race_count ());
+      check_bool "suppression counted" true (Race.benign_count () >= 1);
+      hit "test#0/slab" "w3";
+      hit "test#0/slab" "w4";
+      check_bool "undeclared object reported" true (Race.race_count () >= 1))
+
+(* -- structural audit -------------------------------------------------- *)
+
+let audit_clean () =
+  let m = triangle_model () in
+  let net = m.Qrmodel.net in
+  check_int "csr audit clean" 0 (List.length (Audit.csr net));
+  List.iter
+    (fun (p, _) ->
+      let st = Qrmodel.simulate m p in
+      check_bool "converged" true (Engine.converged st);
+      check_int "state audit clean" 0 (List.length (Audit.state net st)))
+    m.Qrmodel.prefixes;
+  check_int "intern audit clean" 0 (List.length (Audit.intern_integrity ()))
+
+let audit_catches_corruption () =
+  let net, a, b = two_nodes () in
+  ignore (Net.csr net);
+  (* Corrupt the live record under the cached index: the cross-check
+     must notice the disagreement without a generation bump. *)
+  Net.Unsafe.set_peer_session net a (session net a b) 7;
+  let fs = Audit.csr net in
+  check_bool "corruption surfaces" true
+    (List.exists
+       (fun f ->
+         f.Report.rule = "audit-csr-slot" || f.Report.rule = "audit-csr-rev")
+       fs)
+
+let audit_stale_state () =
+  let m = triangle_model () in
+  let net = m.Qrmodel.net in
+  let p = fst (List.hd m.Qrmodel.prefixes) in
+  let st = Qrmodel.simulate m p in
+  (* A structural mutation invalidates the state: the audit must warn
+     and stand down rather than compare stale offsets. *)
+  let x = Net.add_node net ~asn:99 ~ip:(Asn.router_ip 99 0) in
+  ignore x;
+  let fs = Audit.state net st in
+  check_bool "stale state warned" true
+    (List.exists (fun f -> f.Report.rule = "audit-stale-state") fs);
+  check_bool "only the warning" true
+    (List.for_all (fun f -> f.Report.severity = Report.Warn) fs)
+
+(* -- sentinel source lint ---------------------------------------------- *)
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let sentinel_lint_seeded () =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sentinel_lint_%d" (Unix.getpid ()))
+  in
+  (try Unix.mkdir dir 0o700 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  write_file (Filename.concat dir "bad.ml")
+    "let bad r = r = Rattr.no_route\n\
+     let also_bad r = Rattr.no_route <> r\n\
+     let fine r = r == Rattr.no_route\n\
+     let fine2 r = r != no_route\n\
+     (* comment: no_route = masked *)\n\
+     let s = \"no_route = masked too\"\n\
+     let no_route = 3\n";
+  let fs = Audit.sentinel_lint ~root:dir () in
+  check_int "both structural compares flagged" 2 (List.length fs);
+  List.iter
+    (fun f -> check_bool "rule" true (f.Report.rule = "sentinel-compare"))
+    fs;
+  Sys.remove (Filename.concat dir "bad.ml");
+  (try Unix.rmdir dir with Unix.Unix_error (_, _, _) -> ())
+
+let sentinel_lint_real_sources () =
+  (* The simulator sources themselves must be clean; when the walk-up
+     cannot find them (installed test binary) the lint returns []. *)
+  check_int "lib/simulator clean" 0 (List.length (Audit.sentinel_lint ()))
+
 let suite =
   [
     Alcotest.test_case "report structure" `Quick report_structure;
@@ -336,4 +575,14 @@ let suite =
     Alcotest.test_case "generation bookkeeping" `Quick generation_bookkeeping;
     Alcotest.test_case "cross domain mutation" `Quick cross_domain_mutation;
     Alcotest.test_case "refine clean under check" `Quick refine_clean_under_check;
+    Alcotest.test_case "seeded race detected" `Quick seeded_race_detected;
+    Alcotest.test_case "seeded race ownership" `Quick seeded_race_ownership;
+    Alcotest.test_case "pool clean under race" `Quick pool_clean_under_race;
+    Alcotest.test_case "concurrent csr rebuild" `Quick concurrent_csr_rebuild;
+    Alcotest.test_case "allowlist benign" `Quick allowlist_benign;
+    Alcotest.test_case "audit clean" `Quick audit_clean;
+    Alcotest.test_case "audit catches corruption" `Quick audit_catches_corruption;
+    Alcotest.test_case "audit stale state" `Quick audit_stale_state;
+    Alcotest.test_case "sentinel lint seeded" `Quick sentinel_lint_seeded;
+    Alcotest.test_case "sentinel lint real sources" `Quick sentinel_lint_real_sources;
   ]
