@@ -15,6 +15,11 @@
      --scale-only  only run the SCALE flat-vs-reference engine experiment
      --scale-ases N  AS count of the SCALE world (>= 50; default 5000,
                      1500 with --quick)
+     --topo-only   only run the TOPO topology-fidelity battery across
+                     generator families (graph-level, fast CI path)
+     --topo-ases N   AS count of the TOPO worlds (>= 50; default 500)
+     --robust-only only run the R1 family x seed refiner-robustness matrix
+     --robust-ases N AS count of the R1 worlds (>= 50; default 500)
      --json FILE   machine-readable results (default: BENCH.json)
      --sweep       add the accuracy-vs-vantage-points sweep (slow)
      --no-micro    skip the bechamel micro-benchmarks
@@ -380,46 +385,106 @@ let experiment_ablations conf =
          ])
        [ full; single; nomed; lpref ])
 
-let experiment_robustness base_conf =
-  (* The headline metrics across several world seeds: the shape claims
-     should not depend on one lucky seed. *)
-  section "R1" "seed robustness of the headline metrics";
-  let rows =
+let battery_families =
+  [
+    Netgen.Family.Paper;
+    Netgen.Family.Waxman Netgen.Family.default_waxman;
+    Netgen.Family.Glp Netgen.Family.default_glp;
+    Netgen.Family.Fattree Netgen.Family.default_fattree;
+  ]
+
+let experiment_robustness ~ases =
+  (* The headline metrics across generator families *and* world seeds:
+     the shape claims should depend neither on one lucky seed nor on
+     the structure of one synthetic family.  Every run must converge
+     with an empty quarantine; the battery column scores each world
+     against the paper-family world of the same seed. *)
+  section "R1" "refiner robustness across generator families and seeds";
+  let seeds = [ 42; 1001; 31337 ] in
+  let conf_of family seed =
+    { (Netgen.Conf.sized ases) with Netgen.Conf.seed = seed; family }
+  in
+  let paper_summaries =
     List.map
       (fun seed ->
-        let conf = { base_conf with Netgen.Conf.seed } in
-        let world = Netgen.Groundtruth.build conf in
-        let data = Netgen.Groundtruth.observe world in
-        let prepared = Core.prepare data in
-        let splits = Core.split ~seed:7 prepared in
-        let result =
-          time
-            (Printf.sprintf "seed %d" seed)
-            (fun () ->
-              Core.build
-                ~options:
-                  { Refine.Refiner.default_options with max_iterations = Some 16 }
-                prepared ~training:splits.Evaluation.Split.training)
+        let conf = conf_of Netgen.Family.Paper seed in
+        let topo =
+          Netgen.generate Netgen.Family.Paper conf (Random.State.make [| seed |])
         in
-        let prediction =
-          Core.evaluate result ~validation:splits.Evaluation.Split.validation
-        in
-        [
-          string_of_int seed;
-          Printf.sprintf "%.1f%%"
-            (pct result.Refine.Refiner.matched result.Refine.Refiner.total);
-          string_of_int result.Refine.Refiner.iterations;
-          Printf.sprintf "%.1f%%"
-            (100.0 *. Evaluation.Predict.exact_fraction prediction);
-          Printf.sprintf "%.1f%%"
-            (100.0 *. Evaluation.Predict.down_to_tie_break_fraction prediction);
-          Printf.sprintf "%.1f%%"
-            (100.0 *. Evaluation.Predict.rib_in_fraction prediction);
-        ])
-      [ 42; 1001; 31337 ]
+        (seed, Analysis.Topometrics.summarize (Netgen.Gentopo.as_graph topo)))
+      seeds
+  in
+  let rows =
+    List.concat_map
+      (fun family ->
+        List.map
+          (fun seed ->
+            let conf = conf_of family seed in
+            let world = Netgen.Groundtruth.build conf in
+            let data = Netgen.Groundtruth.observe world in
+            let prepared = Core.prepare data in
+            let splits = Core.split ~seed:7 prepared in
+            let result =
+              time
+                (Printf.sprintf "%s seed %d" (Netgen.Family.name family) seed)
+                (fun () ->
+                  (* The quasi-router cap keeps hub-heavy families
+                     tractable: on origin-collapsed data a GLP hub AS
+                     would otherwise absorb hundreds of duplicates, and
+                     every duplicate joins its AS's full iBGP mesh —
+                     quadratic session growth, tens of GB per cell.  The
+                     paper's Figure 8 shows real ASes need few
+                     quasi-routers; 16 is generous. *)
+                  Core.build
+                    ~options:
+                      {
+                        Refine.Refiner.default_options with
+                        max_iterations = Some 16;
+                        max_quasi_routers = 16;
+                      }
+                    prepared ~training:splits.Evaluation.Split.training)
+            in
+            let prediction =
+              Core.evaluate result ~validation:splits.Evaluation.Split.validation
+            in
+            let score =
+              let s =
+                Analysis.Topometrics.summarize
+                  (Netgen.Gentopo.as_graph world.Netgen.Groundtruth.topo)
+              in
+              (Analysis.Topometrics.compare (List.assoc seed paper_summaries) s)
+                .Analysis.Topometrics.score
+            in
+            [
+              Netgen.Family.name family;
+              string_of_int seed;
+              Printf.sprintf "%.1f%%"
+                (pct result.Refine.Refiner.matched result.Refine.Refiner.total);
+              string_of_int result.Refine.Refiner.iterations;
+              Printf.sprintf "%.1f%%"
+                (100.0 *. Evaluation.Predict.exact_fraction prediction);
+              Printf.sprintf "%.1f%%"
+                (100.0
+                *. Evaluation.Predict.down_to_tie_break_fraction prediction);
+              string_of_int result.Refine.Refiner.quarantined_prefixes;
+              Printf.sprintf "%.3f" score;
+            ]
+            |> fun row ->
+            (* A refined 500-AS world (states table, duplicated
+               quasi-routers, policy tables) holds gigabytes; without a
+               compaction between cells the matrix accumulates every
+               cell's dead heap as unreturned RSS. *)
+            Gc.compact ();
+            row)
+          seeds)
+      battery_families
   in
   Evaluation.Report.table std
-    ~header:[ "seed"; "train"; "iters"; "exact"; "tie-break"; "rib-in" ]
+    ~header:
+      [
+        "family"; "seed"; "train"; "iters"; "exact"; "tie-break"; "quar";
+        "battery";
+      ]
     rows
 
 let experiment_parallel prepared =
@@ -1156,7 +1221,104 @@ let experiment_churn prepared =
         warm.Stream.Replay.classes;
   }
 
+(* ------------------------------------------------------------------ *)
+(* §TOPO: the topology-fidelity battery across generator families      *)
+(* ------------------------------------------------------------------ *)
+
+(* [time] plus the wall-clock as a value. *)
+let timed label f =
+  let t0 = Unix.gettimeofday () in
+  let r = time label f in
+  (r, Unix.gettimeofday () -. t0)
+
+type topo_family_row = {
+  tf_family : string;
+  tf_gen_wall_s : float;
+  tf_nodes : int;
+  tf_edges : int;
+  tf_score : float;  (** battery similarity vs the paper family *)
+}
+
+type topo_report = {
+  topo_ases : int;
+  topo_self_similarity : float;
+      (** paper world compared against itself; the CI gate requires
+          exactly 1.0. *)
+  topo_battery_wall_s : float;  (** one battery pass on the paper world *)
+  topo_families : topo_family_row list;
+}
+
+let experiment_topo ~ases ~seed =
+  section "TOPO" "topology-fidelity battery across generator families";
+  let conf = { (Netgen.Conf.sized ases) with Netgen.Conf.seed = seed } in
+  let topo_of family =
+    timed
+      (Printf.sprintf "generate %s" (Netgen.Family.name family))
+      (fun () -> Netgen.generate family conf (Random.State.make [| seed |]))
+  in
+  let summarize g = Analysis.Topometrics.summarize g in
+  let paper_topo, paper_wall = topo_of Netgen.Family.Paper in
+  let paper_graph = Netgen.Gentopo.as_graph paper_topo in
+  let paper_sum, battery_wall =
+    timed "battery (paper)" (fun () -> summarize paper_graph)
+  in
+  let self_similarity =
+    (Analysis.Topometrics.compare paper_sum paper_sum).Analysis.Topometrics
+      .score
+  in
+  Format.printf "paper   %a@." Analysis.Topometrics.pp_summary paper_sum;
+  let rows =
+    {
+      tf_family = Netgen.Family.name Netgen.Family.Paper;
+      tf_gen_wall_s = paper_wall;
+      tf_nodes = Analysis.Topometrics.(paper_sum.nodes);
+      tf_edges = Analysis.Topometrics.(paper_sum.edges);
+      tf_score = 1.0;
+    }
+    :: List.filter_map
+         (fun family ->
+           if family = Netgen.Family.Paper then None
+           else begin
+             let topo, wall = topo_of family in
+             let s = summarize (Netgen.Gentopo.as_graph topo) in
+             Format.printf "%-7s %a@." (Netgen.Family.name family)
+               Analysis.Topometrics.pp_summary s;
+             Some
+               {
+                 tf_family = Netgen.Family.name family;
+                 tf_gen_wall_s = wall;
+                 tf_nodes = Analysis.Topometrics.(s.nodes);
+                 tf_edges = Analysis.Topometrics.(s.edges);
+                 tf_score =
+                   (Analysis.Topometrics.compare paper_sum s)
+                     .Analysis.Topometrics.score;
+               }
+           end)
+         battery_families
+  in
+  Evaluation.Report.table std
+    ~header:[ "family"; "gen wall"; "nodes"; "edges"; "vs paper" ]
+    (List.map
+       (fun r ->
+         [
+           r.tf_family;
+           Printf.sprintf "%.0f ms" (r.tf_gen_wall_s *. 1000.0);
+           string_of_int r.tf_nodes;
+           string_of_int r.tf_edges;
+           Printf.sprintf "%.3f" r.tf_score;
+         ])
+       rows);
+  Format.printf "battery wall: %.3fs, paper self-similarity: %.3f@."
+    battery_wall self_similarity;
+  {
+    topo_ases = ases;
+    topo_self_similarity = self_similarity;
+    topo_battery_wall_s = battery_wall;
+    topo_families = rows;
+  }
+
 type scale_report = {
+  scale_family : string;
   scale_ases : int;
   scale_nodes : int;
   scale_sessions : int;
@@ -1207,12 +1369,6 @@ let peak_rss_kb () =
       let v = go 0 in
       close_in ic;
       v
-
-(* [time] plus the wall-clock as a value. *)
-let timed label f =
-  let t0 = Unix.gettimeofday () in
-  let r = time label f in
-  (r, Unix.gettimeofday () -. t0)
 
 let experiment_scale ~ases ~seed =
   (* The flat-slab engine at scale, against the frozen pre-rewrite
@@ -1402,6 +1558,7 @@ let experiment_scale ~ases ~seed =
           gc_minor_words gc_minor_collections gc_major_collections );
     ];
   {
+    scale_family = Netgen.Family.to_string conf.Netgen.Conf.family;
     scale_ases = ases;
     scale_nodes = nodes;
     scale_sessions = sessions;
@@ -1450,19 +1607,40 @@ let json_num f =
   else Printf.sprintf "%.6f" f
 
 let write_bench_json path ~scale ~seed ~jobs warm check obs serve churn
-    scale_rep =
+    scale_rep topo =
   let b = Buffer.create 4096 in
   let field k v = Printf.bprintf b "  %S: %s,\n" k v in
   Buffer.add_string b "{\n";
   field "scale" (json_num scale);
   field "seed" (string_of_int seed);
   field "jobs" (string_of_int jobs);
+  (match topo with
+  | None -> field "topo" "null"
+  | Some t ->
+      let fams =
+        String.concat ", "
+          (List.map
+             (fun r ->
+               Printf.sprintf
+                 "\"%s\": {\"gen_wall_s\": %.6f, \"nodes\": %d, \"edges\": \
+                  %d, \"score_vs_paper\": %.6f}"
+                 (json_escape r.tf_family) r.tf_gen_wall_s r.tf_nodes
+                 r.tf_edges r.tf_score)
+             t.topo_families)
+      in
+      field "topo"
+        (Printf.sprintf
+           "{\"ases\": %d, \"self_similarity\": %s, \"battery_wall_s\": \
+            %.3f, \"families\": {%s}}"
+           t.topo_ases (json_num t.topo_self_similarity)
+           t.topo_battery_wall_s fams));
   (match scale_rep with
   | None -> field "scale_world" "null"
   | Some s ->
       field "scale_world"
         (Printf.sprintf
-           "{\"ases\": %d, \"nodes\": %d, \"half_sessions\": %d, \
+           "{\"family\": \"%s\", \"ases\": %d, \"nodes\": %d, \
+            \"half_sessions\": %d, \
             \"prefixes\": %d, \"sampled_prefixes\": %d, \"build_s\": %.3f, \
             \"world_fingerprint\": %d, \
             \"reference\": {\"wall_s\": %.3f, \"events\": %d, \
@@ -1474,7 +1652,8 @@ let write_bench_json path ~scale ~seed ~jobs warm check obs serve churn
             \"peak_rss_kb\": %d, \
             \"gc\": {\"minor_words\": %.0f, \"promoted_words\": %.0f, \
             \"minor_collections\": %d, \"major_collections\": %d}}"
-           s.scale_ases s.scale_nodes s.scale_sessions s.scale_plan_prefixes
+           (json_escape s.scale_family) s.scale_ases s.scale_nodes
+           s.scale_sessions s.scale_plan_prefixes
            s.scale_sampled_prefixes s.scale_build_s s.scale_world_fp
            s.scale_ref_wall_s s.scale_ref_events s.scale_ref_events_per_sec
            s.scale_flat_wall_s s.scale_flat_events s.scale_flat_events_per_sec
@@ -1773,6 +1952,25 @@ let () =
   let serve_report = ref None in
   let churn_report = ref None in
   let scale_report = ref None in
+  let topo_report = ref None in
+  let topo_ases =
+    let raw = value "--topo-ases" "500" in
+    match int_of_string_opt raw with
+    | Some n when n >= 50 -> n
+    | Some _ | None ->
+        Printf.eprintf "bench: --topo-ases expects an integer >= 50, got %S\n"
+          raw;
+        exit 1
+  in
+  let robust_ases =
+    let raw = value "--robust-ases" "500" in
+    match int_of_string_opt raw with
+    | Some n when n >= 50 -> n
+    | Some _ | None ->
+        Printf.eprintf
+          "bench: --robust-ases expects an integer >= 50, got %S\n" raw;
+        exit 1
+  in
   let warm_and_check prepared =
     let warm = experiment_warm prepared in
     warm_report := Some warm;
@@ -1783,6 +1981,9 @@ let () =
   in
   if has "--scale-only" then
     scale_report := Some (experiment_scale ~ases:scale_ases ~seed)
+  else if has "--topo-only" then
+    topo_report := Some (experiment_topo ~ases:topo_ases ~seed)
+  else if has "--robust-only" then experiment_robustness ~ases:robust_ases
   else if has "--warm-only" then begin
     let _data, prepared = build_world () in
     warm_and_check prepared
@@ -1802,20 +2003,23 @@ let () =
     in
     experiment_ablations ablation_conf;
     experiment_faults ablation_conf;
-    experiment_robustness ablation_conf;
+    experiment_robustness ~ases:robust_ases;
     if has "--sweep" then experiment_sweep ablation_conf;
+    topo_report := Some (experiment_topo ~ases:topo_ases ~seed);
     scale_report := Some (experiment_scale ~ases:scale_ases ~seed)
   end;
   if
     (not (has "--no-micro"))
     && (not (has "--warm-only"))
-    && not (has "--scale-only")
+    && (not (has "--scale-only"))
+    && (not (has "--topo-only"))
+    && not (has "--robust-only")
   then micro ();
   write_bench_json
     (value "--json" "BENCH.json")
     ~scale ~seed
     ~jobs:(Simulator.Pool.default_jobs ())
     !warm_report !check_report !obs_report !serve_report !churn_report
-    !scale_report;
+    !scale_report !topo_report;
   Obs.Trace.flush std;
   Format.printf "@.[total: %.1fs]@." (Unix.gettimeofday () -. t_start)

@@ -228,15 +228,37 @@ let finish_obs ?(metrics = false) () =
 
 (* generate *)
 
-let generate seed scale ases binary out jobs faults trace =
+(* An unknown family or malformed parameter must fail the parse (exit
+   1), never fall back to the default family silently. *)
+let family_conv =
+  let parse s =
+    match Netgen.Family.of_string s with
+    | Ok f -> Ok f
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Netgen.Family.pp)
+
+let family_arg =
+  Arg.(
+    value
+    & opt family_conv Netgen.Family.Paper
+    & info [ "family" ] ~docv:"FAMILY[:K=V,..]"
+        ~doc:
+          (Printf.sprintf
+             "Generator family for the AS-level structure (default: \
+              $(b,paper)); the size flags stay family-agnostic.  Parameter \
+              syntax — %s.  Example: $(b,--family waxman:alpha=0.4,beta=0.2)."
+             (Netgen.Family.syntax_help ())))
+
+let generate seed family scale ases binary out jobs faults trace =
   init_runtime ();
   apply_jobs jobs;
   apply_faults faults;
   apply_trace trace;
   let conf =
     match ases with
-    | Some n -> { (Netgen.Conf.sized n) with Netgen.Conf.seed }
-    | None -> { (Netgen.Conf.scaled scale) with Netgen.Conf.seed }
+    | Some n -> { (Netgen.Conf.sized n) with Netgen.Conf.seed; family }
+    | None -> { (Netgen.Conf.scaled scale) with Netgen.Conf.seed; family }
   in
   Printf.eprintf "generating world: %s\n%!"
     (Format.asprintf "%a" Netgen.Conf.pp conf);
@@ -314,8 +336,113 @@ let generate_cmd =
     (Cmd.info "generate"
        ~doc:"Generate a synthetic world and write its observed table dumps.")
     Term.(
-      const generate $ seed_arg $ scale_arg $ ases_arg $ binary_arg $ out_arg
-      $ jobs_arg $ faults_arg $ trace_arg)
+      const generate $ seed_arg $ family_arg $ scale_arg $ ases_arg
+      $ binary_arg $ out_arg $ jobs_arg $ faults_arg $ trace_arg)
+
+(* topo-compare *)
+
+(* A world operand is either an existing dump file (its AS graph is
+   extracted from the observed paths) or a family spec (a synthetic
+   world is generated with the shared size/seed flags). *)
+let world_conv =
+  let parse s =
+    if Sys.file_exists s then Ok (`File s)
+    else
+      match Netgen.Family.of_string s with
+      | Ok f -> Ok (`Family f)
+      | Error msg ->
+          Error
+            (`Msg
+               (Printf.sprintf "%S is neither an existing dump file nor a \
+                                family spec (%s)"
+                  s msg))
+  in
+  let print ppf = function
+    | `File s -> Format.pp_print_string ppf s
+    | `Family f -> Netgen.Family.pp ppf f
+  in
+  Arg.conv (parse, print)
+
+let min_score_conv =
+  let parse s =
+    match float_of_string_opt (String.trim s) with
+    | Some f when f >= 0.0 && f <= 1.0 -> Ok f
+    | Some _ | None ->
+        Error (`Msg (Printf.sprintf "expected a score in [0,1], got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let topo_compare world_a world_b seed scale ases min_score =
+  init_runtime ();
+  let label = function
+    | `File path -> path
+    | `Family f -> Netgen.Family.to_string f
+  in
+  let graph_of = function
+    | `File path ->
+        let data = load_dataset path in
+        Topology.Extract.graph_of_paths (Rib.all_paths data)
+    | `Family family ->
+        let conf =
+          match ases with
+          | Some n -> { (Netgen.Conf.sized n) with Netgen.Conf.seed; family }
+          | None -> { (Netgen.Conf.scaled scale) with Netgen.Conf.seed; family }
+        in
+        let topo = Netgen.generate family conf (Random.State.make [| seed |]) in
+        Netgen.Gentopo.as_graph topo
+  in
+  let summary w =
+    let s = Analysis.Topometrics.summarize (graph_of w) in
+    Format.printf "%-10s %a@." (label w) Analysis.Topometrics.pp_summary s;
+    s
+  in
+  let sa = summary world_a in
+  let sb = summary world_b in
+  let report = Analysis.Topometrics.compare sa sb in
+  Format.printf "%a@." Analysis.Topometrics.pp_report report;
+  if report.Analysis.Topometrics.score < min_score then begin
+    Printf.eprintf "similarity %.3f below --min-score %.3f\n%!"
+      report.Analysis.Topometrics.score min_score;
+    4
+  end
+  else 0
+
+let world_a_arg =
+  Arg.(
+    required
+    & pos 0 (some world_conv) None
+    & info [] ~docv:"WORLD_A"
+        ~doc:"First world: a dump file or a family spec (see $(b,--family)).")
+
+let world_b_arg =
+  Arg.(
+    required
+    & pos 1 (some world_conv) None
+    & info [] ~docv:"WORLD_B" ~doc:"Second world, same syntax.")
+
+let min_score_arg =
+  Arg.(
+    value
+    & opt min_score_conv 0.0
+    & info [ "min-score" ] ~docv:"F"
+        ~doc:
+          "Fail (exit 4) when the overall similarity score falls below \
+           $(docv), so CI can gate on topology fidelity.")
+
+let topo_compare_cmd =
+  Cmd.v
+    (Cmd.info "topo-compare"
+       ~doc:
+         (Printf.sprintf
+            "Run the topology-fidelity metric battery (degree CCDF, \
+             power-law fit, assortativity, clustering, rich-club, coreness, \
+             sampled betweenness, spectral distance) on two worlds and \
+             report per-metric and overall similarity.  Worlds are dump \
+             files or generated family specs; families — %s."
+            (Netgen.Family.syntax_help ())))
+    Term.(
+      const topo_compare $ world_a_arg $ world_b_arg $ seed_arg $ scale_arg
+      $ ases_arg $ min_score_arg)
 
 (* stats *)
 
@@ -1073,6 +1200,7 @@ let main_cmd =
           al., SIGCOMM 2006)")
     [
       generate_cmd;
+      topo_compare_cmd;
       stats_cmd;
       baseline_cmd;
       build_cmd;

@@ -1,4 +1,5 @@
 type t = {
+  family : Family.t;
   seed : int;
   n_tier1 : int;
   n_tier2 : int;
@@ -25,6 +26,7 @@ type t = {
 
 let default =
   {
+    family = Family.Paper;
     seed = 42;
     n_tier1 = 10;
     n_tier2 = 70;
@@ -106,6 +108,8 @@ let tiny =
 
 let pp ppf c =
   Format.fprintf ppf
-    "seed=%d ASes=%d+%d+%d+%d obs=%d peers(t2)=%.3f weird=%.2f selective=%.2f"
-    c.seed c.n_tier1 c.n_tier2 c.n_tier3 c.n_stub c.n_obs_ases
-    c.tier2_peer_prob c.weird_lpref_frac c.selective_announce_frac
+    "family=%s seed=%d ASes=%d+%d+%d+%d obs=%d peers(t2)=%.3f weird=%.2f \
+     selective=%.2f"
+    (Family.to_string c.family) c.seed c.n_tier1 c.n_tier2 c.n_tier3 c.n_stub
+    c.n_obs_ases c.tier2_peer_prob c.weird_lpref_frac
+    c.selective_announce_frac

@@ -8,6 +8,12 @@
     not follow customer/provider/peer conventions. *)
 
 type t = {
+  family : Family.t;
+      (** Generator family deciding the AS-level structure; every other
+          field is a family-agnostic size or policy knob.  Presets
+          ({!default}, {!scaled}, {!sized}, {!tiny}) all start from
+          {!Family.Paper}; override the field to keep the preset's
+          sizing on a different family. *)
   seed : int;
   n_tier1 : int;  (** ASes in the top clique (paper finds 10). *)
   n_tier2 : int;  (** national/large providers. *)

@@ -1,0 +1,161 @@
+type waxman_params = { alpha : float; beta : float }
+
+type glp_params = { m : int; p : float; beta : float }
+
+type fattree_params = { pods : int }
+
+type t =
+  | Paper
+  | Waxman of waxman_params
+  | Glp of glp_params
+  | Fattree of fattree_params
+
+let default_waxman = { alpha = 0.4; beta = 0.2 }
+
+(* Bu & Towsley's fitted GLP parameters, rounded. *)
+let default_glp = { m = 2; p = 0.47; beta = 0.64 }
+
+let default_fattree = { pods = 0 }
+
+let names = [ "paper"; "waxman"; "glp"; "fattree" ]
+
+let name = function
+  | Paper -> "paper"
+  | Waxman _ -> "waxman"
+  | Glp _ -> "glp"
+  | Fattree _ -> "fattree"
+
+(* Floats print with %g and reparse exactly for the few digits the
+   params carry, so [of_string (to_string f) = Ok f]. *)
+let to_string = function
+  | Paper -> "paper"
+  | Waxman { alpha; beta } -> Printf.sprintf "waxman:alpha=%g,beta=%g" alpha beta
+  | Glp { m; p; beta } -> Printf.sprintf "glp:m=%d,p=%g,beta=%g" m p beta
+  | Fattree { pods } ->
+      if pods = 0 then "fattree" else Printf.sprintf "fattree:pods=%d" pods
+
+let param_syntax =
+  [
+    ("paper", "no parameters (the tiered default world)");
+    ("waxman", "alpha=F (edge density, 0<F<=1), beta=F (distance decay, 0<F<=1)");
+    ("glp", "m=N (links per new AS, >=1), p=F (edge-vs-node step, 0<=F<1), \
+             beta=F (preference shift, <1)");
+    ("fattree", "pods=N (even, >=2; 0 or omitted sizes pods from the AS budget)");
+  ]
+
+let syntax_help () =
+  String.concat "; "
+    (List.map (fun (n, s) -> Printf.sprintf "%s: %s" n s) param_syntax)
+
+let ( let* ) = Result.bind
+
+let parse_params s =
+  (* "k=v,k=v" -> assoc list; duplicate keys are rejected. *)
+  if s = "" then Error "empty parameter list"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | kv :: rest -> (
+          match String.index_opt kv '=' with
+          | None -> Error (Printf.sprintf "bad parameter %S (want key=value)" kv)
+          | Some i ->
+              let k = String.sub kv 0 i
+              and v = String.sub kv (i + 1) (String.length kv - i - 1) in
+              if k = "" || v = "" then
+                Error (Printf.sprintf "bad parameter %S (want key=value)" kv)
+              else if List.mem_assoc k acc then
+                Error (Printf.sprintf "duplicate parameter %S" k)
+              else go ((k, v) :: acc) rest)
+    in
+    go [] (String.split_on_char ',' s)
+
+let float_param params key default ~check =
+  match List.assoc_opt key params with
+  | None -> Ok default
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some f when Float.is_finite f && check f -> Ok f
+      | Some _ | None ->
+          Error (Printf.sprintf "bad value %S for parameter %S" v key))
+
+let int_param params key default ~check =
+  match List.assoc_opt key params with
+  | None -> Ok default
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n when check n -> Ok n
+      | Some _ | None ->
+          Error (Printf.sprintf "bad value %S for parameter %S" v key))
+
+let reject_unknown params ~known ~family =
+  match List.find_opt (fun (k, _) -> not (List.mem k known)) params with
+  | Some (k, _) ->
+      Error
+        (Printf.sprintf "unknown parameter %S for family %s (known: %s)" k
+           family
+           (if known = [] then "none" else String.concat ", " known))
+  | None -> Ok ()
+
+let of_string s =
+  let s = String.trim s in
+  let fam, params_str =
+    match String.index_opt s ':' with
+    | None -> (s, None)
+    | Some i ->
+        ( String.sub s 0 i,
+          Some (String.sub s (i + 1) (String.length s - i - 1)) )
+  in
+  let with_params f =
+    match params_str with
+    | None -> f []
+    | Some ps ->
+        let* params = parse_params ps in
+        f params
+  in
+  match String.lowercase_ascii fam with
+  | "paper" ->
+      with_params (fun params ->
+          let* () = reject_unknown params ~known:[] ~family:"paper" in
+          Ok Paper)
+  | "waxman" ->
+      with_params (fun params ->
+          let* () =
+            reject_unknown params ~known:[ "alpha"; "beta" ] ~family:"waxman"
+          in
+          let* alpha =
+            float_param params "alpha" default_waxman.alpha ~check:(fun f ->
+                f > 0.0 && f <= 1.0)
+          in
+          let* beta =
+            float_param params "beta" default_waxman.beta ~check:(fun f ->
+                f > 0.0 && f <= 1.0)
+          in
+          Ok (Waxman { alpha; beta }))
+  | "glp" ->
+      with_params (fun params ->
+          let* () =
+            reject_unknown params ~known:[ "m"; "p"; "beta" ] ~family:"glp"
+          in
+          let* m = int_param params "m" default_glp.m ~check:(fun n -> n >= 1) in
+          let* p =
+            float_param params "p" default_glp.p ~check:(fun f ->
+                f >= 0.0 && f < 1.0)
+          in
+          let* beta =
+            float_param params "beta" default_glp.beta ~check:(fun f -> f < 1.0)
+          in
+          Ok (Glp { m; p; beta }))
+  | "fattree" ->
+      with_params (fun params ->
+          let* () = reject_unknown params ~known:[ "pods" ] ~family:"fattree" in
+          let* pods =
+            int_param params "pods" default_fattree.pods ~check:(fun n ->
+                n = 0 || (n >= 2 && n mod 2 = 0))
+          in
+          Ok (Fattree { pods }))
+  | other ->
+      Error
+        (Printf.sprintf "unknown generator family %S (one of: %s)" other
+           (String.concat ", " names))
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)

@@ -1,0 +1,63 @@
+(** Generator families behind one dispatcher type.
+
+    A family picks the AS-level structure of the synthetic world —
+    which ASes exist, how they connect, which Gao-Rexford relationship
+    each link carries — while {!Conf.t} stays a family-agnostic size
+    preset (AS budget, router ranges, policy knobs).  Every family
+    produces the same {!Gentopo.t} shape, so ground-truth construction,
+    the refiner, the query service and churn replay run unchanged on
+    any of them. *)
+
+type waxman_params = { alpha : float; beta : float }
+(** Waxman (1988) random geometric graph: ASes are placed on the
+    coordinate grid and each pair is linked with probability
+    [alpha * exp (-d / (beta * l))] where [d] is their distance and [l]
+    the grid diameter.  [alpha] scales overall edge density, [beta]
+    controls how sharply probability decays with distance. *)
+
+type glp_params = { m : int; p : float; beta : float }
+(** GLP (generalized linear preference, Bu & Towsley 2002) growth:
+    with probability [p] a step adds [m] edges between existing ASes,
+    otherwise it adds a new AS with [m] edges; either way endpoints are
+    drawn with probability proportional to [degree - beta].  [beta < 1]
+    shifts preference towards high-degree nodes, steepening the
+    power-law tail. *)
+
+type fattree_params = { pods : int }
+(** k-ary fattree (Al-Fares et al. 2008) recast as an AS hierarchy:
+    core switches become the tier-1 clique, aggregation switches
+    tier-2, edge switches tier-3, and the remaining AS budget hangs
+    off edge switches as stubs.  [pods = 0] derives the largest even
+    [k] whose switch count fits the configured AS budget. *)
+
+type t =
+  | Paper  (** The tiered default world modelled on the paper's §3. *)
+  | Waxman of waxman_params
+  | Glp of glp_params
+  | Fattree of fattree_params
+
+val default_waxman : waxman_params
+val default_glp : glp_params
+val default_fattree : fattree_params
+
+val names : string list
+(** Family names accepted by {!of_string}, in display order. *)
+
+val name : t -> string
+(** Family name without parameters, e.g. ["waxman"]. *)
+
+val to_string : t -> string
+(** Canonical [name:key=value,...] spelling; round-trips through
+    {!of_string}. *)
+
+val of_string : string -> (t, string) result
+(** Parses ["name"] or ["name:key=value,key=value"], e.g.
+    ["waxman:alpha=0.4,beta=0.2"].  Omitted parameters take the family
+    defaults; unknown families, unknown or duplicate keys, and
+    out-of-range values are errors (never a silent fallback). *)
+
+val syntax_help : unit -> string
+(** One line per family describing its parameter syntax, for [--help]
+    and error messages. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,11 +1,14 @@
 (** Synthetic AS- and router-level topologies.
 
-    Generates the structural half of the ground-truth world: a tiered AS
-    hierarchy (tier-1 clique, tier-2, tier-3, stubs) with multihoming,
-    peering and sibling links, several border routers per transit AS,
-    possibly several router-level links per AS adjacency, and router
-    coordinates from which IGP distances (hot-potato inputs) derive.
-    Everything is driven by the seed in {!Conf.t}. *)
+    Generates the structural half of the ground-truth world: an AS
+    graph with Gao-Rexford relationships, several border routers per
+    transit AS, possibly several router-level links per AS adjacency,
+    and router coordinates from which IGP distances (hot-potato
+    inputs) derive.  The AS-level structure comes from one of the
+    {!Family.t} generators — the paper's tiered hierarchy (tier-1
+    clique, tier-2, tier-3, stubs), Waxman geometric, GLP preferential
+    attachment, or a datacenter fattree — all realized into the same
+    [t] shape.  Everything is driven by the seed in {!Conf.t}. *)
 
 open Bgp
 
@@ -35,7 +38,23 @@ type t = {
           an AS is their Manhattan distance. *)
 }
 
+val of_family : Family.t -> Conf.t -> Random.State.t -> t
+(** [of_family family conf rng] generates a world of [family] using
+    [conf] purely as the size/policy preset ([conf.family] is ignored
+    and overwritten with [family] in the result, so provenance is
+    always what actually ran).  Non-paper families share one
+    realization pass: family code decides tiers and
+    relationship-labelled AS adjacencies; router counts, router-pair
+    selection, parallel links and IGP coordinates follow the same Conf
+    knobs as the paper family. *)
+
 val generate : Conf.t -> Random.State.t -> t
+(** @deprecated [generate conf rng] is the pre-dispatcher entry point,
+    kept for one release as a delegating shim for
+    [of_family conf.family conf rng] (equivalently
+    {!Netgen.generate}).  With the default [conf.family = Paper] it
+    behaves exactly as before.  New callers should use
+    {!Netgen.generate}. *)
 
 val ases : t -> Asn.t list
 (** All ASNs, ascending. *)

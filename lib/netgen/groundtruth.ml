@@ -27,7 +27,7 @@ let weird_or_default rng frac cls =
 
 let build conf =
   let rng = Random.State.make [| conf.Conf.seed |] in
-  let topo = Gentopo.generate conf rng in
+  let topo = Gentopo.of_family conf.Conf.family conf rng in
   let net = Net.create () in
   let node_of_router = Hashtbl.create 4096 in
   let router_of_node = Hashtbl.create 4096 in

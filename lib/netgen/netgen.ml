@@ -1,0 +1,19 @@
+(** Synthetic-world generation.
+
+    {!Conf} holds the family-agnostic size and policy presets,
+    {!Family} names the generator family (paper tiered hierarchy,
+    Waxman geometric, GLP preferential attachment, datacenter
+    fattree), {!Gentopo} realizes a family into the common
+    AS/router-level topology shape, and {!Groundtruth} builds the full
+    simulatable world (policies, prefixes, observation points) from
+    any of them. *)
+
+module Family = Family
+module Conf = Conf
+module Gentopo = Gentopo
+module Groundtruth = Groundtruth
+
+let generate : Family.t -> Conf.t -> Random.State.t -> Gentopo.t =
+  Gentopo.of_family
+(** [generate family conf rng] is the single dispatcher entry point
+    for topology generation; see {!Gentopo.of_family}. *)

@@ -38,4 +38,6 @@ let () =
       ("stream", Test_stream.suite);
       ("scale", Test_scale.suite);
       ("serve", Test_serve.suite);
+      ("family", Test_family.suite);
+      ("topometrics", Test_topometrics.suite);
     ]

@@ -1,0 +1,157 @@
+(* Tests for the Analysis.Topometrics fidelity battery: metric values
+   on tiny hand-built graphs against hand computation, self-compare
+   scoring exactly 1.0, and cross-family discrimination. *)
+
+module G = Topology.Asgraph
+module T = Analysis.Topometrics
+
+let check_bool = Alcotest.(check bool)
+
+let check_int = Alcotest.(check int)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let triangle = G.of_edges [ (1, 2); (2, 3); (1, 3) ]
+
+let path5 = G.of_edges [ (1, 2); (2, 3); (3, 4); (4, 5) ]
+
+let star5 = G.of_edges [ (1, 2); (1, 3); (1, 4); (1, 5) ]
+
+let k4 = G.of_edges [ (1, 2); (1, 3); (1, 4); (2, 3); (2, 4); (3, 4) ]
+
+let triangle_metrics () =
+  let s = T.summarize triangle in
+  check_int "nodes" 3 s.T.nodes;
+  check_int "edges" 3 s.T.edges;
+  check_float "avg degree" 2.0 s.T.avg_degree;
+  (* Every neighbourhood is closed. *)
+  check_float "clustering" 1.0 s.T.clustering;
+  (* All three nodes are the "rich club" and form a clique. *)
+  check_float "rich club" 1.0 s.T.rich_club;
+  check_int "max core" 2 s.T.max_core;
+  (* Regular graph: assortativity degenerates; defined as 0. *)
+  check_float "assortativity" 0.0 s.T.assortativity;
+  (* lambda_1 of K3 is exactly 2. *)
+  check_bool "lambda1 = 2" true
+    (Array.length s.T.spectrum > 0 && Float.abs (s.T.spectrum.(0) -. 2.0) < 1e-6)
+
+let k4_metrics () =
+  let s = T.summarize k4 in
+  check_float "clustering" 1.0 s.T.clustering;
+  check_int "max core" 3 s.T.max_core;
+  (* lambda_1 of K_n is n - 1. *)
+  check_bool "lambda1 = 3" true (Float.abs (s.T.spectrum.(0) -. 3.0) < 1e-6);
+  (* CCDF: all 4 nodes have degree 3. *)
+  check_bool "ccdf" true (s.T.degree_ccdf = [ (3, 1.0) ])
+
+let path_metrics () =
+  let s = T.summarize path5 in
+  check_float "clustering" 0.0 s.T.clustering;
+  check_int "max core" 1 s.T.max_core;
+  (* Degree sequence 1,2,2,2,1: CCDF P(d>=1)=1, P(d>=2)=0.6. *)
+  check_bool "ccdf" true (s.T.degree_ccdf = [ (1, 1.0); (2, 0.6) ]);
+  (* Ends attach to middles: disassortative. *)
+  check_bool "disassortative" true (s.T.assortativity < 0.0);
+  (* Node 3 carries the most shortest paths; the betweenness deciles
+     are max-normalized so the top decile is exactly 1. *)
+  check_float "max betweenness decile" 1.0 s.T.betweenness_deciles.(10);
+  check_float "min betweenness decile" 0.0 s.T.betweenness_deciles.(0)
+
+let star_metrics () =
+  let s = T.summarize star5 in
+  (* Hub degree 4, leaves degree 1: strongly disassortative (r = -1). *)
+  check_float "assortativity" (-1.0) s.T.assortativity;
+  check_float "clustering" 0.0 s.T.clustering;
+  check_int "max core" 1 s.T.max_core;
+  (* lambda_1 of a star on n nodes is sqrt (n - 1); bipartite, so the
+     +/-2 pair makes the leading sign arbitrary — check magnitude. *)
+  check_bool "lambda1 magnitude = 2" true
+    (Float.abs (Float.abs s.T.spectrum.(0) -. 2.0) < 1e-6)
+
+let empty_graph () =
+  let s = T.summarize G.empty in
+  check_int "nodes" 0 s.T.nodes;
+  let r = T.compare s s in
+  check_float "empty self-compare" 1.0 r.T.score
+
+let self_compare_exact () =
+  (* The battery's defining property: any world against itself scores
+     exactly 1.0 on every metric — no tolerance. *)
+  List.iter
+    (fun (label, g) ->
+      let s = T.summarize g in
+      let r = T.compare s s in
+      List.iter
+        (fun m ->
+          check_bool
+            (Printf.sprintf "%s %s = 1.0" label m.T.name)
+            true (m.T.similarity = 1.0))
+        r.T.metrics;
+      check_bool (label ^ " score = 1.0") true (r.T.score = 1.0))
+    [
+      ("triangle", triangle);
+      ("path5", path5);
+      ("star5", star5);
+      ("k4", k4);
+      ( "paper world",
+        Netgen.Gentopo.as_graph
+          (Netgen.generate Netgen.Family.Paper Netgen.Conf.tiny
+             (Random.State.make [| 3 |])) );
+    ]
+
+let known_different_score_lower () =
+  let sum fam =
+    T.summarize
+      (Netgen.Gentopo.as_graph
+         (Netgen.generate fam Netgen.Conf.tiny (Random.State.make [| 3 |])))
+  in
+  let paper = sum Netgen.Family.Paper in
+  let self = (T.compare paper paper).T.score in
+  List.iter
+    (fun (label, fam) ->
+      let r = T.compare paper (sum fam) in
+      check_bool (label ^ " scores below self") true (r.T.score < self);
+      check_bool (label ^ " score in range") true
+        (r.T.score >= 0.0 && r.T.score <= 1.0))
+    [
+      ("waxman", Netgen.Family.Waxman Netgen.Family.default_waxman);
+      ("glp", Netgen.Family.Glp Netgen.Family.default_glp);
+      ("fattree", Netgen.Family.Fattree Netgen.Family.default_fattree);
+    ]
+
+let symmetry () =
+  let sum fam =
+    T.summarize
+      (Netgen.Gentopo.as_graph
+         (Netgen.generate fam Netgen.Conf.tiny (Random.State.make [| 3 |])))
+  in
+  let a = sum Netgen.Family.Paper
+  and b = sum (Netgen.Family.Glp Netgen.Family.default_glp) in
+  check_float "compare is symmetric" (T.compare a b).T.score
+    (T.compare b a).T.score
+
+let deterministic () =
+  let g =
+    Netgen.Gentopo.as_graph
+      (Netgen.generate
+         (Netgen.Family.Waxman Netgen.Family.default_waxman)
+         Netgen.Conf.tiny (Random.State.make [| 3 |]))
+  in
+  (* Two independent summaries of the same graph are structurally
+     equal: sampling and power iteration must not involve hidden
+     randomness. *)
+  check_bool "summaries equal" true (T.summarize g = T.summarize g)
+
+let suite =
+  [
+    Alcotest.test_case "triangle by hand" `Quick triangle_metrics;
+    Alcotest.test_case "k4 by hand" `Quick k4_metrics;
+    Alcotest.test_case "path by hand" `Quick path_metrics;
+    Alcotest.test_case "star by hand" `Quick star_metrics;
+    Alcotest.test_case "empty graph" `Quick empty_graph;
+    Alcotest.test_case "self-compare exactly 1.0" `Quick self_compare_exact;
+    Alcotest.test_case "different families score lower" `Quick
+      known_different_score_lower;
+    Alcotest.test_case "compare symmetric" `Quick symmetry;
+    Alcotest.test_case "summarize deterministic" `Quick deterministic;
+  ]
